@@ -1,0 +1,63 @@
+//! Criterion bench for the entropy stage: Huffman encode/decode
+//! throughput at the system's working size (M = 256 symbols per packet,
+//! 512-symbol alphabet, 16-bit length cap) plus codebook construction
+//! (the offline package–merge step).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cs_codec::{BitReader, BitWriter, Codebook};
+
+/// Laplacian-ish counts concentrated around the alphabet center, like
+/// real ECG measurement deltas.
+fn ecg_like_counts() -> Vec<u64> {
+    (0..512)
+        .map(|i| {
+            let dist = (i as i64 - 256).unsigned_abs();
+            10_000 / (1 + dist * dist / 16)
+        })
+        .collect()
+}
+
+fn symbols(n: usize) -> Vec<u16> {
+    let mut state = 0x1234_5678_u64;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Cluster near the center like real deltas.
+            let spread = (state % 64) as i64 - 32;
+            (256 + spread) as u16
+        })
+        .collect()
+}
+
+fn bench_huffman(c: &mut Criterion) {
+    let counts = ecg_like_counts();
+    let codebook = Codebook::from_counts(&counts, 512).expect("valid codebook");
+    let syms = symbols(256);
+
+    c.bench_function("huffman_encode_256_symbols", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::new();
+            codebook.encode(black_box(&syms), &mut w).expect("encode");
+            w.finish()
+        })
+    });
+
+    let mut w = BitWriter::new();
+    codebook.encode(&syms, &mut w).expect("encode");
+    let bytes = w.finish();
+    c.bench_function("huffman_decode_256_symbols", |b| {
+        b.iter(|| {
+            let mut r = BitReader::new(black_box(&bytes));
+            codebook.decode(&mut r, 256).expect("decode")
+        })
+    });
+
+    c.bench_function("package_merge_512_alphabet", |b| {
+        b.iter(|| Codebook::from_counts(black_box(&counts), 512).expect("valid"))
+    });
+}
+
+criterion_group!(benches, bench_huffman);
+criterion_main!(benches);

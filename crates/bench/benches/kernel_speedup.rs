@@ -1,0 +1,61 @@
+//! Criterion bench behind the §V speedup table: scalar vs unrolled/
+//! branch-free kernels on the FISTA inner-loop primitives, at the
+//! decoder's actual working sizes (N = 512, M = 256, f32).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cs_recovery::{axpy, dot, momentum_combine, soft_threshold, KernelMode};
+
+fn data(n: usize) -> (Vec<f32>, Vec<f32>) {
+    let a: Vec<f32> = (0..n).map(|i| ((i * 37 % 101) as f32) / 50.0 - 1.0).collect();
+    let b: Vec<f32> = (0..n).map(|i| ((i * 61 % 103) as f32) / 50.0 - 1.0).collect();
+    (a, b)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let n = 512;
+    let (a, b) = data(n);
+    let modes = [
+        ("scalar", KernelMode::Scalar),
+        ("unrolled4", KernelMode::Unrolled4),
+    ];
+
+    let mut group = c.benchmark_group("dot_512_f32");
+    for (name, mode) in modes {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |bench, &mode| {
+            bench.iter(|| dot(black_box(&a), black_box(&b), mode))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("axpy_512_f32");
+    for (name, mode) in modes {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |bench, &mode| {
+            let mut y = b.clone();
+            bench.iter(|| axpy(black_box(0.37_f32), black_box(&a), &mut y, mode))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("soft_threshold_512_f32");
+    for (name, mode) in modes {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |bench, &mode| {
+            let mut out = vec![0.0_f32; n];
+            bench.iter(|| soft_threshold(black_box(&a), black_box(0.1), &mut out, mode))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("momentum_combine_512_f32");
+    for (name, mode) in modes {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |bench, &mode| {
+            let mut out = vec![0.0_f32; n];
+            bench.iter(|| {
+                momentum_combine(black_box(&a), black_box(&b), black_box(0.8), &mut out, mode)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

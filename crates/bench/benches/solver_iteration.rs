@@ -1,0 +1,71 @@
+//! Criterion bench behind Fig. 7's time axis and the matrix-free design
+//! decision: the cost of a fixed FISTA budget at CR 50, matrix-free vs
+//! dense, f32 vs f64.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cs_dsp::wavelet::{Dwt, Wavelet};
+use cs_recovery::{
+    fista, lambda_max, DenseOperator, KernelMode, ShrinkageConfig, SynthesisOperator,
+};
+use cs_sensing::{measurements_for_cr, Sensing, SparseBinarySensing};
+
+const N: usize = 512;
+const ITERS: usize = 50;
+
+fn packet() -> Vec<f32> {
+    (0..N)
+        .map(|i| {
+            let t = i as f32 / N as f32;
+            800.0 * (-((t - 0.4) * 30.0).powi(2)).exp() + 50.0 * (t * 11.0).sin()
+        })
+        .collect()
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let m = measurements_for_cr(N, 50.0);
+    let phi = SparseBinarySensing::new(m, N, 12, 3).expect("valid Φ");
+    let wavelet = Wavelet::daubechies(4).expect("db4");
+    let dwt32: Dwt<f32> = Dwt::new(&wavelet, N, 5).expect("plan");
+    let dwt64: Dwt<f64> = Dwt::new(&wavelet, N, 5).expect("plan");
+
+    let x32 = packet();
+    let x64: Vec<f64> = x32.iter().map(|&v| v as f64).collect();
+    let y32: Vec<f32> = phi.apply(x32.as_slice());
+    let y64: Vec<f64> = phi.apply(x64.as_slice());
+
+    let op32 = SynthesisOperator::new(&phi, &dwt32);
+    let op64 = SynthesisOperator::new(&phi, &dwt64);
+    let dense32 = DenseOperator::materialize(&op32, KernelMode::Unrolled4);
+
+    let cfg32 = ShrinkageConfig {
+        lambda: 0.01 * lambda_max(&op32, &y32),
+        max_iterations: ITERS,
+        tolerance: 0.0,
+        residual_tolerance: 0.0,
+            kernel: KernelMode::Unrolled4,
+        record_objective: false,
+    };
+    let cfg64 = ShrinkageConfig {
+        lambda: 0.01 * lambda_max(&op64, &y64),
+        max_iterations: ITERS,
+        tolerance: 0.0,
+        residual_tolerance: 0.0,
+            kernel: KernelMode::Unrolled4,
+        record_objective: false,
+    };
+
+    let mut group = c.benchmark_group("fista_50_iterations_cr50");
+    group.bench_function("matrix_free_f32", |b| {
+        b.iter(|| fista(&op32, black_box(&y32), &cfg32, Some(60.0)))
+    });
+    group.bench_function("matrix_free_f64", |b| {
+        b.iter(|| fista(&op64, black_box(&y64), &cfg64, Some(60.0)))
+    });
+    group.bench_function("dense_f32", |b| {
+        b.iter(|| fista(&dense32, black_box(&y32), &cfg32, Some(60.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

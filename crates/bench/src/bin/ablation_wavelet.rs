@@ -1,0 +1,64 @@
+//! Wavelet-basis ablation (DESIGN.md ✦): which sparsifying Ψ should the
+//! decoder use? The paper only says "orthonormal wavelet basis"; this
+//! binary sweeps families and depths at CR 50 and reports reconstruction
+//! quality, justifying the workspace default (db4 × 5 levels).
+//!
+//! ```text
+//! cargo run --release -p cs-bench --bin ablation_wavelet [--full]
+//! ```
+
+use cs_bench::{banner, RunSettings};
+use cs_core::{train_and_evaluate, SolverPolicy, SystemConfig};
+use cs_dsp::wavelet::WaveletFamily;
+use cs_metrics::Summary;
+
+fn main() {
+    let settings = RunSettings::from_args();
+    banner("ablation_wavelet", "sparsifying-basis ablation (family × depth)", &settings);
+    let corpus = settings.corpus();
+
+    println!("{:<10} {:>7} {:>10} {:>10} {:>10}", "wavelet", "levels", "PRD (%)", "SNR-ish", "iters");
+    let cases = [
+        (WaveletFamily::Haar, 5),
+        (WaveletFamily::Daubechies(2), 5),
+        (WaveletFamily::Daubechies(4), 3),
+        (WaveletFamily::Daubechies(4), 5),
+        (WaveletFamily::Daubechies(4), 6),
+        (WaveletFamily::Daubechies(8), 5),
+        (WaveletFamily::Symlet(4), 5),
+        (WaveletFamily::Symlet(8), 5),
+    ];
+    let mut best: Option<(String, f64)> = None;
+    for (family, levels) in cases {
+        let config = SystemConfig::builder()
+            .wavelet(family)
+            .levels(levels)
+            .build()
+            .expect("valid config");
+        let mut prd = Summary::new();
+        let mut iters = Summary::new();
+        for record in &corpus.records {
+            let r = train_and_evaluate::<f64>(&config, &record.samples, 3, SolverPolicy::default())
+                .expect("pipeline");
+            prd.push(r.prd.mean());
+            iters.push(r.iterations.mean());
+        }
+        let snr = cs_metrics::snr_from_prd(prd.mean());
+        println!(
+            "{:<10} {:>7} {:>10.3} {:>10.2} {:>10.0}",
+            family.name(),
+            levels,
+            prd.mean(),
+            snr,
+            iters.mean()
+        );
+        let name = format!("{} × {}", family.name(), levels);
+        if best.as_ref().map_or(true, |(_, p)| prd.mean() < *p) {
+            best = Some((name, prd.mean()));
+        }
+    }
+    let (name, p) = best.expect("nonempty sweep");
+    println!();
+    println!("# best basis on this corpus: {name} (PRD {p:.3}); the workspace default db4 × 5");
+    println!("# should sit within a few tenths of a PRD point of it.");
+}

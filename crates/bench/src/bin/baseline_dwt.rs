@@ -1,0 +1,107 @@
+//! CS vs classical DWT transform coding — the trade the paper's whole
+//! premise rests on (§I): transform coding compresses better, but its
+//! encoder needs a full DSP pipeline on the mote, while the CS encoder is
+//! a multiplication-free gather-add.
+//!
+//! For each CR this binary reports, on the same corpus and wavelet:
+//! reconstruction PRD of both systems, and the modeled MSP430 encode cost
+//! of both encoders.
+//!
+//! ```text
+//! cargo run --release -p cs-bench --bin baseline_dwt [--full]
+//! ```
+
+use cs_bench::{banner, RunSettings};
+use cs_core::{
+    packetize, train_and_evaluate, DwtThresholdCodec, SolverPolicy, SystemConfig,
+};
+use cs_dsp::wavelet::Wavelet;
+use cs_metrics::{prd, Summary};
+use cs_platform::{dwt_baseline_cost, encode_cost, MoteSpec};
+use std::time::Duration;
+
+fn main() {
+    let settings = RunSettings::from_args();
+    banner(
+        "baseline_dwt",
+        "§I premise (CS encoder simplicity vs transform-coding quality)",
+        &settings,
+    );
+    let corpus = settings.corpus();
+    let mote = MoteSpec::msp430f1611();
+    let period = Duration::from_secs(2);
+
+    println!(
+        "{:>5} {:>12} {:>12} {:>16} {:>16}",
+        "CR %", "CS PRD", "DWT PRD", "CS enc (ms)", "DWT enc (ms)"
+    );
+    for cr in [30.0, 50.0, 70.0, 85.0] {
+        let config = SystemConfig::builder()
+            .compression_ratio(cr)
+            .build()
+            .expect("valid config");
+        let codec = DwtThresholdCodec::new(&config).expect("codec");
+        let filter_len = Wavelet::new(config.wavelet_family())
+            .expect("wavelet")
+            .filter_len();
+
+        let mut cs_prd = Summary::new();
+        let mut dwt_prd = Summary::new();
+        let mut cs_ms = Summary::new();
+        let mut dwt_ms = Summary::new();
+        for record in &corpus.records {
+            // CS pipeline.
+            let report =
+                train_and_evaluate::<f64>(&config, &record.samples, 3, SolverPolicy::default())
+                    .expect("cs pipeline");
+            for p in &report.packets {
+                cs_prd.push(p.prd);
+            }
+            // Transform-coding baseline on the same packets.
+            for packet in packetize(&record.samples, config.packet_len()) {
+                let enc = codec.encode(packet, cr).expect("baseline encode");
+                let recon = codec.decode(&enc).expect("baseline decode");
+                let x: Vec<f64> = packet.iter().map(|&v| v as f64).collect();
+                if x.iter().any(|&v| v != 0.0) {
+                    dwt_prd.push(prd(&x, &recon));
+                }
+                let cost = dwt_baseline_cost(
+                    &mote,
+                    config.packet_len(),
+                    filter_len,
+                    config.levels(),
+                    enc.kept,
+                );
+                dwt_ms.push(cost.time_on(&mote).as_secs_f64() * 1e3);
+            }
+        }
+        // CS encoder cost (from the calibrated model, one representative packet).
+        {
+            use cs_core::{uniform_codebook, Encoder};
+            use std::sync::Arc;
+            let cb = Arc::new(uniform_codebook(config.alphabet()).expect("codebook"));
+            let mut enc = Encoder::new(&config, cb).expect("encoder");
+            for packet in packetize(&corpus.records[0].samples, config.packet_len()).take(4) {
+                let wire = enc.encode_packet(packet).expect("encode");
+                cs_ms.push(encode_cost(&mote, &config, &wire).time_on(&mote).as_secs_f64() * 1e3);
+            }
+        }
+        println!(
+            "{:>5.0} {:>12.2} {:>12.2} {:>16.1} {:>16.1}",
+            cr,
+            cs_prd.mean(),
+            dwt_prd.mean(),
+            cs_ms.mean(),
+            dwt_ms.mean()
+        );
+        let _ = period;
+    }
+    println!();
+    println!("# DWT transform coding wins on PRD at every CR (the known result this");
+    println!("# baseline demonstrates). On modeled cycles the DWT encoder is NOT more");
+    println!("# expensive than the paper-calibrated CS stage: the 82 ms anchor is");
+    println!("# dominated by on-the-fly Φ index regeneration, not arithmetic. The CS");
+    println!("# advantages the paper claims are architectural — no multiplier-bound");
+    println!("# DSP chain, no coefficient buffering, a path to analog CS — plus the");
+    println!("# decoder-side flexibility; see DESIGN.md for the discussion.");
+}

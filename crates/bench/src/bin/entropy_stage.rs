@@ -1,0 +1,101 @@
+//! Entropy-stage ablation: the paper's trained Huffman codebook vs a
+//! table-free Golomb–Rice coder on the *same* measurement deltas.
+//!
+//! The paper pays 1.5 kB of mote flash for the Huffman tables. Rice
+//! coding pays zero table bytes and a 5-bit per-packet parameter instead;
+//! this binary measures how many payload bits that trade costs on real
+//! encoder output.
+//!
+//! ```text
+//! cargo run --release -p cs-bench --bin entropy_stage [--full]
+//! ```
+
+use cs_bench::{banner, RunSettings};
+use cs_codec::{
+    rice_encode_block, value_to_symbol, BitWriter, DiffConfig, DiffEncoder, DiffPacket,
+};
+use cs_core::{packetize, train_codebook, SystemConfig};
+use cs_metrics::Summary;
+use cs_sensing::SparseBinarySensing;
+
+fn main() {
+    let settings = RunSettings::from_args();
+    banner("entropy_stage", "entropy-coder ablation (Huffman vs Golomb–Rice)", &settings);
+    let corpus = settings.corpus();
+    let config = SystemConfig::paper_default();
+
+    // Train the Huffman codebook exactly as the system does.
+    let training = corpus
+        .records
+        .iter()
+        .flat_map(|r| packetize(&r.samples, config.packet_len()).take(3))
+        .map(|p| p.to_vec());
+    let codebook = train_codebook(&config, training).expect("training");
+
+    // Re-run the front end and code every delta block both ways.
+    let phi = SparseBinarySensing::new(
+        config.measurements(),
+        config.packet_len(),
+        config.sparse_ones_per_column(),
+        config.seed(),
+    )
+    .expect("Φ");
+
+    let mut huffman_bits = Summary::new();
+    let mut rice_bits = Summary::new();
+    for record in &corpus.records {
+        let mut diff = DiffEncoder::new(DiffConfig {
+            vector_len: config.measurements(),
+            reference_interval: config.reference_interval(),
+            alphabet: config.alphabet(),
+        });
+        for packet in packetize(&record.samples, config.packet_len()) {
+            let y = phi.apply_unscaled_i32(packet);
+            if let DiffPacket::Delta(block) = diff.encode(&y).expect("diff") {
+                // Huffman path (4-bit gain + codewords).
+                let symbols: Vec<u16> = block
+                    .values
+                    .iter()
+                    .map(|&d| value_to_symbol(d as i32, config.alphabet()))
+                    .collect();
+                let mut w = BitWriter::new();
+                w.write_bits(block.shift as u32, 4);
+                codebook.encode(&symbols, &mut w).expect("huffman");
+                huffman_bits.push(w.bit_len() as f64);
+
+                // Rice path (4-bit gain + adaptive-k block).
+                let values: Vec<i32> = block.values.iter().map(|&v| v as i32).collect();
+                let mut w = BitWriter::new();
+                w.write_bits(block.shift as u32, 4);
+                rice_encode_block(&values, &mut w);
+                rice_bits.push(w.bit_len() as f64);
+            }
+        }
+    }
+
+    let m = config.measurements() as f64;
+    println!(
+        "{:<28} {:>14} {:>14} {:>14}",
+        "coder", "bits/packet", "bits/symbol", "table bytes"
+    );
+    println!(
+        "{:<28} {:>14.0} {:>14.2} {:>14}",
+        "Huffman (paper, trained)",
+        huffman_bits.mean(),
+        huffman_bits.mean() / m,
+        codebook.mote_storage_bytes()
+    );
+    println!(
+        "{:<28} {:>14.0} {:>14.2} {:>14}",
+        "Golomb–Rice (adaptive k)",
+        rice_bits.mean(),
+        rice_bits.mean() / m,
+        0
+    );
+    println!();
+    println!(
+        "# Rice overhead: {:+.1} % payload bits for 0 table bytes (Huffman needs {} B flash)",
+        (rice_bits.mean() / huffman_bits.mean() - 1.0) * 100.0,
+        codebook.mote_storage_bytes()
+    );
+}

@@ -1,0 +1,61 @@
+//! Reproduces **Fig. 6**: average output PRD vs compression ratio for the
+//! full pipeline, decoded at 64-bit and at 32-bit precision.
+//!
+//! The paper's claim: "the real-time implementation … provides the same
+//! accuracy as the original 64-bit Matlab design" — the two curves
+//! coincide — and the quality bands ("VG", "G") are crossed as CR rises.
+//!
+//! ```text
+//! cargo run --release -p cs-bench --bin fig6 [--full] [--records N] [--seconds S]
+//! ```
+
+use cs_bench::{banner, RunSettings};
+use cs_core::{train_and_evaluate, SolverPolicy, SystemConfig};
+use cs_metrics::{Summary, SweepSeries};
+
+fn main() {
+    let settings = RunSettings::from_args();
+    banner("fig6", "Fig. 6 (PRD vs CR, 64-bit vs 32-bit decoder)", &settings);
+    let corpus = settings.corpus();
+
+    let mut f64_series = SweepSeries::new("f64 decoder (Matlab-precision reference)");
+    let mut f32_series = SweepSeries::new("f32 decoder (iPhone-precision port)");
+
+    for cr in [30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0] {
+        let config = SystemConfig::builder()
+            .compression_ratio(cr)
+            .build()
+            .expect("valid config");
+        let mut s64 = Summary::new();
+        let mut s32 = Summary::new();
+        for record in &corpus.records {
+            let r64 =
+                train_and_evaluate::<f64>(&config, &record.samples, 4, SolverPolicy::default())
+                    .expect("pipeline runs");
+            let r32 =
+                train_and_evaluate::<f32>(&config, &record.samples, 4, SolverPolicy::default())
+                    .expect("pipeline runs");
+            s64.push(r64.prd.mean());
+            s32.push(r32.prd.mean());
+        }
+        f64_series.push(cr, s64);
+        f32_series.push(cr, s32);
+        eprintln!(
+            "CR {cr:>4.0}%  f64 PRD {:>6.2}   f32 PRD {:>6.2}",
+            s64.mean(),
+            s32.mean()
+        );
+    }
+
+    println!("{}", f64_series.to_table());
+    println!("{}", f32_series.to_table());
+    println!("# quality bands (Zigel): PRD < 2 → very good (VG), < 9 → good (G)");
+
+    let max_gap = f64_series
+        .points()
+        .iter()
+        .zip(f32_series.points())
+        .map(|(a, b)| (a.summary.mean() - b.summary.mean()).abs())
+        .fold(0.0_f64, f64::max);
+    println!("# max |f64 − f32| PRD gap: {max_gap:.3} (paper: curves coincide)");
+}

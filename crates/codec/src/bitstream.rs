@@ -1,0 +1,205 @@
+//! MSB-first bit-level I/O.
+//!
+//! The Huffman coder emits variable-length codes (up to 16 bits in this
+//! system); [`BitWriter`] packs them into bytes for the radio and
+//! [`BitReader`] unpacks them on the coordinator.
+
+use crate::error::CodecError;
+
+/// Accumulates bits MSB-first into a byte vector.
+///
+/// # Examples
+///
+/// ```
+/// use cs_codec::{BitReader, BitWriter};
+///
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_bits(0xABCD, 16);
+/// let bytes = w.finish();
+///
+/// let mut r = BitReader::new(&bytes);
+/// assert_eq!(r.read_bits(3)?, 0b101);
+/// assert_eq!(r.read_bits(16)?, 0xABCD);
+/// # Ok::<(), cs_codec::CodecError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the final partial byte (0..8).
+    bit_pos: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Appends the low `count` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or greater than 32.
+    pub fn write_bits(&mut self, value: u32, count: u8) {
+        assert!((1..=32).contains(&count), "write_bits: count must be 1..=32");
+        debug_assert!(
+            count == 32 || value < (1u32 << count),
+            "write_bits: value {value} wider than {count} bits"
+        );
+        for shift in (0..count).rev() {
+            let bit = (value >> shift) & 1;
+            if self.bit_pos == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.len() - 1;
+            self.bytes[last] |= (bit as u8) << (7 - self.bit_pos);
+            self.bit_pos = (self.bit_pos + 1) % 8;
+        }
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.bit_pos == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.bit_pos as usize
+        }
+    }
+
+    /// Pads the final byte with zero bits and returns the buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Absolute bit cursor.
+    cursor: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, cursor: 0 }
+    }
+
+    /// Remaining unread bits.
+    pub fn remaining_bits(&self) -> usize {
+        self.bytes.len() * 8 - self.cursor
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEndOfStream`] past the end.
+    pub fn read_bit(&mut self) -> Result<u32, CodecError> {
+        let byte = self.cursor / 8;
+        if byte >= self.bytes.len() {
+            return Err(CodecError::UnexpectedEndOfStream { bit: self.cursor });
+        }
+        let shift = 7 - (self.cursor % 8);
+        self.cursor += 1;
+        Ok(((self.bytes[byte] >> shift) & 1) as u32)
+    }
+
+    /// Reads `count` bits MSB-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEndOfStream`] if fewer than `count`
+    /// bits remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or greater than 32.
+    pub fn read_bits(&mut self, count: u8) -> Result<u32, CodecError> {
+        assert!((1..=32).contains(&count), "read_bits: count must be 1..=32");
+        if self.remaining_bits() < count as usize {
+            return Err(CodecError::UnexpectedEndOfStream { bit: self.cursor });
+        }
+        let mut acc = 0u32;
+        for _ in 0..count {
+            acc = (acc << 1) | self.read_bit()?;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_writer() {
+        let w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        assert!(w.finish().is_empty());
+    }
+
+    #[test]
+    fn cross_byte_boundaries() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        w.write_bits(0b0110_1001_0110, 12);
+        assert_eq!(w.bit_len(), 13);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+        assert_eq!(r.read_bits(12).unwrap(), 0b0110_1001_0110);
+        // Padding bits read as zero.
+        assert_eq!(r.remaining_bits(), 3);
+    }
+
+    #[test]
+    fn end_of_stream_detected() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert!(matches!(
+            r.read_bit(),
+            Err(CodecError::UnexpectedEndOfStream { bit: 8 })
+        ));
+        let mut r2 = BitReader::new(&[0xFF]);
+        assert!(r2.read_bits(9).is_err());
+    }
+
+    #[test]
+    fn full_width_values() {
+        let mut w = BitWriter::new();
+        w.write_bits(u32::MAX, 32);
+        w.write_bits(0, 32);
+        let b = w.finish();
+        let mut r = BitReader::new(&b);
+        assert_eq!(r.read_bits(32).unwrap(), u32::MAX);
+        assert_eq!(r.read_bits(32).unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "count must be")]
+    fn zero_count_write_panics() {
+        BitWriter::new().write_bits(0, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(values in proptest::collection::vec((0u32..=u32::MAX, 1u8..=32), 1..64)) {
+            let mut w = BitWriter::new();
+            let mut expected = Vec::new();
+            for &(v, c) in &values {
+                let masked = if c == 32 { v } else { v & ((1u32 << c) - 1) };
+                w.write_bits(masked, c);
+                expected.push((masked, c));
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for (v, c) in expected {
+                prop_assert_eq!(r.read_bits(c).unwrap(), v);
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Error types for the entropy-coding substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the bitstream, differencing and Huffman layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// A read ran past the end of the bit stream.
+    UnexpectedEndOfStream {
+        /// Absolute bit position at which the stream ended.
+        bit: usize,
+    },
+    /// A decoded bit pattern matched no codeword.
+    InvalidCodeword,
+    /// A symbol fell outside the codebook's alphabet.
+    SymbolOutOfRange {
+        /// The offending symbol value.
+        symbol: i32,
+        /// Alphabet size of the codebook.
+        alphabet: usize,
+    },
+    /// Codebook construction was given unusable inputs.
+    InvalidCodebook(String),
+    /// A delta packet arrived before any reference packet established the
+    /// decoder state.
+    MissingReference,
+    /// A packet's length did not match the codec's configured vector size.
+    LengthMismatch {
+        /// Expected vector length.
+        expected: usize,
+        /// Length actually supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEndOfStream { bit } => {
+                write!(f, "unexpected end of bit stream at bit {bit}")
+            }
+            CodecError::InvalidCodeword => write!(f, "bit pattern matches no codeword"),
+            CodecError::SymbolOutOfRange { symbol, alphabet } => {
+                write!(f, "symbol {symbol} outside alphabet of {alphabet}")
+            }
+            CodecError::InvalidCodebook(msg) => write!(f, "invalid codebook: {msg}"),
+            CodecError::MissingReference => {
+                write!(f, "delta packet received before any reference packet")
+            }
+            CodecError::LengthMismatch { expected, actual } => {
+                write!(f, "packet length {actual} does not match configured {expected}")
+            }
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(CodecError::UnexpectedEndOfStream { bit: 17 }
+            .to_string()
+            .contains("bit 17"));
+        assert!(CodecError::SymbolOutOfRange {
+            symbol: 999,
+            alphabet: 512
+        }
+        .to_string()
+        .contains("999"));
+        assert!(CodecError::LengthMismatch {
+            expected: 256,
+            actual: 255
+        }
+        .to_string()
+        .contains("256"));
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn check<T: std::error::Error + Send + Sync>() {}
+        check::<CodecError>();
+    }
+}

@@ -1,0 +1,153 @@
+//! Offline codebook training.
+//!
+//! The paper's Huffman codebook is "offline-generated" (§IV-A2): the
+//! difference-symbol statistics are gathered over a training corpus once,
+//! and the resulting 1.5 kB table is flashed onto the mote. This module is
+//! that offline step — it runs the *actual* encoder front end (sensing +
+//! differencing) over training packets and trains the length-limited code
+//! on the observed symbol histogram.
+
+use crate::config::SystemConfig;
+use crate::error::PipelineError;
+use cs_codec::{value_to_symbol, Codebook, DiffConfig, DiffEncoder, DiffPacket};
+use cs_sensing::SparseBinarySensing;
+
+/// Trains a codebook by pushing training packets through the encoder's
+/// sensing + differencing stages and histogramming the delta symbols.
+///
+/// Packets that are not exactly `config.packet_len()` long are skipped
+/// (trailing partial packets of a record). Zero-count symbols are smoothed
+/// inside the codebook builder so the code stays complete.
+///
+/// # Errors
+///
+/// Propagates sensing/codec construction failures.
+///
+/// # Examples
+///
+/// ```
+/// use cs_core::{train_codebook, SystemConfig};
+///
+/// let config = SystemConfig::paper_default();
+/// let packets = (0..8).map(|p| {
+///     (0..512).map(|i| (300.0 * ((i + p * 7) as f64 * 0.05).sin()) as i16).collect()
+/// });
+/// let codebook = train_codebook(&config, packets)?;
+/// assert_eq!(codebook.alphabet_size(), 512);
+/// assert_eq!(codebook.mote_storage_bytes(), 1536); // the paper's 1.5 kB
+/// # Ok::<(), cs_core::PipelineError>(())
+/// ```
+pub fn train_codebook<I>(config: &SystemConfig, packets: I) -> Result<Codebook, PipelineError>
+where
+    I: IntoIterator<Item = Vec<i16>>,
+{
+    let phi = SparseBinarySensing::new(
+        config.measurements(),
+        config.packet_len(),
+        config.sparse_ones_per_column(),
+        config.seed(),
+    )?;
+    let mut diff = DiffEncoder::new(DiffConfig {
+        vector_len: config.measurements(),
+        reference_interval: config.reference_interval(),
+        alphabet: config.alphabet(),
+    });
+    let mut counts = vec![0u64; config.alphabet()];
+    for packet in packets {
+        if packet.len() != config.packet_len() {
+            continue;
+        }
+        let y = phi.apply_unscaled_i32(&packet);
+        if let DiffPacket::Delta(block) = diff.encode(&y)? {
+            for &d in &block.values {
+                counts[value_to_symbol(d as i32, config.alphabet()) as usize] += 1;
+            }
+        }
+    }
+    Ok(Codebook::from_counts(&counts, config.alphabet())?)
+}
+
+/// The fallback codebook when no training data is available: uniform
+/// lengths over the whole alphabet (`log₂(alphabet)` bits per symbol, 9
+/// for the paper's 512).
+///
+/// # Errors
+///
+/// Returns [`PipelineError::InvalidConfig`] if the alphabet is not a power
+/// of two (only then is a uniform complete code possible).
+pub fn uniform_codebook(alphabet: usize) -> Result<Codebook, PipelineError> {
+    if !alphabet.is_power_of_two() || alphabet < 2 {
+        return Err(PipelineError::InvalidConfig(format!(
+            "uniform codebook needs a power-of-two alphabet, got {alphabet}"
+        )));
+    }
+    Ok(Codebook::from_counts(&vec![1; alphabet], alphabet)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ecg_like_packets(count: usize) -> Vec<Vec<i16>> {
+        (0..count)
+            .map(|p| {
+                (0..512)
+                    .map(|i| {
+                        let t = i as f64 / 512.0;
+                        let beat = (-((t - 0.4) * 30.0 + p as f64 * 0.01).powi(2)).exp();
+                        (800.0 * beat + 40.0 * (t * 9.0).sin()) as i16
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trained_codebook_beats_uniform_on_training_stats() {
+        let config = SystemConfig::paper_default();
+        let packets = ecg_like_packets(32);
+        let trained = train_codebook(&config, packets.clone()).unwrap();
+        let uniform = uniform_codebook(512).unwrap();
+
+        // Re-derive the histogram and compare expected lengths.
+        let phi = SparseBinarySensing::new(
+            config.measurements(),
+            config.packet_len(),
+            config.sparse_ones_per_column(),
+            config.seed(),
+        )
+        .unwrap();
+        let mut diff = DiffEncoder::new(DiffConfig {
+            vector_len: config.measurements(),
+            reference_interval: config.reference_interval(),
+            alphabet: 512,
+        });
+        let mut counts = vec![0u64; 512];
+        for p in &packets {
+            let y = phi.apply_unscaled_i32(p);
+            if let DiffPacket::Delta(block) = diff.encode(&y).unwrap() {
+                for &d in &block.values {
+                    counts[value_to_symbol(d as i32, 512) as usize] += 1;
+                }
+            }
+        }
+        let lt = trained.expected_length_bits(&counts);
+        let lu = uniform.expected_length_bits(&counts);
+        assert!(lt < lu, "trained {lt} bits !< uniform {lu} bits");
+        assert!(lt < 8.0, "ECG deltas should code below 8 bits, got {lt}");
+    }
+
+    #[test]
+    fn short_packets_skipped() {
+        let config = SystemConfig::paper_default();
+        let packets = vec![vec![0_i16; 100], vec![0_i16; 512], vec![0_i16; 512]];
+        let cb = train_codebook(&config, packets).unwrap();
+        assert_eq!(cb.alphabet_size(), 512);
+    }
+
+    #[test]
+    fn uniform_rejects_non_power_of_two() {
+        assert!(uniform_codebook(500).is_err());
+        assert!(uniform_codebook(512).is_ok());
+    }
+}

@@ -1,0 +1,320 @@
+//! System-wide configuration of the CS-ECG pipeline.
+
+use crate::error::PipelineError;
+use cs_dsp::wavelet::{Wavelet, WaveletFamily};
+use cs_sensing::measurements_for_cr;
+
+/// Everything the encoder and decoder must agree on. Both sides are
+/// constructed from the *same* `SystemConfig`, mirroring how the mote and
+/// the coordinator share a seed and parameter set out of band.
+///
+/// Build one with [`SystemConfig::builder`] or take the paper's defaults
+/// via [`SystemConfig::paper_default`].
+///
+/// # Examples
+///
+/// ```
+/// use cs_core::SystemConfig;
+///
+/// let config = SystemConfig::builder()
+///     .compression_ratio(50.0)
+///     .sparse_ones_per_column(12)
+///     .build()?;
+/// assert_eq!(config.packet_len(), 512);
+/// assert_eq!(config.measurements(), 256);
+/// # Ok::<(), cs_core::PipelineError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    packet_len: usize,
+    compression_ratio: f64,
+    sparse_d: usize,
+    seed: u64,
+    wavelet: WaveletFamily,
+    levels: usize,
+    reference_interval: usize,
+    alphabet: usize,
+    sample_bits: u8,
+}
+
+impl SystemConfig {
+    /// The configuration the paper's demo system runs: 2-second packets of
+    /// 512 samples at 256 Hz, sparse binary sensing with `d = 12`, a db4
+    /// wavelet at depth 5, CR 50 %, and the 512-symbol / 16-bit Huffman
+    /// stage.
+    pub fn paper_default() -> Self {
+        SystemConfig::builder()
+            .build()
+            .expect("paper defaults are valid")
+    }
+
+    /// Starts a builder pre-loaded with the paper's defaults.
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder::default()
+    }
+
+    /// Samples per packet, N (512 ⇔ 2 s at 256 Hz).
+    pub fn packet_len(&self) -> usize {
+        self.packet_len
+    }
+
+    /// Compression ratio of the linear CS stage in percent.
+    pub fn compression_ratio(&self) -> f64 {
+        self.compression_ratio
+    }
+
+    /// Measurements per packet, `M = round(N·(1 − CR/100))`.
+    pub fn measurements(&self) -> usize {
+        measurements_for_cr(self.packet_len, self.compression_ratio)
+    }
+
+    /// Ones per column of the sparse binary Φ.
+    pub fn sparse_ones_per_column(&self) -> usize {
+        self.sparse_d
+    }
+
+    /// Shared seed Φ expands from on both sides.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Sparsifying wavelet family.
+    pub fn wavelet_family(&self) -> WaveletFamily {
+        self.wavelet
+    }
+
+    /// Wavelet decomposition depth.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Packets between differencing reference (resync) packets.
+    pub fn reference_interval(&self) -> usize {
+        self.reference_interval
+    }
+
+    /// Difference-symbol alphabet size (512 in the paper).
+    pub fn alphabet(&self) -> usize {
+        self.alphabet
+    }
+
+    /// Bits per original ECG sample (11 for MIT-BIH); the numerator of the
+    /// end-to-end compression-ratio accounting.
+    pub fn sample_bits(&self) -> u8 {
+        self.sample_bits
+    }
+
+    /// Bits the original (uncompressed) packet occupies.
+    pub fn original_packet_bits(&self) -> u64 {
+        self.packet_len as u64 * self.sample_bits as u64
+    }
+}
+
+/// Builder for [`SystemConfig`] (defaults = the paper's system).
+#[derive(Debug, Clone)]
+pub struct SystemConfigBuilder {
+    packet_len: usize,
+    compression_ratio: f64,
+    sparse_d: usize,
+    seed: u64,
+    wavelet: WaveletFamily,
+    levels: usize,
+    reference_interval: usize,
+    alphabet: usize,
+    sample_bits: u8,
+}
+
+impl Default for SystemConfigBuilder {
+    fn default() -> Self {
+        SystemConfigBuilder {
+            packet_len: 512,
+            compression_ratio: 50.0,
+            sparse_d: 12,
+            seed: 0x00EC_6C50,
+            wavelet: WaveletFamily::Daubechies(4),
+            levels: 5,
+            reference_interval: 16,
+            alphabet: 512,
+            sample_bits: 11,
+        }
+    }
+}
+
+impl SystemConfigBuilder {
+    /// Sets the packet length N (must be divisible by `2^levels`).
+    pub fn packet_len(mut self, n: usize) -> Self {
+        self.packet_len = n;
+        self
+    }
+
+    /// Sets the linear-stage compression ratio in percent, `[0, 100)`.
+    pub fn compression_ratio(mut self, cr: f64) -> Self {
+        self.compression_ratio = cr;
+        self
+    }
+
+    /// Sets the sparse-binary column weight `d`.
+    pub fn sparse_ones_per_column(mut self, d: usize) -> Self {
+        self.sparse_d = d;
+        self
+    }
+
+    /// Sets the shared sensing seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the wavelet family.
+    pub fn wavelet(mut self, family: WaveletFamily) -> Self {
+        self.wavelet = family;
+        self
+    }
+
+    /// Sets the decomposition depth.
+    pub fn levels(mut self, levels: usize) -> Self {
+        self.levels = levels;
+        self
+    }
+
+    /// Sets the differencing resynchronization interval.
+    pub fn reference_interval(mut self, packets: usize) -> Self {
+        self.reference_interval = packets;
+        self
+    }
+
+    /// Sets the difference alphabet size (must be even).
+    pub fn alphabet(mut self, size: usize) -> Self {
+        self.alphabet = size;
+        self
+    }
+
+    /// Sets the original bits per sample used in CR accounting.
+    pub fn sample_bits(mut self, bits: u8) -> Self {
+        self.sample_bits = bits;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::InvalidConfig`] for any structurally
+    /// invalid combination (bad CR range, `d` exceeding M, packet length
+    /// not supporting the wavelet depth, odd alphabet, …).
+    pub fn build(self) -> Result<SystemConfig, PipelineError> {
+        if !(0.0..100.0).contains(&self.compression_ratio) {
+            return Err(PipelineError::InvalidConfig(format!(
+                "compression ratio {} must be in [0, 100)",
+                self.compression_ratio
+            )));
+        }
+        if self.packet_len == 0 {
+            return Err(PipelineError::InvalidConfig("zero packet length".into()));
+        }
+        let m = measurements_for_cr(self.packet_len, self.compression_ratio);
+        if self.sparse_d == 0 || self.sparse_d > m {
+            return Err(PipelineError::InvalidConfig(format!(
+                "sparse column weight {} must be in 1..={m}",
+                self.sparse_d
+            )));
+        }
+        if self.alphabet < 2 || self.alphabet % 2 != 0 || self.alphabet > 65536 {
+            return Err(PipelineError::InvalidConfig(format!(
+                "alphabet {} must be even and in 2..=65536",
+                self.alphabet
+            )));
+        }
+        if self.reference_interval == 0 {
+            return Err(PipelineError::InvalidConfig(
+                "zero reference interval".into(),
+            ));
+        }
+        if !(2..=16).contains(&self.sample_bits) {
+            return Err(PipelineError::InvalidConfig(format!(
+                "sample bits {} out of range 2..=16",
+                self.sample_bits
+            )));
+        }
+        // Validate the wavelet/levels pair by constructing the filter bank.
+        let wavelet = Wavelet::new(self.wavelet)?;
+        if self.levels == 0 || self.levels > wavelet.max_level(self.packet_len) {
+            return Err(PipelineError::InvalidConfig(format!(
+                "{} levels unsupported for N={} with {}",
+                self.levels,
+                self.packet_len,
+                self.wavelet.name()
+            )));
+        }
+        Ok(SystemConfig {
+            packet_len: self.packet_len,
+            compression_ratio: self.compression_ratio,
+            sparse_d: self.sparse_d,
+            seed: self.seed,
+            wavelet: self.wavelet,
+            levels: self.levels,
+            reference_interval: self.reference_interval,
+            alphabet: self.alphabet,
+            sample_bits: self.sample_bits,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = SystemConfig::paper_default();
+        assert_eq!(c.packet_len(), 512);
+        assert_eq!(c.measurements(), 256);
+        assert_eq!(c.sparse_ones_per_column(), 12);
+        assert_eq!(c.alphabet(), 512);
+        assert_eq!(c.levels(), 5);
+        assert_eq!(c.original_packet_bits(), 512 * 11);
+        assert_eq!(c.wavelet_family(), WaveletFamily::Daubechies(4));
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = SystemConfig::builder()
+            .compression_ratio(75.0)
+            .packet_len(256)
+            .levels(4)
+            .sparse_ones_per_column(8)
+            .build()
+            .unwrap();
+        assert_eq!(c.measurements(), 64);
+        assert_eq!(c.packet_len(), 256);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(SystemConfig::builder().compression_ratio(100.0).build().is_err());
+        assert!(SystemConfig::builder().compression_ratio(-1.0).build().is_err());
+        // d larger than M at CR 90 (M = 51).
+        assert!(SystemConfig::builder()
+            .compression_ratio(90.0)
+            .sparse_ones_per_column(52)
+            .build()
+            .is_err());
+        assert!(SystemConfig::builder().alphabet(511).build().is_err());
+        assert!(SystemConfig::builder().levels(12).build().is_err());
+        assert!(SystemConfig::builder().reference_interval(0).build().is_err());
+        assert!(SystemConfig::builder().packet_len(500).levels(5).build().is_err());
+        assert!(SystemConfig::builder().sample_bits(1).build().is_err());
+    }
+
+    #[test]
+    fn cr_to_measurement_mapping() {
+        for (cr, m) in [(30.0, 358), (50.0, 256), (70.0, 154), (90.0, 51)] {
+            let c = SystemConfig::builder()
+                .compression_ratio(cr)
+                .sparse_ones_per_column(12)
+                .build()
+                .unwrap();
+            assert_eq!(c.measurements(), m, "CR {cr}");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! # cs-core — the real-time compressed-sensing ECG pipeline
+//!
+//! This crate assembles the paper's complete system (Fig. 1):
+//!
+//! ```text
+//!  mote (integer only)                    coordinator (f32/f64)
+//!  ┌────────────┐ ┌────────────┐ ┌───────┐   ┌────────┐ ┌──────────┐ ┌───────┐
+//!  │ sparse     │→│ redundancy │→│Huffman│ ⇒ │Huffman │→│ packet   │→│ FISTA │
+//!  │ binary CS  │ │ removal    │ │encode │   │decode  │ │ reconst. │ │ + Ψᵀ  │
+//!  └────────────┘ └────────────┘ └───────┘   └────────┘ └──────────┘ └───────┘
+//! ```
+//!
+//! * [`SystemConfig`] — everything both sides must agree on (N, CR, d,
+//!   wavelet, seed, alphabet), with the paper's demo system as default.
+//! * [`Encoder`] — the mote side; never touches a float.
+//! * [`Decoder`] — the coordinator side, generic over `f32`/`f64`.
+//! * [`train_codebook`] — the offline Huffman training step.
+//! * [`evaluate_stream`] / [`train_and_evaluate`] — round-trip evaluation
+//!   returning per-packet CR/PRD/SNR and solver statistics.
+//! * [`run_streaming`] — the two-thread producer–consumer structure of the
+//!   iPhone app, with the 6-second shared buffer.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cs_core::{train_and_evaluate, SolverPolicy, SystemConfig};
+//!
+//! // A synthetic spiky packet stream standing in for real ECG.
+//! let samples: Vec<i16> = (0..512 * 4)
+//!     .map(|i| {
+//!         let t = (i % 512) as f64 / 512.0;
+//!         (800.0 * (-((t - 0.5) * 30.0).powi(2)).exp()) as i16
+//!     })
+//!     .collect();
+//!
+//! let config = SystemConfig::paper_default(); // CR 50 %, d = 12, db4
+//! let report = train_and_evaluate::<f64>(&config, &samples, 2, SolverPolicy::default())?;
+//! assert_eq!(report.packets.len(), 4);
+//! assert!(report.cr.mean() > 0.0);
+//! # Ok::<(), cs_core::PipelineError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod baseline;
+mod codebook;
+mod config;
+mod decoder;
+mod encoder;
+mod error;
+mod multichannel;
+mod packet;
+mod pipeline;
+mod stream;
+
+pub use baseline::{BaselinePacket, DwtThresholdCodec};
+pub use codebook::{train_codebook, uniform_codebook};
+pub use config::{SystemConfig, SystemConfigBuilder};
+pub use decoder::{DecodedPacket, Decoder, SolverPolicy};
+pub use encoder::Encoder;
+pub use error::PipelineError;
+pub use multichannel::{ChannelPacket, MultiChannelDecoder, MultiChannelEncoder};
+pub use packet::{EncodedPacket, PacketKind, HEADER_BYTES};
+pub use pipeline::{
+    evaluate_stream, packetize, train_and_evaluate, PacketReport, StreamReport,
+};
+pub use stream::{run_streaming, StreamingReport, SHARED_BUFFER_PACKETS};

@@ -1,0 +1,269 @@
+//! Multi-lead operation.
+//!
+//! MIT-BIH records are two-channel and a 3-lead Holter is the clinical
+//! norm (§I), so a practical monitor compresses several leads at once.
+//! Each lead gets its own differencing state and sequence numbering, but
+//! all leads share the sensing matrix, wavelet plan and codebook (the
+//! leads observe the same heart, so one trained codebook serves all).
+//! Wire packets gain a one-byte lane tag.
+
+use crate::config::SystemConfig;
+use crate::decoder::{DecodedPacket, Decoder, SolverPolicy};
+use crate::encoder::Encoder;
+use crate::error::PipelineError;
+use crate::packet::EncodedPacket;
+use cs_codec::Codebook;
+use cs_dsp::Real;
+use std::sync::Arc;
+
+/// A wire packet tagged with its lead index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelPacket {
+    /// Lead index (0-based).
+    pub channel: u8,
+    /// The underlying CS-ECG packet.
+    pub packet: EncodedPacket,
+}
+
+impl ChannelPacket {
+    /// Serializes as a 1-byte lane tag followed by the framed packet.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + self.packet.framed_bytes());
+        out.push(self.channel);
+        out.extend(self.packet.to_bytes());
+        out
+    }
+
+    /// Parses a tagged packet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::MalformedPacket`] on truncation and
+    /// propagates inner framing errors.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PipelineError> {
+        if bytes.is_empty() {
+            return Err(PipelineError::MalformedPacket("empty channel packet".into()));
+        }
+        Ok(ChannelPacket {
+            channel: bytes[0],
+            packet: EncodedPacket::from_bytes(&bytes[1..])?,
+        })
+    }
+}
+
+/// Encoder for a fixed number of leads.
+///
+/// # Examples
+///
+/// ```
+/// use cs_core::{uniform_codebook, MultiChannelEncoder, SystemConfig};
+/// use std::sync::Arc;
+///
+/// let config = SystemConfig::paper_default();
+/// let codebook = Arc::new(uniform_codebook(512)?);
+/// let mut encoder = MultiChannelEncoder::new(&config, codebook, 2)?;
+/// let lead0 = vec![0_i16; 512];
+/// let lead1 = vec![0_i16; 512];
+/// let packets = encoder.encode_frame(&[&lead0, &lead1])?;
+/// assert_eq!(packets.len(), 2);
+/// assert_eq!(packets[1].channel, 1);
+/// # Ok::<(), cs_core::PipelineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiChannelEncoder {
+    lanes: Vec<Encoder>,
+}
+
+impl MultiChannelEncoder {
+    /// Builds `channels` independent encoder lanes sharing one codebook.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::InvalidConfig`] for zero channels and
+    /// propagates per-lane construction failures.
+    pub fn new(
+        config: &SystemConfig,
+        codebook: Arc<Codebook>,
+        channels: usize,
+    ) -> Result<Self, PipelineError> {
+        if channels == 0 {
+            return Err(PipelineError::InvalidConfig("zero channels".into()));
+        }
+        let lanes = (0..channels)
+            .map(|_| Encoder::new(config, Arc::clone(&codebook)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MultiChannelEncoder { lanes })
+    }
+
+    /// Number of leads.
+    pub fn channels(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Encodes one synchronized frame (one packet per lead).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::InvalidConfig`] if the frame does not have
+    /// one slice per lead, and propagates per-lane encode failures.
+    pub fn encode_frame(&mut self, frame: &[&[i16]]) -> Result<Vec<ChannelPacket>, PipelineError> {
+        if frame.len() != self.lanes.len() {
+            return Err(PipelineError::InvalidConfig(format!(
+                "frame has {} leads, encoder has {}",
+                frame.len(),
+                self.lanes.len()
+            )));
+        }
+        frame
+            .iter()
+            .zip(self.lanes.iter_mut())
+            .enumerate()
+            .map(|(ch, (samples, lane))| {
+                Ok(ChannelPacket {
+                    channel: ch as u8,
+                    packet: lane.encode_packet(samples)?,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Decoder for a fixed number of leads.
+#[derive(Debug)]
+pub struct MultiChannelDecoder<T: Real> {
+    lanes: Vec<Decoder<T>>,
+}
+
+impl<T: Real> MultiChannelDecoder<T> {
+    /// Builds `channels` decoder lanes sharing one codebook and policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::InvalidConfig`] for zero channels and
+    /// propagates per-lane construction failures.
+    pub fn new(
+        config: &SystemConfig,
+        codebook: Arc<Codebook>,
+        policy: SolverPolicy<T>,
+        channels: usize,
+    ) -> Result<Self, PipelineError> {
+        if channels == 0 {
+            return Err(PipelineError::InvalidConfig("zero channels".into()));
+        }
+        let lanes = (0..channels)
+            .map(|_| Decoder::new(config, Arc::clone(&codebook), policy))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MultiChannelDecoder { lanes })
+    }
+
+    /// Decodes a tagged packet, returning the lead index with the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::MalformedPacket`] for an unknown lane and
+    /// propagates decode failures.
+    pub fn decode(
+        &mut self,
+        packet: &ChannelPacket,
+    ) -> Result<(usize, DecodedPacket<T>), PipelineError> {
+        let ch = packet.channel as usize;
+        let lane = self.lanes.get_mut(ch).ok_or_else(|| {
+            PipelineError::MalformedPacket(format!("unknown channel {ch}"))
+        })?;
+        Ok((ch, lane.decode_packet(&packet.packet)?))
+    }
+
+    /// Signals loss on one lead only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel is out of range.
+    pub fn desynchronize_channel(&mut self, channel: usize) {
+        self.lanes[channel].desynchronize();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codebook::uniform_codebook;
+    use cs_metrics::prd;
+
+    fn lead(phase: f64) -> Vec<i16> {
+        (0..512)
+            .map(|i| {
+                let t = i as f64 / 512.0;
+                (600.0 * (-((t - 0.4 + phase) * 25.0).powi(2)).exp()) as i16
+            })
+            .collect()
+    }
+
+    fn setup(channels: usize) -> (MultiChannelEncoder, MultiChannelDecoder<f64>) {
+        let config = SystemConfig::paper_default();
+        let cb = Arc::new(uniform_codebook(512).unwrap());
+        (
+            MultiChannelEncoder::new(&config, Arc::clone(&cb), channels).unwrap(),
+            MultiChannelDecoder::new(&config, cb, SolverPolicy::default(), channels).unwrap(),
+        )
+    }
+
+    #[test]
+    fn two_leads_round_trip_independently() {
+        let (mut enc, mut dec) = setup(2);
+        let l0 = lead(0.0);
+        let l1 = lead(0.1);
+        let packets = enc.encode_frame(&[&l0, &l1]).unwrap();
+        for p in &packets {
+            let (ch, out) = dec.decode(p).unwrap();
+            let truth = if ch == 0 { &l0 } else { &l1 };
+            let x: Vec<f64> = truth.iter().map(|&v| v as f64).collect();
+            assert!(prd(&x, &out.samples) < 25.0, "lead {ch}");
+        }
+    }
+
+    #[test]
+    fn wire_round_trip_with_lane_tag() {
+        let (mut enc, _) = setup(3);
+        let l = lead(0.0);
+        let packets = enc.encode_frame(&[&l, &l, &l]).unwrap();
+        for p in &packets {
+            let parsed = ChannelPacket::from_bytes(&p.to_bytes()).unwrap();
+            assert_eq!(&parsed, p);
+        }
+    }
+
+    #[test]
+    fn per_lead_loss_is_isolated() {
+        let (mut enc, mut dec) = setup(2);
+        let l = lead(0.0);
+        let f1 = enc.encode_frame(&[&l, &l]).unwrap();
+        for p in &f1 {
+            dec.decode(p).unwrap();
+        }
+        dec.desynchronize_channel(0);
+        let f2 = enc.encode_frame(&[&l, &l]).unwrap();
+        assert!(dec.decode(&f2[0]).is_err(), "lead 0 must reject its delta");
+        assert!(dec.decode(&f2[1]).is_ok(), "lead 1 unaffected");
+    }
+
+    #[test]
+    fn frame_shape_validated() {
+        let (mut enc, mut dec) = setup(2);
+        let l = lead(0.0);
+        assert!(enc.encode_frame(&[&l]).is_err());
+        let packets = enc.encode_frame(&[&l, &l]).unwrap();
+        let mut rogue = packets[0].clone();
+        rogue.channel = 9;
+        assert!(dec.decode(&rogue).is_err());
+    }
+
+    #[test]
+    fn zero_channels_rejected() {
+        let config = SystemConfig::paper_default();
+        let cb = Arc::new(uniform_codebook(512).unwrap());
+        assert!(MultiChannelEncoder::new(&config, Arc::clone(&cb), 0).is_err());
+        assert!(
+            MultiChannelDecoder::<f64>::new(&config, cb, SolverPolicy::default(), 0).is_err()
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Wire-format packets.
+//!
+//! The mote transmits one [`EncodedPacket`] per 2-second window over the
+//! Bluetooth link. Framing is deliberately minimal — a kind byte, a 32-bit
+//! sequence index and a 24-bit payload bit count — since every header byte
+//! is airtime the energy model charges for.
+
+use crate::error::PipelineError;
+
+/// Whether a packet carries a raw reference vector or Huffman-coded deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// Raw 16-bit measurement vector (resynchronization point).
+    Reference,
+    /// Huffman-coded difference symbols.
+    Delta,
+}
+
+/// One encoded CS-ECG packet as it leaves the mote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedPacket {
+    /// Monotone sequence number assigned by the encoder.
+    pub index: u64,
+    /// Payload interpretation.
+    pub kind: PacketKind,
+    /// Bit-packed payload (padded to a byte boundary).
+    pub payload: Vec<u8>,
+    /// Exact number of meaningful payload bits (excludes padding).
+    pub payload_bits: usize,
+}
+
+/// Framed header size in bytes: kind (1) + index (4) + bit count (3).
+pub const HEADER_BYTES: usize = 8;
+
+impl EncodedPacket {
+    /// Total framed size on the radio, header included.
+    pub fn framed_bytes(&self) -> usize {
+        HEADER_BYTES + self.payload.len()
+    }
+
+    /// Serializes header + payload for the link.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.framed_bytes());
+        out.push(match self.kind {
+            PacketKind::Reference => 0x52, // 'R'
+            PacketKind::Delta => 0x44,     // 'D'
+        });
+        out.extend_from_slice(&(self.index as u32).to_le_bytes());
+        let bits = self.payload_bits as u32;
+        out.extend_from_slice(&bits.to_le_bytes()[..3]);
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses a framed packet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::MalformedPacket`] on truncation, an unknown
+    /// kind byte, or an inconsistent bit count.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PipelineError> {
+        if bytes.len() < HEADER_BYTES {
+            return Err(PipelineError::MalformedPacket(format!(
+                "{} bytes is shorter than the {HEADER_BYTES}-byte header",
+                bytes.len()
+            )));
+        }
+        let kind = match bytes[0] {
+            0x52 => PacketKind::Reference,
+            0x44 => PacketKind::Delta,
+            k => {
+                return Err(PipelineError::MalformedPacket(format!(
+                    "unknown kind byte 0x{k:02X}"
+                )))
+            }
+        };
+        let index = u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]) as u64;
+        let payload_bits =
+            u32::from_le_bytes([bytes[5], bytes[6], bytes[7], 0]) as usize;
+        let payload = bytes[HEADER_BYTES..].to_vec();
+        if payload_bits > payload.len() * 8 {
+            return Err(PipelineError::MalformedPacket(format!(
+                "bit count {payload_bits} exceeds payload of {} bytes",
+                payload.len()
+            )));
+        }
+        Ok(EncodedPacket {
+            index,
+            kind,
+            payload,
+            payload_bits,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EncodedPacket {
+        EncodedPacket {
+            index: 7,
+            kind: PacketKind::Delta,
+            payload: vec![0xDE, 0xAD, 0xBE],
+            payload_bits: 21,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let p = sample();
+        let bytes = p.to_bytes();
+        assert_eq!(bytes.len(), p.framed_bytes());
+        let q = EncodedPacket::from_bytes(&bytes).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn reference_kind_round_trips() {
+        let p = EncodedPacket {
+            kind: PacketKind::Reference,
+            ..sample()
+        };
+        assert_eq!(EncodedPacket::from_bytes(&p.to_bytes()).unwrap().kind, PacketKind::Reference);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(EncodedPacket::from_bytes(&[0x52, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let mut b = sample().to_bytes();
+        b[0] = 0xFF;
+        assert!(EncodedPacket::from_bytes(&b).is_err());
+    }
+
+    #[test]
+    fn inconsistent_bit_count_rejected() {
+        let mut p = sample();
+        p.payload_bits = 999;
+        let b = p.to_bytes();
+        assert!(EncodedPacket::from_bytes(&b).is_err());
+    }
+}

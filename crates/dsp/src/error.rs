@@ -1,0 +1,80 @@
+//! Error types for the DSP substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the DSP substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DspError {
+    /// A signal length did not satisfy a structural requirement (e.g. not
+    /// divisible by `2^levels` for a periodized DWT).
+    InvalidLength {
+        /// The offending length.
+        len: usize,
+        /// Human-readable statement of the requirement that failed.
+        requirement: String,
+    },
+    /// A wavelet decomposition depth was zero or exceeded the maximum depth
+    /// supported for the signal length and filter.
+    InvalidLevel {
+        /// The requested depth.
+        requested: usize,
+        /// The maximum valid depth for this signal/wavelet combination.
+        max: usize,
+    },
+    /// The requested wavelet family/order is not implemented.
+    UnsupportedWavelet(String),
+    /// A filter specification was structurally invalid (e.g. empty taps).
+    InvalidFilter(String),
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::InvalidLength { len, requirement } => {
+                write!(f, "invalid signal length {len}: must be {requirement}")
+            }
+            DspError::InvalidLevel { requested, max } => {
+                write!(
+                    f,
+                    "invalid decomposition depth {requested}: valid range is 1..={max}"
+                )
+            }
+            DspError::UnsupportedWavelet(name) => {
+                write!(f, "unsupported wavelet `{name}`")
+            }
+            DspError::InvalidFilter(msg) => write!(f, "invalid filter: {msg}"),
+        }
+    }
+}
+
+impl Error for DspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DspError::InvalidLength {
+            len: 7,
+            requirement: "even".into(),
+        };
+        assert_eq!(e.to_string(), "invalid signal length 7: must be even");
+        let e = DspError::InvalidLevel {
+            requested: 9,
+            max: 5,
+        };
+        assert!(e.to_string().contains("1..=5"));
+        assert!(DspError::UnsupportedWavelet("db42".into())
+            .to_string()
+            .contains("db42"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<DspError>();
+    }
+}

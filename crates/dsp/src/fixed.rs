@@ -1,0 +1,200 @@
+//! Q15 fixed-point arithmetic for the mote-side encoder model.
+//!
+//! The ShimmerTM mote's MSP430F1611 has a 16-bit ALU, a hardware multiplier
+//! and **no FPU** (paper §IV-A1), so everything the encoder computes must be
+//! integer or fixed-point. [`Q15`] models the signed 1.15 format the
+//! MSP430's hardware multiplier natively supports, with saturating
+//! arithmetic — the behaviour embedded DSP code relies on to avoid wraparound
+//! glitches in the ECG stream.
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A signed fixed-point number in Q1.15 format (range `[−1, 1 − 2⁻¹⁵]`).
+///
+/// All arithmetic saturates instead of wrapping.
+///
+/// # Examples
+///
+/// ```
+/// use cs_dsp::fixed::Q15;
+///
+/// let a = Q15::from_f64(0.5);
+/// let b = Q15::from_f64(0.25);
+/// assert!((Q15::to_f64(a * b) - 0.125).abs() < 1e-4);
+/// assert_eq!(Q15::MAX + Q15::MAX, Q15::MAX); // saturation
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Q15(i16);
+
+impl Q15 {
+    /// The most positive representable value, `1 − 2⁻¹⁵`.
+    pub const MAX: Q15 = Q15(i16::MAX);
+    /// The most negative representable value, `−1`.
+    pub const MIN: Q15 = Q15(i16::MIN);
+    /// Zero.
+    pub const ZERO: Q15 = Q15(0);
+    /// The scaling factor `2¹⁵`.
+    pub const SCALE: f64 = 32768.0;
+
+    /// Creates a value from its raw two's-complement bits.
+    pub const fn from_bits(bits: i16) -> Self {
+        Q15(bits)
+    }
+
+    /// The raw two's-complement bits.
+    pub const fn to_bits(self) -> i16 {
+        self.0
+    }
+
+    /// Converts from `f64`, saturating to the representable range and
+    /// rounding to nearest.
+    pub fn from_f64(v: f64) -> Self {
+        let scaled = (v * Self::SCALE).round();
+        if scaled >= i16::MAX as f64 {
+            Q15::MAX
+        } else if scaled <= i16::MIN as f64 {
+            Q15::MIN
+        } else {
+            Q15(scaled as i16)
+        }
+    }
+
+    /// Converts to `f64` exactly.
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / Self::SCALE
+    }
+
+    /// Saturating fixed-point multiply-accumulate `self + a·b`, the MSP430
+    /// hardware-multiplier primitive the sparse-sensing inner loop uses.
+    pub fn mac(self, a: Q15, b: Q15) -> Q15 {
+        let prod = ((a.0 as i32 * b.0 as i32) >> 15) as i32;
+        saturate(self.0 as i32 + prod)
+    }
+
+    /// Absolute value, saturating (`|MIN|` clamps to `MAX`).
+    pub fn abs(self) -> Q15 {
+        if self.0 == i16::MIN {
+            Q15::MAX
+        } else {
+            Q15(self.0.abs())
+        }
+    }
+}
+
+fn saturate(v: i32) -> Q15 {
+    if v > i16::MAX as i32 {
+        Q15::MAX
+    } else if v < i16::MIN as i32 {
+        Q15::MIN
+    } else {
+        Q15(v as i16)
+    }
+}
+
+impl Add for Q15 {
+    type Output = Q15;
+    fn add(self, o: Q15) -> Q15 {
+        saturate(self.0 as i32 + o.0 as i32)
+    }
+}
+
+impl Sub for Q15 {
+    type Output = Q15;
+    fn sub(self, o: Q15) -> Q15 {
+        saturate(self.0 as i32 - o.0 as i32)
+    }
+}
+
+impl Mul for Q15 {
+    type Output = Q15;
+    fn mul(self, o: Q15) -> Q15 {
+        saturate(((self.0 as i32 * o.0 as i32) >> 15) as i32)
+    }
+}
+
+impl Neg for Q15 {
+    type Output = Q15;
+    fn neg(self) -> Q15 {
+        saturate(-(self.0 as i32))
+    }
+}
+
+impl fmt::Display for Q15 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.5}", self.to_f64())
+    }
+}
+
+impl From<Q15> for f64 {
+    fn from(v: Q15) -> f64 {
+        v.to_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_representable_values() {
+        for bits in [-32768_i16, -1, 0, 1, 12345, 32767] {
+            let q = Q15::from_bits(bits);
+            assert_eq!(Q15::from_f64(q.to_f64()), q);
+        }
+    }
+
+    #[test]
+    fn saturating_add_sub() {
+        assert_eq!(Q15::MAX + Q15::from_f64(0.5), Q15::MAX);
+        assert_eq!(Q15::MIN - Q15::from_f64(0.5), Q15::MIN);
+        assert_eq!(-Q15::MIN, Q15::MAX); // |−1| saturates to 1−2⁻¹⁵
+    }
+
+    #[test]
+    fn multiply_shrinks_magnitude() {
+        let half = Q15::from_f64(0.5);
+        let q = half * half;
+        assert!((q.to_f64() - 0.25).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mac_matches_mul_then_add() {
+        let acc = Q15::from_f64(0.1);
+        let a = Q15::from_f64(0.3);
+        let b = Q15::from_f64(-0.7);
+        let via_mac = acc.mac(a, b);
+        let via_ops = acc + a * b;
+        assert!((via_mac.to_f64() - via_ops.to_f64()).abs() < 2.0 / Q15::SCALE);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Q15::from_f64(0.5).to_string(), "0.50000");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_from_f64_saturates(v in -4.0_f64..4.0) {
+            let q = Q15::from_f64(v).to_f64();
+            prop_assert!(q >= -1.0 && q <= 1.0);
+            if (-0.999..0.999).contains(&v) {
+                prop_assert!((q - v).abs() <= 0.5 / Q15::SCALE + 1e-12);
+            }
+        }
+
+        #[test]
+        fn prop_add_close_to_real_add(a in -0.4_f64..0.4, b in -0.4_f64..0.4) {
+            let q = Q15::from_f64(a) + Q15::from_f64(b);
+            prop_assert!((q.to_f64() - (a + b)).abs() < 2.0 / Q15::SCALE);
+        }
+
+        #[test]
+        fn prop_mul_close_to_real_mul(a in -1.0_f64..1.0, b in -1.0_f64..1.0) {
+            let q = Q15::from_f64(a) * Q15::from_f64(b);
+            // Truncating multiply: error bounded by ~2 ULP.
+            prop_assert!((q.to_f64() - a * b).abs() < 3.0 / Q15::SCALE);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Spectral estimation utilities.
+//!
+//! Small, allocation-light tools used across the workspace: the Goertzel
+//! single-bin DFT (checking mains contamination, resampler stop-bands)
+//! and a direct-form power spectrum for test assertions and examples.
+//! These favor clarity over asymptotics — the workspace's signals are a
+//! few hundred samples, where direct evaluation is plenty fast and
+//! avoids an FFT dependency.
+
+use crate::real::Real;
+
+/// Power of a single frequency bin via the Goertzel algorithm.
+///
+/// `frequency_hz` is evaluated against `sample_rate_hz`; the result is the
+/// squared magnitude of the DFT at that (possibly non-integer) bin,
+/// normalized by the signal length.
+///
+/// # Panics
+///
+/// Panics if the signal is empty or the sample rate is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use cs_dsp::spectrum::goertzel_power;
+///
+/// let fs = 360.0;
+/// let x: Vec<f64> = (0..720)
+///     .map(|i| (2.0 * std::f64::consts::PI * 60.0 * i as f64 / fs).sin())
+///     .collect();
+/// let at_60 = goertzel_power(&x, 60.0, fs);
+/// let at_30 = goertzel_power(&x, 30.0, fs);
+/// assert!(at_60 > 1000.0 * at_30);
+/// ```
+pub fn goertzel_power<T: Real>(signal: &[T], frequency_hz: f64, sample_rate_hz: f64) -> f64 {
+    assert!(!signal.is_empty(), "goertzel_power: empty signal");
+    assert!(sample_rate_hz > 0.0, "goertzel_power: bad sample rate");
+    let omega = 2.0 * std::f64::consts::PI * frequency_hz / sample_rate_hz;
+    let coeff = 2.0 * omega.cos();
+    let mut s_prev = 0.0_f64;
+    let mut s_prev2 = 0.0_f64;
+    for &x in signal {
+        let s = x.to_f64() + coeff * s_prev - s_prev2;
+        s_prev2 = s_prev;
+        s_prev = s;
+    }
+    let power = s_prev * s_prev + s_prev2 * s_prev2 - coeff * s_prev * s_prev2;
+    power / signal.len() as f64
+}
+
+/// Direct-form one-sided power spectrum: `bins` equally spaced bins over
+/// `(0, sample_rate/2)`, each the Goertzel power at that frequency.
+///
+/// The signal is Hann-windowed internally — without a window, tones that
+/// fall between bin centers leak sinc² tails across the whole spectrum
+/// and band-energy comparisons become meaningless.
+///
+/// # Panics
+///
+/// Panics if the signal is empty, the sample rate is not positive, or
+/// `bins` is zero.
+pub fn power_spectrum<T: Real>(signal: &[T], sample_rate_hz: f64, bins: usize) -> Vec<(f64, f64)> {
+    assert!(bins > 0, "power_spectrum: zero bins");
+    assert!(!signal.is_empty(), "power_spectrum: empty signal");
+    let window = crate::window::hann(signal.len());
+    let tapered: Vec<f64> = signal
+        .iter()
+        .zip(&window)
+        .map(|(&x, &w)| x.to_f64() * w)
+        .collect();
+    (0..bins)
+        .map(|k| {
+            let f = sample_rate_hz / 2.0 * (k as f64 + 0.5) / bins as f64;
+            (f, goertzel_power(&tapered, f, sample_rate_hz))
+        })
+        .collect()
+}
+
+/// The frequency (Hz) of the strongest bin of [`power_spectrum`].
+///
+/// # Panics
+///
+/// Same conditions as [`power_spectrum`].
+pub fn dominant_frequency<T: Real>(signal: &[T], sample_rate_hz: f64, bins: usize) -> f64 {
+    power_spectrum(signal, sample_rate_hz, bins)
+        .into_iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite powers"))
+        .map(|(f, _)| f)
+        .expect("bins > 0")
+}
+
+/// In-band vs out-of-band energy ratio in dB: energy inside
+/// `[band_lo, band_hi]` Hz against everything else, estimated over `bins`
+/// spectrum bins. Useful for asserting filter/resampler behaviour.
+///
+/// # Panics
+///
+/// Panics if the band is empty or outside `(0, fs/2)`.
+pub fn band_selectivity_db<T: Real>(
+    signal: &[T],
+    sample_rate_hz: f64,
+    band_lo: f64,
+    band_hi: f64,
+    bins: usize,
+) -> f64 {
+    assert!(
+        band_lo < band_hi && band_lo >= 0.0 && band_hi <= sample_rate_hz / 2.0,
+        "band_selectivity_db: invalid band"
+    );
+    let spec = power_spectrum(signal, sample_rate_hz, bins);
+    let mut inside = 0.0;
+    let mut outside = 0.0;
+    for (f, p) in spec {
+        if f >= band_lo && f <= band_hi {
+            inside += p;
+        } else {
+            outside += p;
+        }
+    }
+    10.0 * (inside / outside.max(1e-300)).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(f: f64, fs: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / fs).sin())
+            .collect()
+    }
+
+    #[test]
+    fn goertzel_matches_analytic_tone_power() {
+        // A unit sine has power 1/2, i.e. |DFT|²/N ≈ N/4 at the bin.
+        let n = 3600;
+        let x = tone(50.0, 360.0, n);
+        let p = goertzel_power(&x, 50.0, 360.0);
+        assert!((p / (n as f64 / 4.0) - 1.0).abs() < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn dominant_frequency_found() {
+        let x = tone(17.0, 256.0, 2048);
+        let f = dominant_frequency(&x, 256.0, 256);
+        assert!((f - 17.0).abs() < 1.0, "found {f}");
+    }
+
+    #[test]
+    fn mixed_tones_rank_correctly() {
+        let fs = 256.0;
+        let a = tone(10.0, fs, 1024);
+        let b = tone(40.0, fs, 1024);
+        let mixed: Vec<f64> = a.iter().zip(&b).map(|(x, y)| 3.0 * x + y).collect();
+        let p10 = goertzel_power(&mixed, 10.0, fs);
+        let p40 = goertzel_power(&mixed, 40.0, fs);
+        assert!((p10 / p40 - 9.0).abs() < 0.5, "ratio {}", p10 / p40);
+    }
+
+    #[test]
+    fn band_selectivity_of_a_tone() {
+        let x = tone(20.0, 256.0, 2048);
+        let db = band_selectivity_db(&x, 256.0, 15.0, 25.0, 128);
+        assert!(db > 10.0, "selectivity {db} dB");
+        let db_wrong = band_selectivity_db(&x, 256.0, 50.0, 60.0, 128);
+        assert!(db_wrong < -10.0);
+    }
+
+    #[test]
+    fn works_for_f32() {
+        let x: Vec<f32> = tone(30.0, 256.0, 512).iter().map(|&v| v as f32).collect();
+        assert!(goertzel_power(&x, 30.0, 256.0) > 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty signal")]
+    fn empty_signal_panics() {
+        let _ = goertzel_power::<f64>(&[], 10.0, 100.0);
+    }
+}

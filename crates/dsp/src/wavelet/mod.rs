@@ -1,0 +1,18 @@
+//! Orthonormal wavelet bases and the periodized discrete wavelet transform.
+//!
+//! This module supplies the sparsifying dictionary Ψ of the CS-ECG system:
+//!
+//! * [`Wavelet`] / [`WaveletFamily`] — filter banks (Haar, Daubechies,
+//!   Symlet) constructed by spectral factorization rather than coefficient
+//!   tables, and
+//! * [`Dwt`] — a planned, matrix-free, exactly-orthonormal multi-level
+//!   transform with both analysis (`Ψᴴx`) and synthesis (`Ψα`) directions.
+
+mod family;
+mod fixed_point;
+mod poly;
+mod transform;
+
+pub use family::{Wavelet, WaveletFamily};
+pub use fixed_point::FixedDwt;
+pub use transform::{dwt_single, idwt_single, Dwt};

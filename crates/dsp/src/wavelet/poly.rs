@@ -1,0 +1,228 @@
+//! Minimal complex arithmetic and polynomial root finding.
+//!
+//! The Daubechies/Symlet filter construction in [`super::family`] needs the
+//! roots of a small real polynomial (degree ≤ 9) and products of complex
+//! monomials. Rather than pull in a numerics dependency we implement a tiny
+//! complex type and the Durand–Kerner (Weierstrass) simultaneous-iteration
+//! root finder, which is robust for the low-degree, well-conditioned
+//! polynomials that arise here.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub(crate) struct Complex {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex {
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    pub fn from_re(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        let r = self.abs();
+        if r == 0.0 {
+            return Complex::ZERO;
+        }
+        let re = ((r + self.re) / 2.0).sqrt();
+        let im = ((r - self.re) / 2.0).sqrt().copysign(self.im);
+        Complex::new(re, im)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, o: Complex) -> Complex {
+        let d = o.re * o.re + o.im * o.im;
+        Complex::new(
+            (self.re * o.re + self.im * o.im) / d,
+            (self.im * o.re - self.re * o.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+/// Evaluates a polynomial with real coefficients (ascending powers) at a
+/// complex point using Horner's rule.
+pub(crate) fn horner(coeffs: &[f64], z: Complex) -> Complex {
+    let mut acc = Complex::ZERO;
+    for &c in coeffs.iter().rev() {
+        acc = acc * z + Complex::from_re(c);
+    }
+    acc
+}
+
+/// Finds all roots of a real polynomial (coefficients in ascending powers,
+/// leading coefficient nonzero) with the Durand–Kerner iteration.
+///
+/// Returns `degree` complex roots. Intended for the small (degree ≤ ~16)
+/// polynomials in the wavelet construction; convergence to ~1e-13 residual
+/// is verified by the caller's orthonormality tests.
+pub(crate) fn roots(coeffs: &[f64]) -> Vec<Complex> {
+    let n = coeffs.len() - 1;
+    assert!(n >= 1, "roots: polynomial must have degree >= 1");
+    let lead = coeffs[n];
+    assert!(lead != 0.0, "roots: leading coefficient must be nonzero");
+    // Monic normalization improves the iteration's conditioning.
+    let monic: Vec<f64> = coeffs.iter().map(|&c| c / lead).collect();
+
+    // Initial guesses on a circle of radius related to the coefficient
+    // magnitudes (Cauchy bound), with an irrational angle offset so no guess
+    // starts on a symmetry axis.
+    let bound = 1.0
+        + monic[..n]
+            .iter()
+            .fold(0.0_f64, |m, &c| m.max(c.abs()));
+    let mut z: Vec<Complex> = (0..n)
+        .map(|k| {
+            let theta = 2.0 * std::f64::consts::PI * (k as f64) / (n as f64) + 0.35;
+            Complex::new(
+                0.7 * bound * theta.cos(),
+                0.7 * bound * theta.sin(),
+            )
+        })
+        .collect();
+
+    for _ in 0..500 {
+        let mut max_step = 0.0_f64;
+        for i in 0..n {
+            let p = horner(&monic, z[i]);
+            let mut denom = Complex::ONE;
+            for j in 0..n {
+                if i != j {
+                    denom = denom * (z[i] - z[j]);
+                }
+            }
+            let step = p / denom;
+            z[i] = z[i] - step;
+            max_step = max_step.max(step.abs());
+        }
+        if max_step < 1e-15 {
+            break;
+        }
+    }
+    z
+}
+
+/// Multiplies a complex polynomial (ascending powers) by the monomial
+/// `(x - r)`, in place semantics via a returned vector.
+pub(crate) fn mul_monomial(poly: &[Complex], r: Complex) -> Vec<Complex> {
+    let mut out = vec![Complex::ZERO; poly.len() + 1];
+    for (i, &c) in poly.iter().enumerate() {
+        out[i + 1] = out[i + 1] + c;
+        out[i] = out[i] - c * r;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sort_by_re(mut v: Vec<Complex>) -> Vec<Complex> {
+        v.sort_by(|a, b| a.re.partial_cmp(&b.re).unwrap());
+        v
+    }
+
+    #[test]
+    fn complex_field_ops() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        let prod = a * b;
+        assert!((prod.re - 5.0).abs() < 1e-15 && (prod.im - 5.0).abs() < 1e-15);
+        let q = prod / b;
+        assert!((q.re - a.re).abs() < 1e-14 && (q.im - a.im).abs() < 1e-14);
+        let s = Complex::new(-4.0, 0.0).sqrt();
+        assert!(s.re.abs() < 1e-15 && (s.im.abs() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quadratic_roots() {
+        // x^2 - 3x + 2 = (x-1)(x-2)
+        let r = sort_by_re(roots(&[2.0, -3.0, 1.0]));
+        assert!((r[0].re - 1.0).abs() < 1e-10 && r[0].im.abs() < 1e-10);
+        assert!((r[1].re - 2.0).abs() < 1e-10 && r[1].im.abs() < 1e-10);
+    }
+
+    #[test]
+    fn complex_conjugate_roots() {
+        // x^2 + 1 = (x-i)(x+i)
+        let r = roots(&[1.0, 0.0, 1.0]);
+        for z in &r {
+            assert!(z.re.abs() < 1e-10);
+            assert!((z.im.abs() - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn degree_nine_residuals_small() {
+        // (x-1)(x-2)...(x-9) expanded via repeated monomial multiplication.
+        let mut p = vec![Complex::ONE];
+        for k in 1..=9 {
+            p = mul_monomial(&p, Complex::from_re(k as f64));
+        }
+        let coeffs: Vec<f64> = p.iter().map(|c| c.re).collect();
+        let r = roots(&coeffs);
+        for z in r {
+            assert!(horner(&coeffs, z).abs() < 1e-5, "residual too large at {z:?}");
+        }
+    }
+
+    #[test]
+    fn mul_monomial_expands() {
+        // (x - 2)(x - 3) = x^2 - 5x + 6
+        let p = mul_monomial(&[Complex::ONE], Complex::from_re(2.0));
+        let p = mul_monomial(&p, Complex::from_re(3.0));
+        assert!((p[0].re - 6.0).abs() < 1e-15);
+        assert!((p[1].re + 5.0).abs() < 1e-15);
+        assert!((p[2].re - 1.0).abs() < 1e-15);
+    }
+}

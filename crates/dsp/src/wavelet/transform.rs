@@ -1,0 +1,465 @@
+//! Periodized multi-level orthonormal discrete wavelet transform.
+//!
+//! The transform here is the sparsifying basis Ψ of the CS-ECG system: the
+//! analysis direction maps a 2-second ECG packet `x ∈ ℝᴺ` to its wavelet
+//! coefficient vector `α = Ψᴴx`, and the synthesis direction is the exact
+//! inverse (and, because the basis is orthonormal, also the adjoint). Both
+//! are computed matrix-free in `O(N·L)` per level — never as a dense `N×N`
+//! product — which is what makes the paper's matrix-free FISTA operator
+//! practical (contribution 1 of the paper).
+//!
+//! Periodization (circular convolution) keeps the transform square and
+//! exactly orthonormal for any signal length divisible by `2^levels` whose
+//! per-level input stays at least one filter length long.
+
+use super::family::Wavelet;
+use crate::error::DspError;
+use crate::real::Real;
+use std::ops::Range;
+
+/// A planned periodized DWT for a fixed signal length, wavelet and depth.
+///
+/// The plan pre-converts the filter bank to the target precision `T` so the
+/// hot loops contain no `f64 → f32` conversions (mirroring the paper's
+/// all-`float` iPhone decoder).
+///
+/// Coefficient layout produced by [`Dwt::analyze`] (standard pyramid order):
+/// `[ a_J | d_J | d_{J-1} | … | d_1 ]` where `a_J` has `n / 2^J` entries and
+/// `d_ℓ` has `n / 2^ℓ` entries.
+///
+/// # Examples
+///
+/// ```
+/// use cs_dsp::wavelet::{Dwt, Wavelet};
+///
+/// let wavelet = Wavelet::daubechies(4)?;
+/// let dwt: Dwt<f64> = Dwt::new(&wavelet, 512, 5)?;
+/// let x: Vec<f64> = (0..512).map(|i| (i as f64 * 0.1).sin()).collect();
+/// let coeffs = dwt.analyze(&x);
+/// let back = dwt.synthesize(&coeffs);
+/// let err: f64 = x.iter().zip(&back).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+/// assert!(err < 1e-10);
+/// # Ok::<(), cs_dsp::DspError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dwt<T: Real> {
+    dec_lo: Vec<T>,
+    dec_hi: Vec<T>,
+    n: usize,
+    levels: usize,
+}
+
+impl<T: Real> Dwt<T> {
+    /// Plans a transform of depth `levels` for signals of length `n`.
+    ///
+    /// # Errors
+    ///
+    /// * [`DspError::InvalidLength`] if `n` is zero or not divisible by
+    ///   `2^levels`.
+    /// * [`DspError::InvalidLevel`] if `levels` is zero or any level's input
+    ///   would be shorter than the wavelet filter (which would break exact
+    ///   orthonormality of the periodized transform).
+    pub fn new(wavelet: &Wavelet, n: usize, levels: usize) -> Result<Self, DspError> {
+        if levels == 0 {
+            return Err(DspError::InvalidLevel {
+                requested: levels,
+                max: wavelet.max_level(n),
+            });
+        }
+        if n == 0 || n % (1 << levels) != 0 {
+            return Err(DspError::InvalidLength {
+                len: n,
+                requirement: format!("divisible by 2^{levels}"),
+            });
+        }
+        if levels > wavelet.max_level(n) {
+            return Err(DspError::InvalidLevel {
+                requested: levels,
+                max: wavelet.max_level(n),
+            });
+        }
+        let conv = |f: &[f64]| f.iter().map(|&v| T::from_f64(v)).collect();
+        Ok(Dwt {
+            dec_lo: conv(wavelet.dec_lo()),
+            dec_hi: conv(wavelet.dec_hi()),
+            n,
+            levels,
+        })
+    }
+
+    /// Signal length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always `false`; a plan has positive length by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Decomposition depth.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The index ranges of each subband in the coefficient vector, coarsest
+    /// first: `[a_J, d_J, d_{J-1}, …, d_1]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cs_dsp::wavelet::{Dwt, Wavelet};
+    /// let dwt: Dwt<f64> = Dwt::new(&Wavelet::haar(), 16, 2)?;
+    /// let bands = dwt.subband_ranges();
+    /// assert_eq!(bands, vec![0..4, 4..8, 8..16]);
+    /// # Ok::<(), cs_dsp::DspError>(())
+    /// ```
+    pub fn subband_ranges(&self) -> Vec<Range<usize>> {
+        let mut out = Vec::with_capacity(self.levels + 1);
+        let coarsest = self.n >> self.levels;
+        out.push(0..coarsest);
+        let mut lo = coarsest;
+        for level in (1..=self.levels).rev() {
+            let width = self.n >> level;
+            out.push(lo..lo + width);
+            lo += width;
+        }
+        out
+    }
+
+    /// Analysis transform `α = Ψᴴ x` into a caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `coeffs` is not exactly `self.len()` long.
+    pub fn analyze_into(&self, x: &[T], coeffs: &mut [T]) {
+        assert_eq!(x.len(), self.n, "analyze_into: input length mismatch");
+        assert_eq!(coeffs.len(), self.n, "analyze_into: output length mismatch");
+        let mut buf = x.to_vec();
+        let mut scratch = vec![T::ZERO; self.n];
+        let mut m = self.n;
+        for _ in 0..self.levels {
+            forward_level(&buf[..m], &mut scratch[..m], &self.dec_lo, &self.dec_hi);
+            // Detail lands at its final position; approx continues cascading.
+            coeffs[m / 2..m].copy_from_slice(&scratch[m / 2..m]);
+            buf[..m / 2].copy_from_slice(&scratch[..m / 2]);
+            m /= 2;
+        }
+        coeffs[..m].copy_from_slice(&buf[..m]);
+    }
+
+    /// Analysis transform `α = Ψᴴ x`, allocating the output.
+    pub fn analyze(&self, x: &[T]) -> Vec<T> {
+        let mut out = vec![T::ZERO; self.n];
+        self.analyze_into(x, &mut out);
+        out
+    }
+
+    /// Synthesis transform `x = Ψ α` into a caller-provided buffer. Because
+    /// Ψ is orthonormal this is simultaneously the inverse and the adjoint
+    /// of [`Dwt::analyze_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` or `x` is not exactly `self.len()` long.
+    pub fn synthesize_into(&self, coeffs: &[T], x: &mut [T]) {
+        assert_eq!(coeffs.len(), self.n, "synthesize_into: input length mismatch");
+        assert_eq!(x.len(), self.n, "synthesize_into: output length mismatch");
+        let coarsest = self.n >> self.levels;
+        let mut buf = vec![T::ZERO; self.n];
+        buf[..coarsest].copy_from_slice(&coeffs[..coarsest]);
+        let mut scratch = vec![T::ZERO; self.n];
+        let mut m = coarsest * 2;
+        while m <= self.n {
+            // The inverse of an orthonormal analysis step is its transpose,
+            // which scatters with the same (decomposition) filters.
+            inverse_level(
+                &buf[..m / 2],
+                &coeffs[m / 2..m],
+                &mut scratch[..m],
+                &self.dec_lo,
+                &self.dec_hi,
+            );
+            buf[..m].copy_from_slice(&scratch[..m]);
+            m *= 2;
+        }
+        x.copy_from_slice(&buf);
+    }
+
+    /// Synthesis transform `x = Ψ α`, allocating the output.
+    pub fn synthesize(&self, coeffs: &[T]) -> Vec<T> {
+        let mut out = vec![T::ZERO; self.n];
+        self.synthesize_into(coeffs, &mut out);
+        out
+    }
+}
+
+/// One analysis level: `out[..m/2] = approx`, `out[m/2..] = detail`.
+///
+/// `a[k] = Σ_j lo[j] · x[(2k + j) mod m]`, and likewise with `hi` for the
+/// detail channel. The circular index keeps the transform square.
+fn forward_level<T: Real>(x: &[T], out: &mut [T], lo: &[T], hi: &[T]) {
+    let m = x.len();
+    debug_assert!(m % 2 == 0);
+    let half = m / 2;
+    let l = lo.len();
+    for k in 0..half {
+        let mut a = T::ZERO;
+        let mut d = T::ZERO;
+        let base = 2 * k;
+        if base + l <= m {
+            // Fast path: no wraparound.
+            for j in 0..l {
+                let xv = x[base + j];
+                a += lo[j] * xv;
+                d += hi[j] * xv;
+            }
+        } else {
+            for j in 0..l {
+                let idx = (base + j) % m;
+                let xv = x[idx];
+                a += lo[j] * xv;
+                d += hi[j] * xv;
+            }
+        }
+        out[k] = a;
+        out[half + k] = d;
+    }
+}
+
+/// One synthesis level — the exact transpose of [`forward_level`]:
+/// `x[(2k + j) mod m] += a[k]·lo[j] + d[k]·hi[j]`.
+fn inverse_level<T: Real>(approx: &[T], detail: &[T], out: &mut [T], lo: &[T], hi: &[T]) {
+    let half = approx.len();
+    let m = half * 2;
+    debug_assert_eq!(detail.len(), half);
+    debug_assert_eq!(out.len(), m);
+    let l = lo.len();
+    for v in out.iter_mut() {
+        *v = T::ZERO;
+    }
+    for k in 0..half {
+        let a = approx[k];
+        let d = detail[k];
+        let base = 2 * k;
+        if base + l <= m {
+            for j in 0..l {
+                out[base + j] += a * lo[j] + d * hi[j];
+            }
+        } else {
+            for j in 0..l {
+                let idx = (base + j) % m;
+                out[idx] += a * lo[j] + d * hi[j];
+            }
+        }
+    }
+}
+
+/// Single-level periodized DWT of `x`, returning `(approx, detail)`.
+///
+/// This is the building block [`Dwt`] cascades; it is exposed for tests and
+/// for callers that want manual control of the decomposition.
+///
+/// # Panics
+///
+/// Panics if `x.len()` is odd or zero.
+///
+/// # Examples
+///
+/// ```
+/// use cs_dsp::wavelet::{dwt_single, Wavelet};
+/// let (a, d) = dwt_single(&[1.0_f64, 1.0, 1.0, 1.0], &Wavelet::haar());
+/// assert!(d.iter().all(|&v: &f64| v.abs() < 1e-12)); // constant ⇒ no detail
+/// assert!(a.iter().all(|&v| (v - std::f64::consts::SQRT_2).abs() < 1e-12));
+/// ```
+pub fn dwt_single<T: Real>(x: &[T], wavelet: &Wavelet) -> (Vec<T>, Vec<T>) {
+    assert!(!x.is_empty() && x.len() % 2 == 0, "dwt_single: length must be even and nonzero");
+    let m = x.len();
+    let lo: Vec<T> = wavelet.dec_lo().iter().map(|&v| T::from_f64(v)).collect();
+    let hi: Vec<T> = wavelet.dec_hi().iter().map(|&v| T::from_f64(v)).collect();
+    let mut out = vec![T::ZERO; m];
+    forward_level(x, &mut out, &lo, &hi);
+    let detail = out.split_off(m / 2);
+    (out, detail)
+}
+
+/// Single-level inverse of [`dwt_single`].
+///
+/// # Panics
+///
+/// Panics if `approx` and `detail` differ in length or are empty.
+pub fn idwt_single<T: Real>(approx: &[T], detail: &[T], wavelet: &Wavelet) -> Vec<T> {
+    assert_eq!(approx.len(), detail.len(), "idwt_single: channel length mismatch");
+    assert!(!approx.is_empty(), "idwt_single: empty input");
+    let lo: Vec<T> = wavelet.dec_lo().iter().map(|&v| T::from_f64(v)).collect();
+    let hi: Vec<T> = wavelet.dec_hi().iter().map(|&v| T::from_f64(v)).collect();
+    let mut out = vec![T::ZERO; approx.len() * 2];
+    inverse_level(approx, detail, &mut out, &lo, &hi);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::real::l2_norm;
+    use proptest::prelude::*;
+
+    fn plan(n: usize, levels: usize) -> Dwt<f64> {
+        Dwt::new(&Wavelet::daubechies(4).unwrap(), n, levels).unwrap()
+    }
+
+    #[test]
+    fn perfect_reconstruction_db4() {
+        let dwt = plan(512, 5);
+        let x: Vec<f64> = (0..512)
+            .map(|i| (i as f64 * 0.05).sin() + 0.3 * (i as f64 * 0.31).cos())
+            .collect();
+        let c = dwt.analyze(&x);
+        let y = dwt.synthesize(&c);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let dwt = plan(256, 4);
+        let x: Vec<f64> = (0..256).map(|i| ((i * i) as f64 * 0.01).sin()).collect();
+        let c = dwt.analyze(&x);
+        assert!((l2_norm(&x) - l2_norm(&c)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjoint_identity_holds() {
+        // ⟨Ψᴴx, z⟩ = ⟨x, Ψz⟩ for arbitrary x, z.
+        let dwt = plan(128, 3);
+        let x: Vec<f64> = (0..128).map(|i| (i as f64).cos()).collect();
+        let z: Vec<f64> = (0..128).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let ax = dwt.analyze(&x);
+        let sz = dwt.synthesize(&z);
+        let lhs: f64 = ax.iter().zip(&z).map(|(a, b)| a * b).sum();
+        let rhs: f64 = x.iter().zip(&sz).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-9, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn polynomial_signals_compress() {
+        // db4 has 4 vanishing moments: cubic signals produce (near-)zero
+        // interior detail coefficients. Periodization introduces boundary
+        // effects, so check that MOST of the finest band is ~0.
+        let dwt = plan(512, 1);
+        let x: Vec<f64> = (0..512)
+            .map(|i| {
+                let t = i as f64 / 512.0;
+                1.0 + 2.0 * t + 3.0 * t * t - t * t * t
+            })
+            .collect();
+        let c = dwt.analyze(&x);
+        let detail = &c[256..];
+        let small = detail.iter().filter(|v| v.abs() < 1e-8).count();
+        assert!(small > 240, "only {small}/256 detail coeffs are ~0");
+    }
+
+    #[test]
+    fn subband_ranges_partition() {
+        let dwt = plan(512, 5);
+        let bands = dwt.subband_ranges();
+        assert_eq!(bands.len(), 6);
+        assert_eq!(bands[0], 0..16);
+        assert_eq!(bands[1], 16..32);
+        assert_eq!(bands.last().unwrap().clone(), 256..512);
+        // Contiguous cover of 0..512.
+        let mut cursor = 0;
+        for b in &bands {
+            assert_eq!(b.start, cursor);
+            cursor = b.end;
+        }
+        assert_eq!(cursor, 512);
+    }
+
+    #[test]
+    fn f32_plan_reconstructs() {
+        let dwt: Dwt<f32> = Dwt::new(&Wavelet::daubechies(4).unwrap(), 512, 5).unwrap();
+        let x: Vec<f32> = (0..512).map(|i| (i as f32 * 0.1).sin()).collect();
+        let y = dwt.synthesize(&dwt.analyze(&x));
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn invalid_plans_rejected() {
+        let w = Wavelet::daubechies(4).unwrap();
+        assert!(matches!(
+            Dwt::<f64>::new(&w, 500, 3),
+            Err(DspError::InvalidLength { .. })
+        ));
+        assert!(matches!(
+            Dwt::<f64>::new(&w, 512, 0),
+            Err(DspError::InvalidLevel { .. })
+        ));
+        assert!(matches!(
+            Dwt::<f64>::new(&w, 512, 8),
+            Err(DspError::InvalidLevel { .. })
+        ));
+    }
+
+    #[test]
+    fn single_level_round_trip() {
+        let w = Wavelet::symlet(4).unwrap();
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2).sin()).collect();
+        let (a, d) = dwt_single(&x, &w);
+        assert_eq!(a.len(), 32);
+        let y = idwt_single(&a, &d, &w);
+        for (u, v) in x.iter().zip(&y) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_perfect_reconstruction(
+            seed in any::<u64>(),
+            levels in 1_usize..6,
+        ) {
+            let n = 256;
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state as f64 / u64::MAX as f64) * 4.0 - 2.0
+            };
+            let x: Vec<f64> = (0..n).map(|_| next()).collect();
+            let dwt = plan(n, levels);
+            let y = dwt.synthesize(&dwt.analyze(&x));
+            for (a, b) in x.iter().zip(&y) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_linearity(scale in -3.0_f64..3.0) {
+            let n = 128;
+            let dwt = plan(n, 3);
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+            let scaled: Vec<f64> = x.iter().map(|v| v * scale).collect();
+            let cx = dwt.analyze(&x);
+            let cs = dwt.analyze(&scaled);
+            for (a, b) in cx.iter().zip(&cs) {
+                prop_assert!((a * scale - b).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_parseval_all_wavelets(order in 1_usize..=10) {
+            let w = Wavelet::daubechies(order).unwrap();
+            let n = 256;
+            let levels = w.max_level(n).min(3);
+            let dwt: Dwt<f64> = Dwt::new(&w, n, levels).unwrap();
+            let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.17).sin()).collect();
+            let c = dwt.analyze(&x);
+            prop_assert!((l2_norm(&x) - l2_norm(&c)).abs() < 1e-8);
+        }
+    }
+}

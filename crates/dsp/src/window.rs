@@ -1,0 +1,153 @@
+//! Window functions for FIR design.
+//!
+//! These feed [`crate::fir::lowpass_sinc`], which in turn builds the
+//! anti-aliasing prototype of the 360 Hz → 256 Hz rational resampler in
+//! `cs-ecg-data`.
+
+/// Symmetric Hann window of length `n`.
+///
+/// # Examples
+///
+/// ```
+/// let w = cs_dsp::window::hann(5);
+/// assert!((w[2] - 1.0).abs() < 1e-12); // peak at the center
+/// assert!(w[0].abs() < 1e-12);
+/// ```
+pub fn hann(n: usize) -> Vec<f64> {
+    cosine_window(n, &[0.5, -0.5])
+}
+
+/// Symmetric Hamming window of length `n`.
+pub fn hamming(n: usize) -> Vec<f64> {
+    cosine_window(n, &[0.54, -0.46])
+}
+
+/// Symmetric Blackman window of length `n`.
+pub fn blackman(n: usize) -> Vec<f64> {
+    cosine_window(n, &[0.42, -0.5, 0.08])
+}
+
+/// Kaiser window of length `n` with shape parameter `beta`.
+///
+/// Larger `beta` trades main-lobe width for side-lobe suppression; `beta ≈ 8.6`
+/// gives ~90 dB stop-band attenuation, ample for 11-bit ECG samples.
+///
+/// # Examples
+///
+/// ```
+/// let w = cs_dsp::window::kaiser(33, 8.6);
+/// assert!((w[16] - 1.0).abs() < 1e-12);
+/// assert!(w[0] < 0.01);
+/// ```
+pub fn kaiser(n: usize, beta: f64) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![1.0];
+    }
+    let denom = bessel_i0(beta);
+    let mid = (n - 1) as f64 / 2.0;
+    (0..n)
+        .map(|i| {
+            let r = (i as f64 - mid) / mid;
+            bessel_i0(beta * (1.0 - r * r).max(0.0).sqrt()) / denom
+        })
+        .collect()
+}
+
+/// Generalized cosine window: `w[i] = Σ_k a_k cos(2πki/(n−1))`.
+fn cosine_window(n: usize, coeffs: &[f64]) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![coeffs.iter().sum()];
+    }
+    (0..n)
+        .map(|i| {
+            let x = 2.0 * std::f64::consts::PI * i as f64 / (n - 1) as f64;
+            coeffs
+                .iter()
+                .enumerate()
+                .map(|(k, &a)| a * (k as f64 * x).cos())
+                .sum()
+        })
+        .collect()
+}
+
+/// Modified Bessel function of the first kind, order zero, by power series.
+///
+/// Converges rapidly for the `|x| ≲ 20` arguments used in Kaiser windows.
+fn bessel_i0(x: f64) -> f64 {
+    let half_x = x / 2.0;
+    let mut term = 1.0_f64;
+    let mut sum = 1.0_f64;
+    for k in 1..64 {
+        term *= (half_x / k as f64) * (half_x / k as f64);
+        sum += term;
+        if term < sum * 1e-17 {
+            break;
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_symmetric(w: &[f64]) {
+        for i in 0..w.len() / 2 {
+            assert!(
+                (w[i] - w[w.len() - 1 - i]).abs() < 1e-12,
+                "asymmetry at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn windows_are_symmetric_and_peaked() {
+        for w in [hann(17), hamming(17), blackman(17), kaiser(17, 6.0)] {
+            assert_symmetric(&w);
+            let peak = w.iter().cloned().fold(f64::MIN, f64::max);
+            assert!((peak - w[8]).abs() < 1e-12, "peak not centered");
+            assert!(w.iter().all(|&v| v <= 1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn hann_endpoints_zero() {
+        let w = hann(9);
+        assert!(w[0].abs() < 1e-12 && w[8].abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_endpoints_nonzero() {
+        let w = hamming(9);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert!(hann(0).is_empty());
+        assert_eq!(hann(1), vec![0.0]); // 0.5 - 0.5
+        assert_eq!(hamming(1).len(), 1);
+        assert_eq!(kaiser(1, 5.0), vec![1.0]);
+        assert!(kaiser(0, 5.0).is_empty());
+    }
+
+    #[test]
+    fn bessel_i0_known_values() {
+        // I0(0) = 1; I0(1) ≈ 1.2660658777520084; I0(5) ≈ 27.239871823604442
+        assert!((bessel_i0(0.0) - 1.0).abs() < 1e-15);
+        assert!((bessel_i0(1.0) - 1.266_065_877_752_008_4).abs() < 1e-12);
+        assert!((bessel_i0(5.0) - 27.239_871_823_604_44).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kaiser_beta_zero_is_rectangular() {
+        let w = kaiser(8, 0.0);
+        assert!(w.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,158 @@
+//! ADC front-end model.
+//!
+//! MIT-BIH recordings were "digitized at 360 samples per second per channel
+//! with 11-bit resolution over a 10 mV range" (paper §III). [`AdcModel`]
+//! reproduces that conversion: millivolts in, integer sample codes out,
+//! with saturation at the rails — and the inverse mapping the decoder uses
+//! to report PRD in physical units.
+
+/// An ideal mid-tread quantizer over a symmetric input range.
+///
+/// # Examples
+///
+/// ```
+/// use cs_ecg_data::AdcModel;
+///
+/// let adc = AdcModel::mit_bih(); // 11 bits over 10 mV
+/// let code = adc.quantize(0.0);
+/// assert_eq!(code, 1024); // midscale
+/// assert!((adc.dequantize(code) - 0.0).abs() < adc.lsb_mv());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AdcModel {
+    bits: u8,
+    range_mv: f64,
+}
+
+impl AdcModel {
+    /// Creates a converter with `bits` of resolution spanning
+    /// `[-range_mv/2, +range_mv/2]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= bits <= 16` and `range_mv > 0`.
+    pub fn new(bits: u8, range_mv: f64) -> Self {
+        assert!((2..=16).contains(&bits), "AdcModel: bits out of range");
+        assert!(range_mv > 0.0, "AdcModel: range must be positive");
+        AdcModel { bits, range_mv }
+    }
+
+    /// The MIT-BIH converter: 11 bits over a 10 mV range.
+    pub fn mit_bih() -> Self {
+        AdcModel::new(11, 10.0)
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Full-scale range in millivolts.
+    pub fn range_mv(&self) -> f64 {
+        self.range_mv
+    }
+
+    /// Number of output codes, `2^bits`.
+    pub fn levels(&self) -> u32 {
+        1 << self.bits
+    }
+
+    /// One least-significant bit in millivolts.
+    pub fn lsb_mv(&self) -> f64 {
+        self.range_mv / self.levels() as f64
+    }
+
+    /// The midscale (zero-volt) code.
+    pub fn midscale(&self) -> u16 {
+        (self.levels() / 2) as u16
+    }
+
+    /// Converts millivolts to an output code, saturating at the rails.
+    pub fn quantize(&self, mv: f64) -> u16 {
+        let code = (mv / self.lsb_mv()).round() + self.midscale() as f64;
+        code.clamp(0.0, (self.levels() - 1) as f64) as u16
+    }
+
+    /// Converts a whole trace, saturating out-of-range samples.
+    pub fn quantize_trace(&self, mv: &[f64]) -> Vec<u16> {
+        mv.iter().map(|&v| self.quantize(v)).collect()
+    }
+
+    /// Inverse mapping: output code to millivolts (the quantized value).
+    pub fn dequantize(&self, code: u16) -> f64 {
+        (code as f64 - self.midscale() as f64) * self.lsb_mv()
+    }
+
+    /// Inverse mapping of a whole trace.
+    pub fn dequantize_trace(&self, codes: &[u16]) -> Vec<f64> {
+        codes.iter().map(|&c| self.dequantize(c)).collect()
+    }
+
+    /// Signed, midscale-removed view of a code — the representation the
+    /// 16-bit encoder works in.
+    pub fn to_signed(&self, code: u16) -> i16 {
+        code as i16 - self.midscale() as i16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mit_bih_parameters() {
+        let a = AdcModel::mit_bih();
+        assert_eq!(a.bits(), 11);
+        assert_eq!(a.levels(), 2048);
+        assert_eq!(a.midscale(), 1024);
+        assert!((a.lsb_mv() - 10.0 / 2048.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn saturation_at_rails() {
+        let a = AdcModel::mit_bih();
+        assert_eq!(a.quantize(100.0), 2047);
+        assert_eq!(a.quantize(-100.0), 0);
+    }
+
+    #[test]
+    fn signed_view_is_centered() {
+        let a = AdcModel::mit_bih();
+        assert_eq!(a.to_signed(1024), 0);
+        assert_eq!(a.to_signed(0), -1024);
+        assert_eq!(a.to_signed(2047), 1023);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits out of range")]
+    fn one_bit_rejected() {
+        let _ = AdcModel::new(1, 10.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_quantization_error_below_half_lsb(mv in -4.9_f64..4.9) {
+            let a = AdcModel::mit_bih();
+            let rt = a.dequantize(a.quantize(mv));
+            prop_assert!((rt - mv).abs() <= a.lsb_mv() / 2.0 + 1e-12);
+        }
+
+        #[test]
+        fn prop_monotonic(a in -4.9_f64..4.9, b in -4.9_f64..4.9) {
+            let adc = AdcModel::mit_bih();
+            if a <= b {
+                prop_assert!(adc.quantize(a) <= adc.quantize(b));
+            }
+        }
+
+        #[test]
+        fn prop_trace_round_trip(codes in proptest::collection::vec(0_u16..2048, 1..64)) {
+            let adc = AdcModel::mit_bih();
+            let mv = adc.dequantize_trace(&codes);
+            let back = adc.quantize_trace(&mv);
+            prop_assert_eq!(back, codes);
+        }
+    }
+}

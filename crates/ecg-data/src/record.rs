@@ -1,0 +1,186 @@
+//! ECG records: multi-channel sample storage with beat annotations.
+
+use crate::adc::AdcModel;
+use crate::model::BeatAnnotation;
+
+/// A digitized multi-channel ECG record, mirroring the structure of an
+/// MIT-BIH record: raw ADC codes per channel, the converter that produced
+/// them, and beat annotations.
+///
+/// # Examples
+///
+/// ```
+/// use cs_ecg_data::{AdcModel, Record};
+///
+/// let adc = AdcModel::mit_bih();
+/// let codes = vec![adc.quantize(0.0); 720];
+/// let rec = Record::new("s100", 360.0, adc, vec![codes], vec![]);
+/// assert_eq!(rec.len(), 720);
+/// assert_eq!(rec.num_channels(), 1);
+/// assert!((rec.duration_s() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    id: String,
+    sample_rate_hz: f64,
+    adc: AdcModel,
+    channels: Vec<Vec<u16>>,
+    annotations: Vec<BeatAnnotation>,
+}
+
+impl Record {
+    /// Assembles a record from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is empty, channels differ in length, or the
+    /// sample rate is not positive.
+    pub fn new(
+        id: impl Into<String>,
+        sample_rate_hz: f64,
+        adc: AdcModel,
+        channels: Vec<Vec<u16>>,
+        annotations: Vec<BeatAnnotation>,
+    ) -> Self {
+        assert!(sample_rate_hz > 0.0, "Record: sample rate must be positive");
+        assert!(!channels.is_empty(), "Record: need at least one channel");
+        let len = channels[0].len();
+        assert!(
+            channels.iter().all(|c| c.len() == len),
+            "Record: channels must share a length"
+        );
+        Record {
+            id: id.into(),
+            sample_rate_hz,
+            adc,
+            channels,
+            annotations,
+        }
+    }
+
+    /// Record identifier (e.g. `"s100"`).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Sampling rate in Hz.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.sample_rate_hz
+    }
+
+    /// The ADC model that produced the codes.
+    pub fn adc(&self) -> &AdcModel {
+        &self.adc
+    }
+
+    /// Number of channels (leads).
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Samples per channel.
+    pub fn len(&self) -> usize {
+        self.channels[0].len()
+    }
+
+    /// Whether the record holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Record duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.len() as f64 / self.sample_rate_hz
+    }
+
+    /// Raw ADC codes of a channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn codes(&self, channel: usize) -> &[u16] {
+        &self.channels[channel]
+    }
+
+    /// Channel samples in millivolts (dequantized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn signal_mv(&self, channel: usize) -> Vec<f64> {
+        self.adc.dequantize_trace(&self.channels[channel])
+    }
+
+    /// Channel samples as signed, midscale-removed 16-bit integers — the
+    /// representation the mote encoder consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn signed_samples(&self, channel: usize) -> Vec<i16> {
+        self.channels[channel]
+            .iter()
+            .map(|&c| self.adc.to_signed(c))
+            .collect()
+    }
+
+    /// Beat annotations (R-peak positions and classes).
+    pub fn annotations(&self) -> &[BeatAnnotation] {
+        &self.annotations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::BeatType;
+
+    fn tiny() -> Record {
+        let adc = AdcModel::mit_bih();
+        Record::new(
+            "t1",
+            360.0,
+            adc,
+            vec![vec![1024, 1030, 1010], vec![1024, 1020, 1040]],
+            vec![BeatAnnotation {
+                sample: 1,
+                beat: BeatType::Normal,
+            }],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let r = tiny();
+        assert_eq!(r.id(), "t1");
+        assert_eq!(r.num_channels(), 2);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert_eq!(r.annotations().len(), 1);
+        assert_eq!(r.codes(0)[1], 1030);
+    }
+
+    #[test]
+    fn signed_and_mv_views_agree() {
+        let r = tiny();
+        let mv = r.signal_mv(0);
+        let signed = r.signed_samples(0);
+        let lsb = r.adc().lsb_mv();
+        for (m, s) in mv.iter().zip(&signed) {
+            assert!((m - *s as f64 * lsb).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share a length")]
+    fn mismatched_channels_rejected() {
+        let adc = AdcModel::mit_bih();
+        let _ = Record::new("x", 360.0, adc, vec![vec![0; 3], vec![0; 4]], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn empty_channel_list_rejected() {
+        let _ = Record::new("x", 360.0, AdcModel::mit_bih(), vec![], vec![]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Minimal WFDB (PhysioNet) interchange: format-212 signals and header
+//! records.
+//!
+//! MIT-BIH records ship as a `.hea` text header plus a `.dat` file in
+//! **format 212**: two 12-bit samples packed into three bytes. This module
+//! implements that packing and a compatible header writer/parser so the
+//! synthetic corpus can be exported for inspection in standard PhysioNet
+//! tooling, and so the pipeline could ingest a real MIT-BIH record
+//! byte-for-byte if one is available locally.
+//!
+//! Only the fields MIT-BIH headers actually use are supported.
+
+use crate::record::Record;
+use std::fmt::Write as _;
+
+/// Packs two channels of 12-bit samples into WFDB format 212.
+///
+/// Samples are interleaved (ch0, ch1, ch0, …) as WFDB specifies for
+/// multiplexed signals; both channels must share a length. Values are
+/// masked to 12 bits two's-complement.
+///
+/// # Panics
+///
+/// Panics if the channels differ in length.
+///
+/// # Examples
+///
+/// ```
+/// use cs_ecg_data::wfdb::{pack_212, unpack_212};
+///
+/// let ch0 = vec![0_i16, 100, -100, 2047];
+/// let ch1 = vec![5_i16, -5, 1024, -2048];
+/// let bytes = pack_212(&ch0, &ch1);
+/// assert_eq!(bytes.len(), 4 * 3); // 2 samples per 3 bytes
+/// let (a, b) = unpack_212(&bytes, 4);
+/// assert_eq!(a, ch0);
+/// assert_eq!(b, ch1);
+/// ```
+pub fn pack_212(ch0: &[i16], ch1: &[i16]) -> Vec<u8> {
+    assert_eq!(ch0.len(), ch1.len(), "pack_212: channel length mismatch");
+    let mut out = Vec::with_capacity(ch0.len() * 3);
+    for (&a, &b) in ch0.iter().zip(ch1) {
+        let a = (a as u16) & 0x0FFF;
+        let b = (b as u16) & 0x0FFF;
+        out.push((a & 0xFF) as u8);
+        out.push((((a >> 8) & 0x0F) | ((b >> 4) & 0xF0)) as u8);
+        out.push((b & 0xFF) as u8);
+    }
+    out
+}
+
+/// Inverse of [`pack_212`]: unpacks `samples_per_channel` sample pairs.
+///
+/// # Panics
+///
+/// Panics if `bytes` is shorter than `3 × samples_per_channel`.
+pub fn unpack_212(bytes: &[u8], samples_per_channel: usize) -> (Vec<i16>, Vec<i16>) {
+    assert!(
+        bytes.len() >= samples_per_channel * 3,
+        "unpack_212: buffer too short"
+    );
+    let mut ch0 = Vec::with_capacity(samples_per_channel);
+    let mut ch1 = Vec::with_capacity(samples_per_channel);
+    for i in 0..samples_per_channel {
+        let b0 = bytes[3 * i] as u16;
+        let b1 = bytes[3 * i + 1] as u16;
+        let b2 = bytes[3 * i + 2] as u16;
+        let a = ((b1 & 0x0F) << 8) | b0;
+        let b = ((b1 & 0xF0) << 4) | b2;
+        ch0.push(sign_extend_12(a));
+        ch1.push(sign_extend_12(b));
+    }
+    (ch0, ch1)
+}
+
+fn sign_extend_12(v: u16) -> i16 {
+    if v & 0x0800 != 0 {
+        (v | 0xF000) as i16
+    } else {
+        v as i16
+    }
+}
+
+/// A parsed (or to-be-written) WFDB header for a two-channel format-212
+/// record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WfdbHeader {
+    /// Record name (base of the `.dat`/`.hea` file names).
+    pub record_name: String,
+    /// Channels (2 for MIT-BIH).
+    pub num_signals: usize,
+    /// Sampling frequency in Hz.
+    pub sample_rate_hz: f64,
+    /// Samples per channel.
+    pub num_samples: usize,
+    /// ADC gain in counts per millivolt (MIT-BIH: 200).
+    pub gain: f64,
+    /// ADC zero (midscale code).
+    pub adc_zero: i32,
+}
+
+impl WfdbHeader {
+    /// Renders the `.hea` text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} {} {} {}",
+            self.record_name, self.num_signals, self.sample_rate_hz, self.num_samples
+        );
+        for ch in 0..self.num_signals {
+            let _ = writeln!(
+                out,
+                "{}.dat 212 {}(0)/mV 12 {} 0 0 0 ch{}",
+                self.record_name, self.gain, self.adc_zero, ch
+            );
+        }
+        out
+    }
+
+    /// Parses the subset of `.hea` syntax this module writes.
+    ///
+    /// Returns `None` on any structural mismatch (callers treat that as
+    /// "not a supported header", not a panic).
+    pub fn parse(text: &str) -> Option<WfdbHeader> {
+        let mut lines = text.lines().filter(|l| !l.trim_start().starts_with('#'));
+        let first = lines.next()?;
+        let mut it = first.split_whitespace();
+        let record_name = it.next()?.to_owned();
+        let num_signals: usize = it.next()?.parse().ok()?;
+        let sample_rate_hz: f64 = it.next()?.parse().ok()?;
+        let num_samples: usize = it.next()?.parse().ok()?;
+        let mut gain = 200.0;
+        let mut adc_zero = 1024;
+        if let Some(sig) = lines.next() {
+            let fields: Vec<&str> = sig.split_whitespace().collect();
+            if fields.len() >= 5 {
+                if fields.get(1) != Some(&"212") {
+                    return None;
+                }
+                let g = fields[2].split('(').next()?;
+                gain = g.parse().ok()?;
+                adc_zero = fields[4].parse().ok()?;
+            }
+        }
+        Some(WfdbHeader {
+            record_name,
+            num_signals,
+            sample_rate_hz,
+            num_samples,
+            gain,
+            adc_zero,
+        })
+    }
+}
+
+/// Serializes a two-channel [`Record`] into WFDB `(header_text, dat_bytes)`.
+///
+/// Codes are centered on the ADC midscale so they fit format 212's 12-bit
+/// range (MIT-BIH's 11-bit codes always do).
+///
+/// # Panics
+///
+/// Panics if the record does not have exactly two channels.
+pub fn record_to_wfdb(record: &Record) -> (String, Vec<u8>) {
+    assert_eq!(record.num_channels(), 2, "record_to_wfdb: need two channels");
+    let header = WfdbHeader {
+        record_name: record.id().to_owned(),
+        num_signals: 2,
+        sample_rate_hz: record.sample_rate_hz(),
+        num_samples: record.len(),
+        gain: record.adc().levels() as f64 / record.adc().range_mv(),
+        adc_zero: record.adc().midscale() as i32,
+    };
+    let ch0 = record.signed_samples(0);
+    let ch1 = record.signed_samples(1);
+    (header.to_text(), pack_212(&ch0, &ch1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::{DatabaseConfig, SyntheticDatabase};
+    use proptest::prelude::*;
+
+    #[test]
+    fn sign_extension_boundaries() {
+        assert_eq!(sign_extend_12(0x000), 0);
+        assert_eq!(sign_extend_12(0x7FF), 2047);
+        assert_eq!(sign_extend_12(0x800), -2048);
+        assert_eq!(sign_extend_12(0xFFF), -1);
+    }
+
+    #[test]
+    fn header_round_trip() {
+        let h = WfdbHeader {
+            record_name: "s100".into(),
+            num_signals: 2,
+            sample_rate_hz: 360.0,
+            num_samples: 1800,
+            gain: 204.8,
+            adc_zero: 1024,
+        };
+        let parsed = WfdbHeader::parse(&h.to_text()).unwrap();
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn parse_rejects_non_212() {
+        let text = "x 2 360 100\nx.dat 16 200(0)/mV 12 1024 0 0 0 ch0\n";
+        assert!(WfdbHeader::parse(text).is_none());
+    }
+
+    #[test]
+    fn synthetic_record_exports() {
+        let db = SyntheticDatabase::new(DatabaseConfig {
+            num_records: 1,
+            duration_s: 2.0,
+            ..DatabaseConfig::default()
+        });
+        let record = db.record(0);
+        let (hea, dat) = record_to_wfdb(&record);
+        assert!(hea.contains("212"));
+        assert_eq!(dat.len(), record.len() * 3);
+        // And the signal round-trips through the packing.
+        let (ch0, _) = unpack_212(&dat, record.len());
+        assert_eq!(ch0, record.signed_samples(0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pack_unpack_bijective(
+            pairs in proptest::collection::vec((-2048_i16..=2047, -2048_i16..=2047), 1..200)
+        ) {
+            let ch0: Vec<i16> = pairs.iter().map(|p| p.0).collect();
+            let ch1: Vec<i16> = pairs.iter().map(|p| p.1).collect();
+            let bytes = pack_212(&ch0, &ch1);
+            let (a, b) = unpack_212(&bytes, pairs.len());
+            prop_assert_eq!(a, ch0);
+            prop_assert_eq!(b, ch1);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Lossy-channel model for the Bluetooth link.
+//!
+//! The paper's demo ran over a clean desk-range Bluetooth link, but an
+//! ambulatory WBSN sees fading and interference. The differencing stage's
+//! reference-packet cadence exists precisely to bound the damage of a
+//! lost packet (a delta without its predecessor is useless). This module
+//! models the channel as i.i.d. bit errors with CRC-style whole-packet
+//! discard, so the `packet_loss` example and the failure-injection tests
+//! can drive the real decoder through realistic loss patterns.
+
+use cs_sensing::MotePrng;
+
+/// An i.i.d.-bit-error channel with whole-packet discard.
+#[derive(Debug, Clone)]
+pub struct ChannelModel {
+    bit_error_rate: f64,
+    rng: MotePrng,
+}
+
+impl ChannelModel {
+    /// Creates a channel with the given bit error rate (0 = lossless).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ ber < 1`.
+    pub fn new(bit_error_rate: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&bit_error_rate),
+            "ChannelModel: BER must be in [0, 1)"
+        );
+        ChannelModel {
+            bit_error_rate,
+            rng: MotePrng::new(seed),
+        }
+    }
+
+    /// The configured bit error rate.
+    pub fn bit_error_rate(&self) -> f64 {
+        self.bit_error_rate
+    }
+
+    /// Probability a packet of `bytes` arrives intact: `(1 − BER)^{8·bytes}`.
+    pub fn delivery_probability(&self, bytes: usize) -> f64 {
+        (1.0 - self.bit_error_rate).powi((bytes * 8) as i32)
+    }
+
+    /// Simulates one transmission; `true` means the packet arrived intact
+    /// (any corrupted packet is assumed CRC-discarded at the receiver).
+    pub fn transmit(&mut self, bytes: usize) -> bool {
+        let p = self.delivery_probability(bytes);
+        self.rng.next_f64() < p
+    }
+}
+
+/// Outcome statistics of a lossy streaming run (filled by callers that
+/// drive a decoder through a [`ChannelModel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LossReport {
+    /// Packets offered to the channel.
+    pub sent: usize,
+    /// Packets dropped by the channel.
+    pub dropped: usize,
+    /// Delivered packets the decoder rejected while desynchronized.
+    pub rejected: usize,
+    /// Packets fully decoded.
+    pub decoded: usize,
+}
+
+impl LossReport {
+    /// Fraction of offered packets that produced output.
+    pub fn goodput(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.decoded as f64 / self.sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_channel_delivers_everything() {
+        let mut ch = ChannelModel::new(0.0, 1);
+        assert_eq!(ch.delivery_probability(1000), 1.0);
+        for _ in 0..100 {
+            assert!(ch.transmit(500));
+        }
+    }
+
+    #[test]
+    fn delivery_probability_decays_with_size() {
+        let ch = ChannelModel::new(1e-4, 2);
+        let small = ch.delivery_probability(10);
+        let large = ch.delivery_probability(1000);
+        assert!(small > large);
+        // (1 − 1e−4)^80 ≈ 0.992
+        assert!((small - 0.992).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empirical_loss_rate_matches_model() {
+        let mut ch = ChannelModel::new(5e-4, 3);
+        let bytes = 300;
+        let p = ch.delivery_probability(bytes);
+        let trials = 20_000;
+        let delivered = (0..trials).filter(|_| ch.transmit(bytes)).count();
+        let empirical = delivered as f64 / trials as f64;
+        assert!(
+            (empirical - p).abs() < 0.01,
+            "model {p}, empirical {empirical}"
+        );
+    }
+
+    #[test]
+    fn report_goodput() {
+        let r = LossReport {
+            sent: 10,
+            dropped: 2,
+            rejected: 1,
+            decoded: 7,
+        };
+        assert!((r.goodput() - 0.7).abs() < 1e-12);
+        assert_eq!(LossReport::default().goodput(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "BER must be")]
+    fn invalid_ber_rejected() {
+        let _ = ChannelModel::new(1.0, 1);
+    }
+}

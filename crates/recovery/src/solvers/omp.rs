@@ -1,0 +1,276 @@
+//! Orthogonal matching pursuit — the greedy baseline.
+//!
+//! The paper cites OMP (Tropp 2004, ref. [11]) among the standard CS
+//! reconstruction algorithms. It serves here as the greedy baseline the
+//! `solver_comparison` ablation measures FISTA against: OMP picks one atom
+//! per iteration (the column most correlated with the residual) and
+//! re-solves a small least-squares problem on the grown support.
+
+use crate::kernels::dot;
+use crate::operator::{DenseOperator, LinearOperator};
+use cs_dsp::{l2_norm, Real};
+use std::time::Instant;
+
+/// OMP configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OmpConfig<T: Real> {
+    /// Maximum support size (number of greedy selections).
+    pub max_sparsity: usize,
+    /// Stop when `‖residual‖₂ / ‖y‖₂` drops below this.
+    pub residual_tolerance: T,
+}
+
+impl<T: Real> OmpConfig<T> {
+    /// A default targeting the ECG workload: up to `sparsity` atoms, stop
+    /// at 1 % relative residual.
+    pub fn new(sparsity: usize) -> Self {
+        OmpConfig {
+            max_sparsity: sparsity,
+            residual_tolerance: T::from_f64(1e-2),
+        }
+    }
+}
+
+/// Result of an OMP run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OmpResult<T: Real> {
+    /// The recovered sparse coefficient vector.
+    pub solution: Vec<T>,
+    /// Selected atom indices in selection order.
+    pub support: Vec<usize>,
+    /// Final relative residual `‖Aα − y‖₂ / ‖y‖₂`.
+    pub relative_residual: T,
+    /// Wall-clock solve time.
+    pub elapsed: std::time::Duration,
+}
+
+/// Runs OMP against an explicitly stored operator (greedy selection needs
+/// per-column access, so the matrix-free composed operator must be
+/// materialized first — itself part of why the paper prefers FISTA).
+///
+/// # Panics
+///
+/// Panics if `y.len() != op.rows()`, the sparsity cap is zero, or exceeds
+/// `op.cols()`.
+pub fn omp<T: Real>(op: &DenseOperator<T>, y: &[T], config: &OmpConfig<T>) -> OmpResult<T> {
+    assert_eq!(y.len(), op.rows(), "omp: y length mismatch");
+    assert!(
+        config.max_sparsity > 0 && config.max_sparsity <= op.cols(),
+        "omp: invalid sparsity cap"
+    );
+    let start = Instant::now();
+    let (m, n) = (op.rows(), op.cols());
+    let mode = op.kernel();
+    let norm_y = l2_norm(y);
+    if norm_y == T::ZERO {
+        return OmpResult {
+            solution: vec![T::ZERO; n],
+            support: Vec::new(),
+            relative_residual: T::ZERO,
+            elapsed: start.elapsed(),
+        };
+    }
+
+    let mut residual: Vec<T> = y.to_vec();
+    let mut support: Vec<usize> = Vec::new();
+    // Selected columns, stored contiguously (column-major, m per atom).
+    let mut atoms: Vec<T> = Vec::new();
+    let mut coeffs: Vec<T> = Vec::new();
+    let mut col = vec![T::ZERO; m];
+
+    for _ in 0..config.max_sparsity {
+        // Greedy selection: argmax |⟨a_j, r⟩| / ‖a_j‖.
+        let mut best_j = usize::MAX;
+        let mut best_score = T::ZERO;
+        for j in 0..n {
+            if support.contains(&j) {
+                continue;
+            }
+            op.column_into(j, &mut col);
+            let norm = l2_norm(&col);
+            if norm == T::ZERO {
+                continue;
+            }
+            let score = dot(&col, &residual, mode).abs() / norm;
+            if score > best_score {
+                best_score = score;
+                best_j = j;
+            }
+        }
+        if best_j == usize::MAX || best_score <= T::from_f64(1e-14) {
+            break;
+        }
+        op.column_into(best_j, &mut col);
+        support.push(best_j);
+        atoms.extend_from_slice(&col);
+
+        // Least squares on the support via normal equations + Cholesky.
+        let k = support.len();
+        let mut gram = vec![T::ZERO; k * k];
+        let mut rhs = vec![T::ZERO; k];
+        for a in 0..k {
+            let ca = &atoms[a * m..(a + 1) * m];
+            rhs[a] = dot(ca, y, mode);
+            for b in a..k {
+                let cb = &atoms[b * m..(b + 1) * m];
+                let g = dot(ca, cb, mode);
+                gram[a * k + b] = g;
+                gram[b * k + a] = g;
+            }
+        }
+        coeffs = cholesky_solve(&gram, &rhs, k);
+
+        // residual = y − A_S x_S
+        residual.copy_from_slice(y);
+        for (a, &c) in coeffs.iter().enumerate() {
+            let ca = &atoms[a * m..(a + 1) * m];
+            for (r, &v) in residual.iter_mut().zip(ca) {
+                *r -= c * v;
+            }
+        }
+        if l2_norm(&residual) / norm_y <= config.residual_tolerance {
+            break;
+        }
+    }
+
+    let mut solution = vec![T::ZERO; n];
+    for (idx, &j) in support.iter().enumerate() {
+        solution[j] = coeffs[idx];
+    }
+    OmpResult {
+        solution,
+        support,
+        relative_residual: l2_norm(&residual) / norm_y,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Solves the SPD system `G x = b` by Cholesky factorization. `G` is
+/// `k×k` row-major. Falls back to a tiny diagonal ridge if the Gram matrix
+/// is numerically singular (collinear atoms).
+fn cholesky_solve<T: Real>(gram: &[T], rhs: &[T], k: usize) -> Vec<T> {
+    let mut g = gram.to_vec();
+    // Ridge for numerical safety.
+    let trace: T = (0..k).map(|i| g[i * k + i]).sum();
+    let ridge = T::from_f64(1e-12) * (trace / T::from_usize(k.max(1))).max(T::ONE);
+    for i in 0..k {
+        g[i * k + i] += ridge;
+    }
+    // In-place lower Cholesky.
+    let mut l = vec![T::ZERO; k * k];
+    for i in 0..k {
+        for j in 0..=i {
+            let mut sum = g[i * k + j];
+            for p in 0..j {
+                sum -= l[i * k + p] * l[j * k + p];
+            }
+            if i == j {
+                l[i * k + j] = sum.max(T::MIN_POSITIVE).sqrt();
+            } else {
+                l[i * k + j] = sum / l[j * k + j];
+            }
+        }
+    }
+    // Forward then backward substitution.
+    let mut y = vec![T::ZERO; k];
+    for i in 0..k {
+        let mut sum = rhs[i];
+        for p in 0..i {
+            sum -= l[i * k + p] * y[p];
+        }
+        y[i] = sum / l[i * k + i];
+    }
+    let mut x = vec![T::ZERO; k];
+    for i in (0..k).rev() {
+        let mut sum = y[i];
+        for p in (i + 1)..k {
+            sum -= l[p * k + i] * x[p];
+        }
+        x[i] = sum / l[i * k + i];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::KernelMode;
+    use cs_sensing::MotePrng;
+
+    fn instance(
+        m: usize,
+        n: usize,
+        sparsity: usize,
+        seed: u64,
+    ) -> (DenseOperator<f64>, Vec<f64>, Vec<f64>, Vec<usize>) {
+        let mut rng = MotePrng::new(seed);
+        let data: Vec<f64> = (0..m * n)
+            .map(|_| rng.next_gaussian() / (m as f64).sqrt())
+            .collect();
+        let op = DenseOperator::from_row_major(m, n, data, KernelMode::Unrolled4);
+        let mut truth = vec![0.0; n];
+        let support: Vec<usize> = rng
+            .distinct_below(sparsity, n as u32)
+            .into_iter()
+            .map(|v| v as usize)
+            .collect();
+        for &idx in &support {
+            truth[idx] = rng.next_gaussian() + 2.0;
+        }
+        let y = op.apply(&truth);
+        (op, truth, y, support)
+    }
+
+    #[test]
+    fn exact_recovery_in_noiseless_case() {
+        let (op, truth, y, support) = instance(64, 128, 5, 31);
+        let r = omp(&op, &y, &OmpConfig::new(5));
+        let mut found = r.support.clone();
+        found.sort_unstable();
+        let mut expect = support.clone();
+        expect.sort_unstable();
+        assert_eq!(found, expect, "support mismatch");
+        for (a, b) in truth.iter().zip(&r.solution) {
+            assert!((a - b).abs() < 1e-8);
+        }
+        assert!(r.relative_residual < 1e-8);
+    }
+
+    #[test]
+    fn residual_tolerance_stops_early() {
+        let (op, _, y, _) = instance(64, 128, 8, 5);
+        let cfg = OmpConfig {
+            max_sparsity: 128,
+            residual_tolerance: 0.5,
+        };
+        let r = omp(&op, &y, &cfg);
+        assert!(r.support.len() < 8, "kept selecting past the tolerance");
+        assert!(r.relative_residual <= 0.5);
+    }
+
+    #[test]
+    fn zero_measurements_return_zero() {
+        let (op, _, _, _) = instance(16, 32, 2, 8);
+        let r = omp(&op, &vec![0.0; 16], &OmpConfig::new(4));
+        assert!(r.solution.iter().all(|&v| v == 0.0));
+        assert!(r.support.is_empty());
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        // G = [[4,2],[2,3]], b = [10, 9] → x = [2 - wait, solve directly]
+        let g = [4.0, 2.0, 2.0, 3.0];
+        let b = [10.0, 9.0];
+        let x = cholesky_solve(&g, &b, 2);
+        // Check G x = b.
+        assert!((4.0 * x[0] + 2.0 * x[1] - 10.0).abs() < 1e-9);
+        assert!((2.0 * x[0] + 3.0 * x[1] - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sparsity cap")]
+    fn zero_sparsity_panics() {
+        let (op, _, y, _) = instance(16, 32, 2, 8);
+        let _ = omp(&op, &y, &OmpConfig::new(0));
+    }
+}

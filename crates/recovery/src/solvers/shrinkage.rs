@@ -1,0 +1,684 @@
+//! ISTA and FISTA — the iterative shrinkage-thresholding solvers.
+//!
+//! Both solve the paper's Eq. (3):
+//!
+//! ```text
+//!   min_α  F(α) = ‖Aα − y‖² + λ‖α‖₁
+//! ```
+//!
+//! One iteration of either costs one `apply` + one `adjoint` of `A` plus a
+//! soft threshold. ISTA converges as `O(1/k)` and is "notoriously slow";
+//! FISTA (Beck & Teboulle 2009, the paper's algorithm box) adds the
+//! momentum sequence `t_k` and converges as `O(1/k²)`. The implementation
+//! follows the paper's constant-step-size variant verbatim.
+
+use crate::kernels::{momentum_combine, soft_threshold, soft_threshold_weighted, squared_distance, KernelMode};
+use crate::lipschitz::lipschitz_constant;
+use crate::operator::LinearOperator;
+use cs_dsp::{l1_norm, l2_norm, Real};
+use std::time::{Duration, Instant};
+
+/// Configuration shared by the shrinkage solvers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShrinkageConfig<T: Real> {
+    /// ℓ1 weight λ of Eq. (3).
+    pub lambda: T,
+    /// Hard iteration cap — the real-time budget of the decoder. The paper
+    /// derives 800 (unoptimized) and 2000 (optimized) for the iPhone.
+    pub max_iterations: usize,
+    /// Relative-change stopping tolerance; `ZERO` disables early stopping
+    /// and always runs `max_iterations`.
+    pub tolerance: T,
+    /// Residual-based stopping: stop once `‖Aα − y‖₂ ≤ residual_tolerance
+    /// · ‖y‖₂` — the criterion matching the paper's constrained form
+    /// (Eq. 2, "subject to ‖ΦΨα − y‖₂ ≤ σ"). `ZERO` disables. Checking it
+    /// costs one extra `apply` per iteration, so production decoding
+    /// usually prefers `tolerance`.
+    pub residual_tolerance: T,
+    /// Which kernel implementations the inner loops use.
+    pub kernel: KernelMode,
+    /// Record `F(α_k)` each iteration (costs one extra `apply` per
+    /// iteration; off for production decoding).
+    pub record_objective: bool,
+}
+
+impl<T: Real> ShrinkageConfig<T> {
+    /// A sensible decoding default: tolerance-based stopping under a hard
+    /// real-time cap, optimized kernels.
+    pub fn new(lambda: T) -> Self {
+        ShrinkageConfig {
+            lambda,
+            max_iterations: 2000,
+            tolerance: T::from_f64(1e-4),
+            residual_tolerance: T::ZERO,
+            kernel: KernelMode::Unrolled4,
+            record_objective: false,
+        }
+    }
+}
+
+/// Outcome of a solver run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverResult<T: Real> {
+    /// The recovered coefficient vector α.
+    pub solution: Vec<T>,
+    /// Iterations actually executed.
+    pub iterations: usize,
+    /// Whether the tolerance criterion fired before the iteration cap.
+    pub converged: bool,
+    /// Wall-clock time spent in the solve loop.
+    pub elapsed: Duration,
+    /// `F(α_k)` per iteration if requested, else empty.
+    pub objective_history: Vec<T>,
+    /// Final residual norm `‖Aα − y‖₂`.
+    pub residual_norm: T,
+}
+
+/// The largest useful λ: for `λ ≥ λ_max = ‖2Aᴴy‖∞` the zero vector is
+/// optimal. Decoders typically use a small fraction of this.
+///
+/// # Examples
+///
+/// ```
+/// use cs_recovery::{lambda_max, DenseOperator, KernelMode};
+///
+/// let op = DenseOperator::from_row_major(1, 2, vec![1.0, -3.0], KernelMode::Scalar);
+/// assert_eq!(lambda_max(&op, &[2.0]), 12.0); // |2·(−3)·2|
+/// ```
+pub fn lambda_max<T: Real, A: LinearOperator<T>>(op: &A, y: &[T]) -> T {
+    let g = op.adjoint(y);
+    let inf = g.iter().fold(T::ZERO, |m, &v| m.max(v.abs()));
+    T::TWO * inf
+}
+
+/// Solves Eq. (3) with plain ISTA (the `O(1/k)` baseline the paper cites
+/// as "notoriously slow").
+///
+/// `lipschitz` may pass a precomputed `L = 2‖A‖²·(1+ε)`; `None` estimates
+/// it by power iteration first.
+///
+/// # Panics
+///
+/// Panics if `y.len() != op.rows()`, λ is negative, or the iteration cap
+/// is zero.
+pub fn ista<T: Real, A: LinearOperator<T>>(
+    op: &A,
+    y: &[T],
+    config: &ShrinkageConfig<T>,
+    lipschitz: Option<T>,
+) -> SolverResult<T> {
+    shrinkage_loop(op, y, config, lipschitz, false, None)
+}
+
+/// Solves Eq. (3) with FISTA (constant step size), the paper's decoder.
+///
+/// # Panics
+///
+/// Same conditions as [`ista`].
+///
+/// # Examples
+///
+/// ```
+/// use cs_recovery::{fista, DenseOperator, KernelMode, LinearOperator, ShrinkageConfig};
+///
+/// // Recover a 2-sparse vector from an overdetermined system.
+/// let a = DenseOperator::from_row_major(
+///     4, 3,
+///     vec![1.0, 0.0, 0.0,
+///          0.0, 1.0, 0.0,
+///          0.0, 0.0, 1.0,
+///          1.0, 1.0, 1.0],
+///     KernelMode::Unrolled4,
+/// );
+/// let truth = vec![2.0_f64, 0.0, -1.0];
+/// let y = a.apply(&truth);
+/// let cfg = ShrinkageConfig::new(1e-3_f64);
+/// let result = fista(&a, &y, &cfg, None);
+/// assert!(result.converged);
+/// assert!((result.solution[0] - 2.0).abs() < 1e-2);
+/// assert!(result.solution[1].abs() < 1e-2);
+/// ```
+pub fn fista<T: Real, A: LinearOperator<T>>(
+    op: &A,
+    y: &[T],
+    config: &ShrinkageConfig<T>,
+    lipschitz: Option<T>,
+) -> SolverResult<T> {
+    shrinkage_loop(op, y, config, lipschitz, true, None)
+}
+
+/// FISTA with per-coefficient penalty weights: solves
+/// `min_α ‖Aα − y‖² + λ·Σ wᵢ|αᵢ|`.
+///
+/// Zero weights exempt coefficients from shrinkage entirely — the CS-ECG
+/// use case is `w = 0` on the coarse approximation subband, whose
+/// coefficients are large and non-sparse, so an unweighted ℓ1 penalty
+/// biases the reconstructed baseline (see `SolverPolicy` in `cs-core`).
+///
+/// # Panics
+///
+/// Panics under [`ista`]'s conditions, or if `weights.len() != op.cols()`
+/// or any weight is negative.
+pub fn fista_weighted<T: Real, A: LinearOperator<T>>(
+    op: &A,
+    y: &[T],
+    config: &ShrinkageConfig<T>,
+    lipschitz: Option<T>,
+    weights: &[T],
+) -> SolverResult<T> {
+    assert_eq!(weights.len(), op.cols(), "fista_weighted: weight length mismatch");
+    assert!(
+        weights.iter().all(|&w| w >= T::ZERO),
+        "fista_weighted: negative weight"
+    );
+    shrinkage_loop(op, y, config, lipschitz, true, Some(weights))
+}
+
+/// Solves Eq. (3) with FISTA and **backtracking** line search (the other
+/// variant in Beck & Teboulle 2009). No Lipschitz constant is needed:
+/// the step is found adaptively, starting from `l0` (or 1) and doubling
+/// until the majorization condition
+/// `f(α⁺) ≤ f(y) + ⟨α⁺−y, ∇f(y)⟩ + L/2·‖α⁺−y‖²` holds.
+///
+/// Each backtrack probe costs one extra operator application, so the
+/// constant-step [`fista`] is preferred when `2‖A‖²` is known (the
+/// decoder precomputes it); backtracking wins when the spectrum is
+/// unknown or a global constant would be pessimistic.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`ista`].
+pub fn fista_backtracking<T: Real, A: LinearOperator<T>>(
+    op: &A,
+    y: &[T],
+    config: &ShrinkageConfig<T>,
+    l0: Option<T>,
+) -> SolverResult<T> {
+    assert_eq!(y.len(), op.rows(), "fista_backtracking: y length mismatch");
+    assert!(config.lambda >= T::ZERO, "fista_backtracking: negative lambda");
+    assert!(config.max_iterations > 0, "fista_backtracking: zero iteration cap");
+
+    let start = Instant::now();
+    let n = op.cols();
+    let m = op.rows();
+    let eta = T::TWO;
+    let mut l = l0.unwrap_or(T::ONE).max(T::from_f64(1e-12));
+    let mode = config.kernel;
+    let residual_target = config.residual_tolerance * l2_norm(y);
+
+    let mut alpha = vec![T::ZERO; n];
+    let mut alpha_prev = vec![T::ZERO; n];
+    let mut point = vec![T::ZERO; n];
+    let mut grad = vec![T::ZERO; n];
+    let mut candidate = vec![T::ZERO; n];
+    let mut shifted = vec![T::ZERO; n];
+    let mut residual = vec![T::ZERO; m];
+    let mut probe = vec![T::ZERO; m];
+    let mut t = T::ONE;
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut history = Vec::new();
+
+    for k in 1..=config.max_iterations {
+        iterations = k;
+        // f(point) and ∇f(point).
+        op.apply_into(&point, &mut residual);
+        for (r, &yi) in residual.iter_mut().zip(y) {
+            *r -= yi;
+        }
+        let f_point: T = residual.iter().map(|&v| v * v).sum();
+        op.adjoint_into(&residual, &mut grad);
+        for g in grad.iter_mut() {
+            *g *= T::TWO;
+        }
+
+        // Backtracking on L.
+        loop {
+            let inv_l = T::ONE / l;
+            for ((s, &p), &g) in shifted.iter_mut().zip(&point).zip(&grad) {
+                *s = p - inv_l * g;
+            }
+            soft_threshold(&shifted, config.lambda * inv_l, &mut candidate, mode);
+            // Majorization test.
+            op.apply_into(&candidate, &mut probe);
+            for (r, &yi) in probe.iter_mut().zip(y) {
+                *r -= yi;
+            }
+            let f_candidate: T = probe.iter().map(|&v| v * v).sum();
+            let mut linear = T::ZERO;
+            let mut quad = T::ZERO;
+            for ((&c, &p), &g) in candidate.iter().zip(&point).zip(&grad) {
+                let d = c - p;
+                linear += d * g;
+                quad += d * d;
+            }
+            if f_candidate <= f_point + linear + l * T::HALF * quad
+                || l >= T::from_f64(1e30)
+            {
+                break;
+            }
+            l *= eta;
+        }
+
+        std::mem::swap(&mut alpha_prev, &mut alpha);
+        alpha.copy_from_slice(&candidate);
+
+        if config.record_objective {
+            let r = op.apply(&alpha);
+            let fval: T = r
+                .iter()
+                .zip(y)
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum::<T>()
+                + config.lambda * l1_norm(&alpha);
+            history.push(fval);
+        }
+
+        if config.tolerance > T::ZERO {
+            let step = squared_distance(&alpha, &alpha_prev, mode).sqrt();
+            if step <= config.tolerance * l2_norm(&alpha).max(T::ONE) {
+                converged = true;
+            }
+        }
+        if !converged && config.residual_tolerance > T::ZERO {
+            op.apply_into(&alpha, &mut probe);
+            for (r, &yi) in probe.iter_mut().zip(y) {
+                *r -= yi;
+            }
+            if l2_norm(&probe) <= residual_target {
+                converged = true;
+            }
+        }
+
+        let t_next = (T::ONE + (T::ONE + T::from_f64(4.0) * t * t).sqrt()) * T::HALF;
+        let beta = (t - T::ONE) / t_next;
+        momentum_combine(&alpha, &alpha_prev, beta, &mut point, mode);
+        t = t_next;
+
+        if converged {
+            break;
+        }
+    }
+
+    op.apply_into(&alpha, &mut residual);
+    for (r, &yi) in residual.iter_mut().zip(y) {
+        *r -= yi;
+    }
+    SolverResult {
+        residual_norm: l2_norm(&residual),
+        solution: alpha,
+        iterations,
+        converged,
+        elapsed: start.elapsed(),
+        objective_history: history,
+    }
+}
+
+fn shrinkage_loop<T: Real, A: LinearOperator<T>>(
+    op: &A,
+    y: &[T],
+    config: &ShrinkageConfig<T>,
+    lipschitz: Option<T>,
+    accelerate: bool,
+    weights: Option<&[T]>,
+) -> SolverResult<T> {
+    assert_eq!(y.len(), op.rows(), "shrinkage solver: y length mismatch");
+    assert!(config.lambda >= T::ZERO, "shrinkage solver: negative lambda");
+    assert!(config.max_iterations > 0, "shrinkage solver: zero iteration cap");
+
+    let start = Instant::now();
+    let l = lipschitz.unwrap_or_else(|| lipschitz_constant(op, 60));
+    // A zero operator admits the zero solution immediately.
+    if l == T::ZERO {
+        return SolverResult {
+            solution: vec![T::ZERO; op.cols()],
+            iterations: 0,
+            converged: true,
+            elapsed: start.elapsed(),
+            objective_history: Vec::new(),
+            residual_norm: l2_norm(y),
+        };
+    }
+    let inv_l = T::ONE / l;
+    let threshold = config.lambda * inv_l;
+    let mode = config.kernel;
+    let residual_target = config.residual_tolerance * l2_norm(y);
+
+    let n = op.cols();
+    let m = op.rows();
+    let mut alpha = vec![T::ZERO; n]; // α_{k}
+    let mut alpha_prev = vec![T::ZERO; n]; // α_{k-1}
+    let mut point = vec![T::ZERO; n]; // y_k (extrapolation point)
+    let mut grad_point = vec![T::ZERO; n];
+    let mut residual = vec![T::ZERO; m];
+    let mut t = T::ONE;
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut history = Vec::new();
+
+    for k in 1..=config.max_iterations {
+        iterations = k;
+        // residual = A·point − y
+        op.apply_into(&point, &mut residual);
+        for (r, &yi) in residual.iter_mut().zip(y) {
+            *r -= yi;
+        }
+        // grad = 2·Aᴴ·residual; fold the 2 into the step: point − grad/L.
+        op.adjoint_into(&residual, &mut grad_point);
+        for (p, &g) in point.iter_mut().zip(&grad_point) {
+            *p -= T::TWO * inv_l * g;
+        }
+        // α_k = prox (Eq. 4): soft threshold at λ/L (optionally weighted).
+        std::mem::swap(&mut alpha_prev, &mut alpha);
+        match weights {
+            Some(w) => soft_threshold_weighted(&point, threshold, w, &mut alpha, mode),
+            None => soft_threshold(&point, threshold, &mut alpha, mode),
+        }
+
+        if config.record_objective {
+            let r = op.apply(&alpha);
+            let fval: T = r
+                .iter()
+                .zip(y)
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum::<T>()
+                + config.lambda * l1_norm(&alpha);
+            history.push(fval);
+        }
+
+        // Stopping: relative step size.
+        if config.tolerance > T::ZERO {
+            let step = squared_distance(&alpha, &alpha_prev, mode).sqrt();
+            let scale = l2_norm(&alpha).max(T::ONE);
+            if step <= config.tolerance * scale {
+                converged = true;
+            }
+        }
+        // Stopping: residual target (the paper's Eq. 2 criterion).
+        if !converged && config.residual_tolerance > T::ZERO {
+            op.apply_into(&alpha, &mut residual);
+            for (r, &yi) in residual.iter_mut().zip(y) {
+                *r -= yi;
+            }
+            if l2_norm(&residual) <= residual_target {
+                converged = true;
+            }
+        }
+
+        if accelerate {
+            // Eq. (5)–(6): momentum extrapolation.
+            let t_next = (T::ONE + (T::ONE + T::from_f64(4.0) * t * t).sqrt()) * T::HALF;
+            let beta = (t - T::ONE) / t_next;
+            momentum_combine(&alpha, &alpha_prev, beta, &mut point, mode);
+            t = t_next;
+        } else {
+            point.copy_from_slice(&alpha);
+        }
+
+        if converged {
+            break;
+        }
+    }
+
+    op.apply_into(&alpha, &mut residual);
+    for (r, &yi) in residual.iter_mut().zip(y) {
+        *r -= yi;
+    }
+    SolverResult {
+        residual_norm: l2_norm(&residual),
+        solution: alpha,
+        iterations,
+        converged,
+        elapsed: start.elapsed(),
+        objective_history: history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::KernelMode;
+    use crate::operator::DenseOperator;
+    use cs_sensing::MotePrng;
+
+    /// Random well-conditioned compressed-sensing instance with a known
+    /// sparse ground truth.
+    fn instance(
+        m: usize,
+        n: usize,
+        sparsity: usize,
+        seed: u64,
+    ) -> (DenseOperator<f64>, Vec<f64>, Vec<f64>) {
+        let mut rng = MotePrng::new(seed);
+        let data: Vec<f64> = (0..m * n)
+            .map(|_| rng.next_gaussian() / (m as f64).sqrt())
+            .collect();
+        let op = DenseOperator::from_row_major(m, n, data, KernelMode::Unrolled4);
+        let mut truth = vec![0.0; n];
+        for idx in rng.distinct_below(sparsity, n as u32) {
+            truth[idx as usize] = rng.next_gaussian() * 2.0 + 1.0;
+        }
+        let y = op.apply(&truth);
+        (op, truth, y)
+    }
+
+    #[test]
+    fn fista_recovers_sparse_vector() {
+        let (op, truth, y) = instance(64, 128, 6, 42);
+        let cfg = ShrinkageConfig {
+            lambda: 1e-3,
+            max_iterations: 3000,
+            tolerance: 1e-7,
+            residual_tolerance: 0.0,
+            kernel: KernelMode::Unrolled4,
+            record_objective: false,
+        };
+        let r = fista(&op, &y, &cfg, None);
+        let err: f64 = truth
+            .iter()
+            .zip(&r.solution)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        let scale: f64 = truth.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(err / scale < 0.02, "relative error {}", err / scale);
+    }
+
+    #[test]
+    fn fista_beats_ista_at_equal_budget() {
+        let (op, _, y) = instance(48, 96, 5, 7);
+        let cfg = ShrinkageConfig {
+            lambda: 0.01,
+            max_iterations: 150,
+            tolerance: 0.0, // run the full budget
+            residual_tolerance: 0.0,
+            kernel: KernelMode::Unrolled4,
+            record_objective: true,
+        };
+        let rf = fista(&op, &y, &cfg, None);
+        let ri = ista(&op, &y, &cfg, None);
+        let f_final = *rf.objective_history.last().unwrap();
+        let i_final = *ri.objective_history.last().unwrap();
+        assert!(
+            f_final <= i_final + 1e-12,
+            "FISTA {f_final} vs ISTA {i_final}"
+        );
+        // And materially better early on (the O(1/k²) vs O(1/k) gap).
+        assert!(rf.objective_history[60] < ri.objective_history[60]);
+    }
+
+    #[test]
+    fn ista_objective_monotone_nonincreasing() {
+        let (op, _, y) = instance(32, 64, 4, 3);
+        let cfg = ShrinkageConfig {
+            lambda: 0.05,
+            max_iterations: 100,
+            tolerance: 0.0,
+            residual_tolerance: 0.0,
+            kernel: KernelMode::Scalar,
+            record_objective: true,
+        };
+        let r = ista(&op, &y, &cfg, None);
+        for w in r.objective_history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "ISTA objective increased: {w:?}");
+        }
+    }
+
+    #[test]
+    fn huge_lambda_gives_zero_solution() {
+        let (op, _, y) = instance(32, 64, 4, 9);
+        let lam = lambda_max(&op, &y) * 1.5;
+        let cfg = ShrinkageConfig::new(lam);
+        let r = fista(&op, &y, &cfg, None);
+        assert!(r.solution.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn kernel_modes_converge_to_same_answer() {
+        let (op, _, y) = instance(40, 80, 5, 11);
+        let mk = |mode| ShrinkageConfig {
+            lambda: 0.01,
+            max_iterations: 500,
+            tolerance: 0.0,
+            residual_tolerance: 0.0,
+            kernel: mode,
+            record_objective: false,
+        };
+        let a = fista(&op, &y, &mk(KernelMode::Scalar), None);
+        let b = fista(&op, &y, &mk(KernelMode::Unrolled4), None);
+        for (u, v) in a.solution.iter().zip(&b.solution) {
+            assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn convergence_flag_and_iteration_cap() {
+        let (op, _, y) = instance(32, 64, 4, 13);
+        let tight = ShrinkageConfig {
+            lambda: 0.01,
+            max_iterations: 5,
+            tolerance: 1e-12,
+            residual_tolerance: 0.0,
+            kernel: KernelMode::Unrolled4,
+            record_objective: false,
+        };
+        let r = fista(&op, &y, &tight, None);
+        assert_eq!(r.iterations, 5);
+        assert!(!r.converged);
+    }
+
+    #[test]
+    fn f32_instantiation_recovers() {
+        let mut rng = MotePrng::new(21);
+        let (m, n) = (48, 96);
+        let data: Vec<f32> = (0..m * n)
+            .map(|_| (rng.next_gaussian() / (m as f64).sqrt()) as f32)
+            .collect();
+        let op = DenseOperator::from_row_major(m, n, data, KernelMode::Unrolled4);
+        let mut truth = vec![0.0_f32; n];
+        truth[10] = 1.5;
+        truth[40] = -2.0;
+        let y = op.apply(&truth);
+        let cfg = ShrinkageConfig {
+            lambda: 1e-3_f32,
+            max_iterations: 2000,
+            tolerance: 1e-6,
+            residual_tolerance: 0.0,
+            kernel: KernelMode::Unrolled4,
+            record_objective: false,
+        };
+        let r = fista(&op, &y, &cfg, None);
+        assert!((r.solution[10] - 1.5).abs() < 0.05);
+        assert!((r.solution[40] + 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn residual_norm_reported() {
+        let (op, _, y) = instance(32, 64, 4, 17);
+        let cfg = ShrinkageConfig::new(1e-3);
+        let r = fista(&op, &y, &cfg, None);
+        assert!(r.residual_norm >= 0.0);
+        assert!(r.residual_norm < cs_dsp::l2_norm(&y));
+    }
+}
+
+#[cfg(test)]
+mod backtracking_tests {
+    use super::*;
+    use crate::kernels::KernelMode;
+    use crate::operator::DenseOperator;
+    use cs_sensing::MotePrng;
+
+    fn instance(seed: u64) -> (DenseOperator<f64>, Vec<f64>, Vec<f64>) {
+        let (m, n) = (48, 96);
+        let mut rng = MotePrng::new(seed);
+        let data: Vec<f64> = (0..m * n)
+            .map(|_| rng.next_gaussian() / (m as f64).sqrt())
+            .collect();
+        let op = DenseOperator::from_row_major(m, n, data, KernelMode::Unrolled4);
+        let mut truth = vec![0.0; n];
+        for idx in rng.distinct_below(5, n as u32) {
+            truth[idx as usize] = rng.next_gaussian() + 2.0;
+        }
+        let y = op.apply(&truth);
+        (op, truth, y)
+    }
+
+    #[test]
+    fn backtracking_matches_constant_step_solution() {
+        let (op, _, y) = instance(3);
+        let cfg = ShrinkageConfig {
+            lambda: 1e-3,
+            max_iterations: 3000,
+            tolerance: 1e-9,
+            residual_tolerance: 0.0,
+            kernel: KernelMode::Unrolled4,
+            record_objective: false,
+        };
+        let constant = fista(&op, &y, &cfg, None);
+        let adaptive = fista_backtracking(&op, &y, &cfg, None);
+        for (a, b) in constant.solution.iter().zip(&adaptive.solution) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn backtracking_needs_no_lipschitz_estimate() {
+        // Start from a wildly wrong L and still converge.
+        let (op, truth, y) = instance(7);
+        let cfg = ShrinkageConfig {
+            lambda: 1e-3,
+            max_iterations: 3000,
+            tolerance: 1e-8,
+            residual_tolerance: 0.0,
+            kernel: KernelMode::Unrolled4,
+            record_objective: false,
+        };
+        let r = fista_backtracking(&op, &y, &cfg, Some(1e-9));
+        let err: f64 = truth
+            .iter()
+            .zip(&r.solution)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        let scale: f64 = truth.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(err / scale < 0.02, "relative error {}", err / scale);
+    }
+
+    #[test]
+    fn backtracking_objective_decreases_overall() {
+        let (op, _, y) = instance(9);
+        let cfg = ShrinkageConfig {
+            lambda: 0.01,
+            max_iterations: 120,
+            tolerance: 0.0,
+            residual_tolerance: 0.0,
+            kernel: KernelMode::Unrolled4,
+            record_objective: true,
+        };
+        let r = fista_backtracking(&op, &y, &cfg, None);
+        let first = r.objective_history[2];
+        let last = *r.objective_history.last().unwrap();
+        assert!(last < first * 0.5, "objective {first} → {last}");
+    }
+}

@@ -1,0 +1,62 @@
+//! Error types for sensing-matrix construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned when constructing or applying sensing matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SensingError {
+    /// Matrix dimensions were structurally invalid (zero, or `m > n` for a
+    /// compression matrix).
+    InvalidDimensions {
+        /// Requested number of measurements (rows).
+        m: usize,
+        /// Requested signal length (columns).
+        n: usize,
+        /// Why the pair is invalid.
+        reason: String,
+    },
+    /// The sparse-binary column weight `d` was invalid for the matrix shape.
+    InvalidColumnWeight {
+        /// Requested ones per column.
+        d: usize,
+        /// Number of rows available.
+        m: usize,
+    },
+}
+
+impl fmt::Display for SensingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SensingError::InvalidDimensions { m, n, reason } => {
+                write!(f, "invalid sensing dimensions {m}×{n}: {reason}")
+            }
+            SensingError::InvalidColumnWeight { d, m } => {
+                write!(
+                    f,
+                    "invalid sparse column weight d={d}: must satisfy 1 <= d <= m ({m})"
+                )
+            }
+        }
+    }
+}
+
+impl Error for SensingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = SensingError::InvalidColumnWeight { d: 0, m: 128 };
+        assert!(e.to_string().contains("d=0"));
+        let e = SensingError::InvalidDimensions {
+            m: 600,
+            n: 512,
+            reason: "more measurements than samples".into(),
+        };
+        assert!(e.to_string().contains("600×512"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Deterministic, mote-friendly pseudo-random number generation.
+//!
+//! The CS-ECG system relies on the encoder (mote) and decoder (coordinator)
+//! agreeing on the *same* sensing matrix without ever transmitting it: both
+//! sides expand a shared seed. The paper notes (§IV-A2) that sensing
+//! matrices "can be constructed with simple pseudo-random design that can be
+//! implemented using a surprisingly small amount of on-board memory and
+//! computation" — [`MotePrng`] is that design: a 64-bit xorshift with a
+//! handful of shifts and XORs per draw, trivially implementable on a 16-bit
+//! MCU as four 16-bit words.
+//!
+//! Determinism across builds matters here (a codebook or matrix generated
+//! on one side must match the other), so this module deliberately does
+//! *not* use the `rand` crate, whose stream may change across versions.
+
+/// A small, fast, seedable xorshift64* generator.
+///
+/// # Examples
+///
+/// ```
+/// use cs_sensing::MotePrng;
+///
+/// let mut a = MotePrng::new(42);
+/// let mut b = MotePrng::new(42);
+/// assert_eq!(a.next_u32(), b.next_u32()); // same seed ⇒ same stream
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MotePrng {
+    state: u64,
+}
+
+impl MotePrng {
+    /// Creates a generator from a seed. A zero seed is remapped to a fixed
+    /// non-zero constant (xorshift has an all-zero fixed point).
+    pub fn new(seed: u64) -> Self {
+        let state = if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed };
+        MotePrng { state }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        // xorshift64* (Marsaglia / Vigna)
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Next 32 uniformly distributed bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform draw in `[0, bound)` using rejection to avoid modulo bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "next_below: zero bound");
+        // Lemire-style rejection.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u32();
+            let m = (r as u64) * (bound as u64);
+            if (m as u32) >= threshold {
+                return (m >> 32) as u32;
+            }
+        }
+    }
+
+    /// Uniform draw in `[0, 1)` with 53-bit resolution.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A standard-normal draw via the Box–Muller transform.
+    pub fn next_gaussian(&mut self) -> f64 {
+        // Draw u in (0, 1] to keep ln() finite.
+        let u = 1.0 - self.next_f64();
+        let v = self.next_f64();
+        (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos()
+    }
+
+    /// Fills `k` distinct values drawn uniformly from `[0, bound)` — the
+    /// primitive used to place the `d` ones of each sparse-binary column.
+    /// Uses Floyd's algorithm so memory is `O(k)`, not `O(bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > bound as usize`.
+    pub fn distinct_below(&mut self, k: usize, bound: u32) -> Vec<u32> {
+        assert!(
+            k <= bound as usize,
+            "distinct_below: cannot draw {k} distinct values below {bound}"
+        );
+        let mut chosen: Vec<u32> = Vec::with_capacity(k);
+        for j in (bound as usize - k)..bound as usize {
+            let t = self.next_below(j as u32 + 1);
+            if chosen.contains(&t) {
+                chosen.push(j as u32);
+            } else {
+                chosen.push(t);
+            }
+        }
+        chosen.sort_unstable();
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = MotePrng::new(7);
+        let mut b = MotePrng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = MotePrng::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = MotePrng::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn uniform_f64_in_unit_interval() {
+        let mut r = MotePrng::new(123);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = MotePrng::new(99);
+        let n = 50_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let g = r.next_gaussian();
+            sum += g;
+            sum2 += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn next_below_is_unbiased_enough() {
+        let mut r = MotePrng::new(5);
+        let mut counts = [0_u32; 7];
+        for _ in 0..70_000 {
+            counts[r.next_below(7) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "count {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bound")]
+    fn next_below_zero_panics() {
+        MotePrng::new(1).next_below(0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_distinct_below_yields_distinct_sorted(
+            seed in any::<u64>(),
+            k in 1_usize..32,
+        ) {
+            let bound = 64_u32;
+            let v = MotePrng::new(seed).distinct_below(k, bound);
+            prop_assert_eq!(v.len(), k);
+            for w in v.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            prop_assert!(v.iter().all(|&x| x < bound));
+        }
+
+        #[test]
+        fn prop_distinct_below_full_range(seed in any::<u64>()) {
+            // k == bound must return a permutation of 0..bound (sorted).
+            let v = MotePrng::new(seed).distinct_below(16, 16);
+            prop_assert_eq!(v, (0..16).collect::<Vec<u32>>());
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Offline codebook training — the step that produces the 1.5 kB table
+//! flashed onto the mote (§IV-A2).
+//!
+//! Trains on part of the corpus, reports the code's statistics, shows that
+//! the canonical codebook round-trips through its 512 serialized length
+//! bytes, and quantifies the benefit over an untrained (uniform) code on
+//! held-out records.
+//!
+//! ```text
+//! cargo run --release --example codebook_training
+//! ```
+
+use cs_ecg_monitor::prelude::*;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = SyntheticDatabase::new(DatabaseConfig {
+        num_records: 6,
+        duration_s: 20.0,
+        ..DatabaseConfig::default()
+    });
+    let config = SystemConfig::paper_default();
+
+    // Train on records 0–2.
+    let mut training = Vec::new();
+    for i in 0..3 {
+        let samples = prepare(&db.record(i));
+        training.extend(packetize(&samples, config.packet_len()).map(|p| p.to_vec()));
+    }
+    println!("training on {} packets from 3 records…", training.len());
+    let trained = Arc::new(train_codebook(&config, training.into_iter())?);
+
+    println!(
+        "codebook: alphabet {}, max codeword {} bits (cap {}), mote storage {} B (paper: 1.5 kB)",
+        trained.alphabet_size(),
+        trained.max_length(),
+        cs_ecg_monitor::codec::MAX_CODE_LEN,
+        trained.mote_storage_bytes()
+    );
+
+    // Canonical codes serialize as just the length bytes.
+    let lengths = trained.lengths().to_vec();
+    let rebuilt = Codebook::from_lengths(&lengths)?;
+    assert_eq!(*trained, rebuilt);
+    println!(
+        "serialization: {} length bytes reconstruct the identical codebook ✓",
+        lengths.len()
+    );
+
+    // Held-out comparison: records 3–5, trained vs uniform codebook.
+    let uniform = Arc::new(uniform_codebook(config.alphabet())?);
+    let mut trained_bits = 0.0;
+    let mut uniform_bits = 0.0;
+    let mut packets = 0usize;
+    for i in 3..6 {
+        let samples = prepare(&db.record(i));
+        let rt = evaluate_stream::<f64>(&config, Arc::clone(&trained), &samples, SolverPolicy::default())?;
+        let ru = evaluate_stream::<f64>(&config, Arc::clone(&uniform), &samples, SolverPolicy::default())?;
+        for (a, b) in rt.packets.iter().zip(&ru.packets) {
+            trained_bits += a.payload_bits as f64;
+            uniform_bits += b.payload_bits as f64;
+            packets += 1;
+        }
+    }
+    println!(
+        "\nheld-out ({} packets): trained {:.0} bits/packet vs uniform {:.0} bits/packet \
+         ({:.1} % smaller)",
+        packets,
+        trained_bits / packets as f64,
+        uniform_bits / packets as f64,
+        (1.0 - trained_bits / uniform_bits) * 100.0
+    );
+    Ok(())
+}
+
+fn prepare(record: &Record) -> Vec<i16> {
+    let at_256 = resample_360_to_256(&record.signal_mv(0));
+    let adc = record.adc();
+    at_256.iter().map(|&v| adc.to_signed(adc.quantize(v))).collect()
+}

@@ -1,0 +1,78 @@
+//! Holter-style continuous monitoring: stream several records through the
+//! threaded producer–consumer pipeline (the iPhone app's structure) and
+//! report real-time behaviour plus platform-model numbers — an end-to-end
+//! analogue of the paper's Fig. 8 demo.
+//!
+//! ```text
+//! cargo run --release --example holter_stream
+//! ```
+
+use cs_ecg_monitor::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = SyntheticDatabase::new(DatabaseConfig {
+        num_records: 3,
+        duration_s: 30.0,
+        ..DatabaseConfig::default()
+    });
+    let config = SystemConfig::paper_default();
+
+    // Train the codebook once, offline, on the first record.
+    let first = prepare(&db.record(0));
+    let training = packetize(&first, config.packet_len()).take(5).map(|p| p.to_vec());
+    let codebook = Arc::new(train_codebook(&config, training)?);
+
+    let mote = MoteSpec::msp430f1611();
+    let coordinator = CoordinatorSpec::iphone_3gs();
+
+    for idx in 0..db.len() {
+        let record = db.record(idx);
+        let samples = prepare(&record);
+        let mut solves = Vec::new();
+        let report = run_streaming::<f32, _>(
+            &config,
+            Arc::clone(&codebook),
+            &samples,
+            SolverPolicy::default(),
+            |decoded| {
+                solves.push(cs_ecg_monitor::platform::SolveSample {
+                    iterations: decoded.iterations,
+                    solve_time: decoded.solve_time,
+                });
+            },
+        )?;
+        let rt = analyze_solves(&coordinator, &solves);
+        println!(
+            "record {}: {} packets, real-time = {}, worst packet {:.1} % of budget, \
+             coordinator CPU {:.1} % (model)",
+            record.id(),
+            report.packets_delivered,
+            report.real_time,
+            rt.worst_case_fraction_of_budget * 100.0,
+            rt.cpu_usage_percent
+        );
+    }
+
+    // Node-side summary for one representative packet.
+    let mut encoder = Encoder::new(&config, Arc::clone(&codebook))?;
+    let samples = prepare(&db.record(0));
+    let _ = encoder.encode_packet(&samples[..config.packet_len()])?;
+    let wire = encoder.encode_packet(&samples[config.packet_len()..2 * config.packet_len()])?;
+    let cost = encode_cost(&mote, &config, &wire);
+    println!(
+        "\nnode (MSP430 model): {:.1} ms per 2-s packet → {:.2} % CPU (paper: < 5 %)",
+        cost.time_on(&mote).as_secs_f64() * 1e3,
+        cost.cpu_utilization(&mote, Duration::from_secs(2)) * 100.0
+    );
+    println!("{}", encoder_footprint(&config, &codebook).to_table());
+    Ok(())
+}
+
+/// 360 Hz record → 256 Hz signed counts (the mote's serial input).
+fn prepare(record: &Record) -> Vec<i16> {
+    let at_256 = resample_360_to_256(&record.signal_mv(0));
+    let adc = record.adc();
+    at_256.iter().map(|&v| adc.to_signed(adc.quantize(v))).collect()
+}

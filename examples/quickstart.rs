@@ -1,0 +1,68 @@
+//! Quickstart: compress and reconstruct one ECG stream with the paper's
+//! default system (CR 50 %, sparse binary d = 12, db4, FISTA).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cs_ecg_monitor::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Get ECG the way the paper does: a two-channel 360 Hz record,
+    //    resampled to 256 Hz and digitized at 11 bits over 10 mV.
+    let db = SyntheticDatabase::new(DatabaseConfig {
+        num_records: 1,
+        duration_s: 20.0,
+        ..DatabaseConfig::default()
+    });
+    let record = db.record(0);
+    let at_256 = resample_360_to_256(&record.signal_mv(0));
+    let adc = record.adc();
+    let samples: Vec<i16> = at_256
+        .iter()
+        .map(|&v| adc.to_signed(adc.quantize(v)))
+        .collect();
+    println!(
+        "record {}: {:.1} s of ECG, {} beats annotated",
+        record.id(),
+        record.duration_s(),
+        record.annotations().len()
+    );
+
+    // 2. Configure the system — both sides share this.
+    let config = SystemConfig::paper_default();
+    println!(
+        "system: N = {}, M = {} (CR {:.0} %), d = {}, wavelet {} × {} levels",
+        config.packet_len(),
+        config.measurements(),
+        config.compression_ratio(),
+        config.sparse_ones_per_column(),
+        config.wavelet_family(),
+        config.levels()
+    );
+
+    // 3. Train the offline Huffman codebook on the first packets, then
+    //    run the full encode → wire → decode loop.
+    let report = train_and_evaluate::<f64>(&config, &samples, 3, SolverPolicy::default())?;
+
+    println!("\n{:>6} {:>8} {:>8} {:>8} {:>7} {:>10}", "packet", "CR %", "PRD %", "SNR dB", "iters", "quality");
+    for p in &report.packets {
+        println!(
+            "{:>6} {:>8.1} {:>8.2} {:>8.2} {:>7} {:>10}",
+            p.index,
+            p.cr_percent,
+            p.prd,
+            p.snr_db,
+            p.iterations,
+            DiagnosticQuality::from_prd(p.prd).to_string()
+        );
+    }
+    println!(
+        "\nmean: CR {:.1} %, PRD {:.2} %, SNR {:.2} dB over {} packets",
+        report.cr.mean(),
+        report.prd.mean(),
+        report.snr_db.mean(),
+        report.packets.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Empirical restricted-isometry diagnostics for the sensing ensembles
+//! (the numerical backdrop of the paper's §II-A RIP discussion and the
+//! sparse-binary RIP-p argument of its ref. [19]).
+//!
+//! Samples random S-sparse vectors and reports the spread of
+//! `‖Φx‖/‖x‖` plus mutual coherence, for each matrix the paper considers.
+//!
+//! ```text
+//! cargo run --release --example rip_check
+//! ```
+
+use cs_ecg_monitor::prelude::*;
+use cs_ecg_monitor::sensing::{estimate_isometry, mutual_coherence};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 512;
+    let m = 256; // CR 50
+    let sparsity = 32;
+    let trials = 200;
+
+    let sparse = SparseBinarySensing::new(m, n, 12, 7)?;
+    let gauss: DenseSensing<f64> = DenseSensing::gaussian(m, n, 7)?;
+    let quant: DenseSensing<f64> = DenseSensing::quantized_gaussian(m, n, 7)?;
+    let bern: DenseSensing<f64> = DenseSensing::bernoulli(m, n, 7)?;
+
+    println!(
+        "Φ ensembles at M = {m}, N = {n}; S = {sparsity}, {trials} random sparse vectors\n"
+    );
+    println!(
+        "{:<26} {:>8} {:>8} {:>8} {:>8} {:>10}",
+        "ensemble", "min", "mean", "max", "δ̂_S", "coherence"
+    );
+
+    let row = |name: &str, est: cs_ecg_monitor::sensing::IsometryEstimate, mu: f64| {
+        println!(
+            "{:<26} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>10.3}",
+            name,
+            est.min_ratio,
+            est.mean_ratio,
+            est.max_ratio,
+            est.delta_lower_bound(),
+            mu
+        );
+    };
+
+    row(
+        "sparse binary (d = 12)",
+        estimate_isometry(|x| sparse.apply(x), n, sparsity, trials, 11),
+        mutual_coherence(&sparse),
+    );
+    row(
+        "Gaussian N(0, 1/N)",
+        estimate_isometry(|x| gauss.apply(x), n, sparsity, trials, 11),
+        mutual_coherence(&gauss),
+    );
+    row(
+        "quantized Gaussian (8-bit)",
+        estimate_isometry(|x| quant.apply(x), n, sparsity, trials, 11),
+        mutual_coherence(&quant),
+    );
+    row(
+        "Bernoulli ±1/√N",
+        estimate_isometry(|x| bern.apply(x), n, sparsity, trials, 11),
+        mutual_coherence(&bern),
+    );
+
+    println!(
+        "\nAll four concentrate their ratios in a narrow band (near-isometry on sparse\n\
+         vectors); the sparse binary ensemble does so with 12 nonzeros per column\n\
+         instead of {m} — which is the entire point of §IV-A2."
+    );
+    Ok(())
+}

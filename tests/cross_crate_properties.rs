@@ -1,0 +1,129 @@
+//! Property-based integration tests across crates: wire-format fuzzing,
+//! codebook agreement between sides, and pipeline invariants under random
+//! inputs.
+
+use cs_ecg_monitor::prelude::*;
+use cs_ecg_monitor::system::EncodedPacket;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary byte blobs must never panic the wire parser — it either
+    /// parses or returns a structured error.
+    #[test]
+    fn wire_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = EncodedPacket::from_bytes(&bytes);
+    }
+
+    /// Corrupting any single byte of a framed packet either still parses
+    /// (payload corruption is the codec's problem) or errors — no panic.
+    #[test]
+    fn corrupted_frames_handled(flip_at in 0_usize..64, xor in 1_u8..=255) {
+        let config = SystemConfig::paper_default();
+        let codebook = Arc::new(uniform_codebook(512).unwrap());
+        let mut encoder = Encoder::new(&config, Arc::clone(&codebook)).unwrap();
+        let wire = encoder.encode_packet(&vec![0_i16; 512]).unwrap();
+        let mut bytes = wire.to_bytes();
+        let idx = flip_at % bytes.len();
+        bytes[idx] ^= xor;
+        if let Ok(parsed) = EncodedPacket::from_bytes(&bytes) {
+            let mut decoder: Decoder<f32> =
+                Decoder::new(&config, codebook, SolverPolicy::default()).unwrap();
+            let _ = decoder.decode_packet(&parsed); // may Err, must not panic
+        }
+    }
+
+    /// End-to-end quality holds across the family of signals the system
+    /// is built for: quasi-periodic spike trains (QRS-like), for any
+    /// plausible amplitude, rate and spike width. These are sparse in the
+    /// wavelet basis, so CR 50 recovery must stay clinically plausible.
+    #[test]
+    fn round_trip_prd_bounded_for_spiky_signals(
+        amp in 300.0_f64..1000.0,
+        period in 120.0_f64..300.0,   // samples between beats (~50-130 bpm)
+        width in 6.0_f64..14.0,       // QRS-like spike width in samples
+    ) {
+        let n = 512;
+        let samples: Vec<i16> = (0..2 * n)
+            .map(|i| {
+                let phase = (i as f64) % period;
+                let spike = (-(((phase - period / 2.0) / width).powi(2))).exp();
+                (amp * spike + 0.08 * amp * (i as f64 / 40.0).sin()) as i16
+            })
+            .collect();
+        let config = SystemConfig::paper_default();
+        let report =
+            train_and_evaluate::<f64>(&config, &samples, 1, SolverPolicy::default()).unwrap();
+        prop_assert!(report.prd.mean() < 30.0, "PRD {}", report.prd.mean());
+    }
+
+    /// The trained codebook's serialized lengths always rebuild an
+    /// identical codebook (the mote and phone must agree bit-for-bit).
+    #[test]
+    fn codebook_lengths_rebuild_identically(seed in any::<u64>()) {
+        let config = SystemConfig::paper_default();
+        let mut state = seed | 1;
+        let packets = (0..6).map(move |_| {
+            (0..512)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    (state % 1200) as i16 - 600
+                })
+                .collect::<Vec<i16>>()
+        });
+        let cb = train_codebook(&config, packets).unwrap();
+        let rebuilt = Codebook::from_lengths(cb.lengths()).unwrap();
+        prop_assert_eq!(cb, rebuilt);
+    }
+
+    /// Quantization + resampling + pipeline must be deterministic: the
+    /// same corpus seed yields bit-identical wire packets.
+    #[test]
+    fn whole_chain_is_deterministic(record_seconds in 4.0_f64..8.0) {
+        let make = || {
+            let db = SyntheticDatabase::new(DatabaseConfig {
+                num_records: 1,
+                duration_s: record_seconds,
+                ..DatabaseConfig::default()
+            });
+            let record = db.record(0);
+            let at_256 = resample_360_to_256(&record.signal_mv(0));
+            let adc = record.adc();
+            let samples: Vec<i16> =
+                at_256.iter().map(|&v| adc.to_signed(adc.quantize(v))).collect();
+            let config = SystemConfig::paper_default();
+            let codebook = Arc::new(uniform_codebook(512).unwrap());
+            let mut encoder = Encoder::new(&config, codebook).unwrap();
+            packetize(&samples, 512)
+                .map(|p| encoder.encode_packet(p).unwrap().to_bytes())
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(make(), make());
+    }
+}
+
+#[test]
+fn sensing_matrix_shared_by_seed_is_identical_across_sides() {
+    // The encoder's Φ and a decoder-side reconstruction of Φ from the same
+    // config must match column for column.
+    let config = SystemConfig::paper_default();
+    let a = SparseBinarySensing::new(
+        config.measurements(),
+        config.packet_len(),
+        config.sparse_ones_per_column(),
+        config.seed(),
+    )
+    .unwrap();
+    let b = SparseBinarySensing::new(
+        config.measurements(),
+        config.packet_len(),
+        config.sparse_ones_per_column(),
+        config.seed(),
+    )
+    .unwrap();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,202 @@
+//! Cross-implementation equivalence tests: every fast path in the
+//! workspace has a slow, obviously-correct counterpart, and these tests
+//! pin them together.
+
+use cs_ecg_monitor::dsp::wavelet::{Dwt, Wavelet};
+use cs_ecg_monitor::prelude::*;
+use cs_ecg_monitor::recovery::DenseOperator;
+use cs_ecg_monitor::sensing::MotePrng;
+
+/// The matrix-free periodized DWT must agree with an explicitly
+/// materialized orthogonal matrix.
+#[test]
+fn dwt_matches_materialized_matrix() {
+    let n = 64;
+    let wavelet = Wavelet::daubechies(3).unwrap();
+    let dwt: Dwt<f64> = Dwt::new(&wavelet, n, 3).unwrap();
+
+    // Materialize W row by row: row k = analyze(e_k)ᵀ ... actually
+    // column k of the analysis matrix is analyze(e_k).
+    let mut w = vec![vec![0.0_f64; n]; n];
+    for j in 0..n {
+        let mut e = vec![0.0; n];
+        e[j] = 1.0;
+        let col = dwt.analyze(&e);
+        for i in 0..n {
+            w[i][j] = col[i];
+        }
+    }
+
+    // 1. The matrix is orthogonal: WᵀW = I.
+    for a in 0..n {
+        for b in 0..n {
+            let dot: f64 = (0..n).map(|i| w[i][a] * w[i][b]).sum();
+            let expect = if a == b { 1.0 } else { 0.0 };
+            assert!((dot - expect).abs() < 1e-10, "WᵀW[{a}][{b}] = {dot}");
+        }
+    }
+
+    // 2. Dense multiply equals the fast transform on random input.
+    let mut rng = MotePrng::new(42);
+    let x: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+    let fast = dwt.analyze(&x);
+    for i in 0..n {
+        let dense: f64 = (0..n).map(|j| w[i][j] * x[j]).sum();
+        assert!((dense - fast[i]).abs() < 1e-10);
+    }
+
+    // 3. Synthesis equals the transpose multiply.
+    let c: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+    let slow_synth: Vec<f64> = (0..n)
+        .map(|i| (0..n).map(|j| w[j][i] * c[j]).sum())
+        .collect();
+    let fast_synth = dwt.synthesize(&c);
+    for i in 0..n {
+        assert!((slow_synth[i] - fast_synth[i]).abs() < 1e-10);
+    }
+}
+
+/// The sparse binary apply must agree with its dense materialization, and
+/// the adjoint must be the exact transpose.
+#[test]
+fn sparse_sensing_matches_dense_transpose() {
+    let phi = SparseBinarySensing::new(48, 96, 6, 9).unwrap();
+    let dense: Vec<f64> = Sensing::<f64>::to_dense(&phi);
+    let mut rng = MotePrng::new(7);
+    let x: Vec<f64> = (0..96).map(|_| rng.next_gaussian()).collect();
+    let y: Vec<f64> = phi.apply(x.as_slice());
+    for i in 0..48 {
+        let manual: f64 = (0..96).map(|j| dense[i * 96 + j] * x[j]).sum();
+        assert!((manual - y[i]).abs() < 1e-12);
+    }
+    let r: Vec<f64> = (0..48).map(|_| rng.next_gaussian()).collect();
+    let bt: Vec<f64> = phi.adjoint(r.as_slice());
+    for j in 0..96 {
+        let manual: f64 = (0..48).map(|i| dense[i * 96 + j] * r[i]).sum();
+        assert!((manual - bt[j]).abs() < 1e-12);
+    }
+}
+
+/// Huffman code lengths from package–merge must be *optimal* among all
+/// prefix codes for small alphabets — verified against brute force over
+/// every admissible length assignment.
+#[test]
+fn package_merge_is_optimal_for_small_alphabets() {
+    // All Kraft-complete length multisets for 4 symbols with cap 16 that
+    // are achievable by a prefix code: enumerate lengths 1..=4 per symbol
+    // and filter by Kraft equality.
+    let count_sets = [
+        [100u64, 50, 20, 5],
+        [1, 1, 1, 1],
+        [1000, 1, 1, 1],
+        [7, 7, 6, 1],
+    ];
+    for counts in count_sets {
+        let cb = Codebook::from_counts(&counts, 4).unwrap();
+        let cost: u64 = counts
+            .iter()
+            .zip(cb.lengths())
+            .map(|(&c, &l)| c * l as u64)
+            .sum();
+        // Brute force.
+        let mut best = u64::MAX;
+        for l0 in 1..=4u8 {
+            for l1 in 1..=4u8 {
+                for l2 in 1..=4u8 {
+                    for l3 in 1..=4u8 {
+                        let lens = [l0, l1, l2, l3];
+                        let kraft: u64 =
+                            lens.iter().map(|&l| 1u64 << (16 - l)).sum();
+                        if kraft != 1 << 16 {
+                            continue;
+                        }
+                        let c: u64 = counts
+                            .iter()
+                            .zip(&lens)
+                            .map(|(&cnt, &l)| cnt * l as u64)
+                            .sum();
+                        best = best.min(c);
+                    }
+                }
+            }
+        }
+        assert_eq!(cost, best, "suboptimal code for {counts:?}");
+    }
+}
+
+/// The matrix-free composed operator equals its dense materialization
+/// inside the solver: FISTA run on both must produce the same iterates.
+#[test]
+fn fista_identical_on_matrix_free_and_dense() {
+    use cs_ecg_monitor::recovery::{fista, lambda_max, ShrinkageConfig};
+
+    let wavelet = Wavelet::daubechies(4).unwrap();
+    let dwt: Dwt<f64> = Dwt::new(&wavelet, 128, 3).unwrap();
+    let phi = SparseBinarySensing::new(64, 128, 8, 3).unwrap();
+    let op = SynthesisOperator::new(&phi, &dwt);
+    let dense = DenseOperator::materialize(&op, KernelMode::Unrolled4);
+
+    let x: Vec<f64> = (0..128)
+        .map(|i| (i as f64 * 0.17).sin() * 100.0)
+        .collect();
+    let y: Vec<f64> = phi.apply(x.as_slice());
+    let cfg = ShrinkageConfig {
+        lambda: 0.01 * lambda_max(&op, &y),
+        max_iterations: 120,
+        tolerance: 0.0,
+        residual_tolerance: 0.0,
+        kernel: KernelMode::Unrolled4,
+        record_objective: false,
+    };
+    // Same explicit Lipschitz constant so the trajectories match exactly.
+    let a = fista(&op, &y, &cfg, Some(40.0));
+    let b = fista(&dense, &y, &cfg, Some(40.0));
+    for (u, v) in a.solution.iter().zip(&b.solution) {
+        assert!((u - v).abs() < 1e-7, "{u} vs {v}");
+    }
+}
+
+/// The streaming FIR filter must agree with batch convolution for every
+/// chunking of the same input.
+#[test]
+fn streaming_fir_chunking_invariance() {
+    use cs_ecg_monitor::dsp::fir::{convolve, ConvMode, FirFilter};
+
+    let taps = vec![0.3_f64, -0.2, 0.5, 0.1, -0.05];
+    let x: Vec<f64> = (0..200).map(|i| ((i * i) as f64 * 0.013).sin()).collect();
+    let reference = convolve(&x, &taps, ConvMode::Full);
+    for chunk in [1usize, 3, 7, 50, 200] {
+        let mut f = FirFilter::new(taps.clone()).unwrap();
+        let mut streamed = Vec::new();
+        for c in x.chunks(chunk) {
+            streamed.extend(f.process(c));
+        }
+        for (i, (a, b)) in streamed.iter().zip(&reference).enumerate() {
+            assert!((a - b).abs() < 1e-12, "chunk {chunk}, sample {i}");
+        }
+    }
+}
+
+/// Resampling then decimating in a different rational decomposition must
+/// agree: 360→256 equals 360→720→256 up to filter transients.
+#[test]
+fn resampler_composition_consistency() {
+    use cs_ecg_monitor::ecg::Resampler;
+
+    let x: Vec<f64> = (0..3600)
+        .map(|i| (2.0 * std::f64::consts::PI * 8.0 * i as f64 / 360.0).sin())
+        .collect();
+    let direct = Resampler::new(256, 360).resample(&x);
+    let up = Resampler::new(720, 360).resample(&x);
+    let two_step = Resampler::new(256, 720).resample(&up);
+    let n = direct.len().min(two_step.len());
+    // Compare away from the edges (different transient lengths).
+    for i in 200..n - 200 {
+        assert!(
+            (direct[i] - two_step[i]).abs() < 1e-2,
+            "sample {i}: {} vs {}",
+            direct[i],
+            two_step[i]
+        );
+    }
+}
