@@ -53,7 +53,7 @@ fn main() {
             iters.mean()
         );
         let name = format!("{} × {}", family.name(), levels);
-        if best.as_ref().map_or(true, |(_, p)| prd.mean() < *p) {
+        if best.as_ref().is_none_or(|(_, p)| prd.mean() < *p) {
             best = Some((name, prd.mean()));
         }
     }

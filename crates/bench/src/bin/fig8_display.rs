@@ -65,6 +65,8 @@ fn render(signal: &[f64]) -> String {
     let hi = signal.iter().cloned().fold(f64::MIN, f64::max);
     let span = (hi - lo).max(1e-9);
     let mut grid = vec![vec![b' '; COLS]; ROWS];
+    // Indexed on purpose: each column writes a vertical span across rows.
+    #[allow(clippy::needless_range_loop)]
     for col in 0..COLS {
         let start = col * signal.len() / COLS;
         let end = ((col + 1) * signal.len() / COLS).max(start + 1);

@@ -1,0 +1,179 @@
+//! Fleet-scale decode report: every corpus record as a two-lead patient
+//! stream, fanned over the worker pool.
+//!
+//! Extends the single-coordinator real-time analysis (Fig. 8 / §V) to a
+//! monitoring service: throughput against the sequential single-stream
+//! decoder, worker balance, backpressure, the shared spectral cache, and
+//! the warm-start iteration saving (cold fleet vs warm fleet over the
+//! same traffic).
+//!
+//! ```text
+//! cargo run --release -p cs-bench --bin fleet_report [--full]
+//! ```
+
+use cs_bench::{banner, RunSettings};
+use cs_core::{
+    packetize, run_fleet, run_streaming, train_codebook, FleetConfig, FleetReport, FleetStream,
+    SolverPolicy, SystemConfig,
+};
+use cs_ecg_data::{resample_360_to_256, DatabaseConfig, Record, SyntheticDatabase};
+use cs_metrics::{worker_imbalance, FleetStats, StreamStats};
+use cs_platform::{analyze_fleet, CoordinatorSpec, SolveSample};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Mote-ready samples for one lead: resample to 256 Hz, quantize.
+fn prepare(record: &Record, channel: usize) -> Vec<i16> {
+    let at256 = resample_360_to_256(&record.signal_mv(channel));
+    let adc = record.adc();
+    at256.iter().map(|&v| adc.to_signed(adc.quantize(v))).collect()
+}
+
+fn run(
+    streams: &[FleetStream<'_>],
+    config: &SystemConfig,
+    codebook: &Arc<cs_codec::Codebook>,
+    fleet: &FleetConfig,
+) -> (FleetReport, Vec<StreamStats>, Vec<Vec<SolveSample>>) {
+    let mut stats = vec![StreamStats::new(); streams.len()];
+    let mut solves = vec![Vec::new(); streams.len()];
+    let report = run_fleet::<f32, _>(
+        config,
+        Arc::clone(codebook),
+        streams,
+        SolverPolicy::default(),
+        fleet,
+        |p| {
+            stats[p.stream].record(
+                p.packet.iterations,
+                p.packet.solve_time.as_secs_f64(),
+                p.packet.warm_started,
+            );
+            solves[p.stream].push(SolveSample {
+                iterations: p.packet.iterations,
+                solve_time: p.packet.solve_time,
+            });
+        },
+    )
+    .expect("fleet run");
+    (report, stats, solves)
+}
+
+fn main() {
+    let settings = RunSettings::from_args();
+    banner("fleet_report", "fleet decode engine (multi-patient §IV-B1)", &settings);
+    let config = SystemConfig::paper_default();
+    let n = config.packet_len();
+
+    // Both leads of every record: the database synthesizes true two-lead
+    // records (same timing, lead-dependent wave amplitudes).
+    let db = SyntheticDatabase::new(DatabaseConfig {
+        num_records: settings.records,
+        duration_s: settings.seconds,
+        ..DatabaseConfig::default()
+    });
+    let patients: Vec<(Vec<i16>, Vec<i16>)> = (0..db.len())
+        .map(|i| {
+            let record = db.record(i);
+            (prepare(&record, 0), prepare(&record, 1))
+        })
+        .collect();
+
+    let training = patients
+        .iter()
+        .flat_map(|(lead0, _)| packetize(lead0, n).take(3))
+        .map(|p| p.to_vec());
+    let codebook = Arc::new(train_codebook(&config, training).expect("training succeeds"));
+
+    let streams: Vec<FleetStream<'_>> = patients
+        .iter()
+        .map(|(lead0, lead1)| FleetStream {
+            leads: vec![lead0, lead1],
+        })
+        .collect();
+
+    // Sequential baseline: the paper's one-patient pipeline, one lead,
+    // stream after stream.
+    let started = Instant::now();
+    let mut sequential_packets = 0usize;
+    for (lead0, _) in &patients {
+        let report = run_streaming::<f32, _>(
+            &config,
+            Arc::clone(&codebook),
+            lead0,
+            SolverPolicy::default(),
+            |_| {},
+        )
+        .expect("streaming run");
+        sequential_packets += report.packets_delivered;
+    }
+    let sequential_wall = started.elapsed();
+    let sequential_rate = sequential_packets as f64 / sequential_wall.as_secs_f64();
+
+    let fleet_cfg = FleetConfig::default();
+    let (cold_report, cold_stats, solves) = run(&streams, &config, &codebook, &fleet_cfg);
+    let warm_cfg = FleetConfig { warm_start: true, ..fleet_cfg };
+    let (warm_report, warm_stats, _) = run(&streams, &config, &codebook, &warm_cfg);
+
+    let cold = FleetStats::from_streams(&cold_stats);
+    let warm = FleetStats::from_streams(&warm_stats);
+    let fleet_rate = cold_report.packets_decoded as f64 / cold_report.wall_time.as_secs_f64();
+
+    println!("== Fleet topology ==");
+    println!("streams                 : {:>6}  (× 2 leads)", streams.len());
+    println!("workers                 : {:>6}", cold_report.workers);
+    println!(
+        "worker imbalance        : {:>6.2}  (busiest / ideal share)",
+        worker_imbalance(&cold_report.worker_packets)
+    );
+    println!("backpressure stalls     : {:>6}", cold_report.backpressure_stalls);
+    println!(
+        "spectral cache          : {:>6} miss, {} hits (power iterations avoided)",
+        cold_report.spectral_misses, cold_report.spectral_hits
+    );
+
+    println!("== Throughput ==");
+    println!(
+        "sequential (1 stream)   : {:>8.2} packets/s  ({} packets in {:.2?})",
+        sequential_rate, sequential_packets, sequential_wall
+    );
+    println!(
+        "fleet ({} workers)       : {:>8.2} packets/s  ({} packets in {:.2?})",
+        cold_report.workers, fleet_rate, cold_report.packets_decoded, cold_report.wall_time
+    );
+    println!("speedup                 : {:>8.2} ×", fleet_rate / sequential_rate);
+
+    println!("== Warm-start FISTA ==");
+    println!(
+        "cold mean iterations    : {:>8.1}",
+        cold.iterations.mean()
+    );
+    println!(
+        "warm mean iterations    : {:>8.1}  ({} of {} packets warm-started)",
+        warm.iterations.mean(),
+        warm.warm_started,
+        warm.packets()
+    );
+    println!(
+        "iteration saving        : {:>8.1} %",
+        warm.iteration_saving_vs(&cold) * 100.0
+    );
+    println!(
+        "warm wall-clock         : {:>8.2?} (vs cold {:.2?})",
+        warm_report.wall_time, cold_report.wall_time
+    );
+
+    let capacity = analyze_fleet(&CoordinatorSpec::iphone_3gs(), cold_report.workers, &solves);
+    println!("== Pool capacity (iPhone-3GS budget model) ==");
+    println!("mean solve per packet   : {:>8.2?}", capacity.mean_solve);
+    println!("streams per worker      : {:>8}", capacity.streams_per_worker);
+    println!(
+        "pool capacity           : {:>8}  (serving {})",
+        capacity.max_streams, capacity.streams
+    );
+    println!("per-worker CPU usage    : {:>8.2} %", capacity.cpu_usage_percent);
+    println!(
+        "real-time verdict       : {:>8}",
+        if capacity.real_time { "yes" } else { "NO" }
+    );
+}

@@ -60,7 +60,7 @@ impl DiffConfig {
             "DiffConfig: zero reference interval"
         );
         assert!(
-            self.alphabet >= 2 && self.alphabet % 2 == 0,
+            self.alphabet >= 2 && self.alphabet.is_multiple_of(2),
             "DiffConfig: alphabet must be even and at least 2"
         );
     }
@@ -166,7 +166,7 @@ impl DiffEncoder {
                 actual: y.len(),
             });
         }
-        let is_reference = self.packets_sent % self.config.reference_interval == 0;
+        let is_reference = self.packets_sent.is_multiple_of(self.config.reference_interval);
         self.packets_sent += 1;
         if is_reference {
             self.state.copy_from_slice(y);

@@ -219,7 +219,7 @@ impl SystemConfigBuilder {
                 self.sparse_d
             )));
         }
-        if self.alphabet < 2 || self.alphabet % 2 != 0 || self.alphabet > 65536 {
+        if self.alphabet < 2 || !self.alphabet.is_multiple_of(2) || self.alphabet > 65536 {
             return Err(PipelineError::InvalidConfig(format!(
                 "alphabet {} must be even and in 2..=65536",
                 self.alphabet

@@ -14,10 +14,12 @@ use cs_codec::{symbol_to_value, BitReader, Codebook, DeltaBlock, DiffConfig, Dif
 use cs_dsp::wavelet::{Dwt, Wavelet};
 use cs_dsp::Real;
 use cs_recovery::{
-    fista, fista_weighted, lambda_max, lipschitz_constant, top_singular_pair, DeflatedOperator,
-    KernelMode, ShrinkageConfig, SynthesisOperator,
+    fista_warm, fista_weighted_warm, lambda_max, lipschitz_constant, top_singular_pair,
+    DeflatedOperator, KernelMode, LinearOperator, ShrinkageConfig, SpectralCache,
+    SpectralEstimate, SynthesisOperator,
 };
 use cs_sensing::SparseBinarySensing;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -79,6 +81,9 @@ pub struct DecodedPacket<T: Real> {
     pub converged: bool,
     /// Wall-clock time in the solver.
     pub solve_time: Duration,
+    /// Whether FISTA was seeded with the previous packet's solution
+    /// (see [`Decoder::set_warm_start`]).
+    pub warm_started: bool,
 }
 
 /// The CS-ECG decoder.
@@ -116,6 +121,11 @@ pub struct Decoder<T: Real> {
     /// Per-coefficient ℓ1 weights (empty ⇒ unweighted).
     penalty_weights: Vec<T>,
     policy: SolverPolicy<T>,
+    /// Previous packet's coefficient estimate, kept when warm starts are
+    /// enabled. Consecutive 2-second ECG packets are highly correlated, so
+    /// seeding FISTA here cuts iterations without moving the fixed point.
+    warm: Option<Vec<T>>,
+    warm_start: bool,
 }
 
 impl<T: Real> Decoder<T> {
@@ -129,6 +139,48 @@ impl<T: Real> Decoder<T> {
         config: &SystemConfig,
         codebook: Arc<Codebook>,
         policy: SolverPolicy<T>,
+    ) -> Result<Self, PipelineError> {
+        Self::build(config, codebook, policy, None)
+    }
+
+    /// Like [`Decoder::new`], but shares the power-iteration results (the
+    /// Lipschitz constant and deflation direction) through `cache`. A fleet
+    /// of decoders over identical configurations pays the spectral setup
+    /// once instead of once per stream; the results are bit-identical to
+    /// the uncached path.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Decoder::new`].
+    pub fn with_cache(
+        config: &SystemConfig,
+        codebook: Arc<Codebook>,
+        policy: SolverPolicy<T>,
+        cache: &SpectralCache<T>,
+    ) -> Result<Self, PipelineError> {
+        Self::build(config, codebook, policy, Some(cache))
+    }
+
+    /// The cache key for this decoder's spectral estimate: a hash of every
+    /// input the power iteration depends on (sensing shape and seed,
+    /// wavelet plan, deflation factor).
+    pub fn spectral_key(config: &SystemConfig, policy: &SolverPolicy<T>) -> u64 {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        config.measurements().hash(&mut hasher);
+        config.packet_len().hash(&mut hasher);
+        config.sparse_ones_per_column().hash(&mut hasher);
+        config.seed().hash(&mut hasher);
+        format!("{:?}", config.wavelet_family()).hash(&mut hasher);
+        config.levels().hash(&mut hasher);
+        policy.deflation_factor.to_f64().to_bits().hash(&mut hasher);
+        hasher.finish()
+    }
+
+    fn build(
+        config: &SystemConfig,
+        codebook: Arc<Codebook>,
+        policy: SolverPolicy<T>,
+        cache: Option<&SpectralCache<T>>,
     ) -> Result<Self, PipelineError> {
         if codebook.alphabet_size() != config.alphabet() {
             return Err(PipelineError::InvalidConfig(format!(
@@ -145,16 +197,33 @@ impl<T: Real> Decoder<T> {
         )?;
         let wavelet = Wavelet::new(config.wavelet_family())?;
         let dwt = Dwt::new(&wavelet, config.packet_len(), config.levels())?;
-        let (lipschitz, deflation_u) = {
-            let op = SynthesisOperator::new(&phi, &dwt);
+        let spectral = |phi: &SparseBinarySensing, dwt: &Dwt<T>| {
+            let op = SynthesisOperator::new(phi, dwt);
             if policy.deflation_factor < T::ONE {
                 let (sigma, u) = top_singular_pair(&op, 120);
                 let u = if sigma == T::ZERO { Vec::new() } else { u };
                 let deflated =
                     DeflatedOperator::with_direction(&op, u.clone(), policy.deflation_factor);
-                (lipschitz_constant(&deflated, 120), u)
+                SpectralEstimate {
+                    lipschitz: lipschitz_constant(&deflated, 120),
+                    deflation_u: u,
+                }
             } else {
-                (lipschitz_constant(&op, 80), Vec::new())
+                SpectralEstimate {
+                    lipschitz: lipschitz_constant(&op, 80),
+                    deflation_u: Vec::new(),
+                }
+            }
+        };
+        let (lipschitz, deflation_u) = match cache {
+            Some(cache) => {
+                let key = Self::spectral_key(config, &policy);
+                let estimate = cache.get_or_compute(key, || spectral(&phi, &dwt));
+                (estimate.lipschitz, estimate.deflation_u.clone())
+            }
+            None => {
+                let estimate = spectral(&phi, &dwt);
+                (estimate.lipschitz, estimate.deflation_u)
             }
         };
         let diff = DiffDecoder::new(DiffConfig {
@@ -181,7 +250,50 @@ impl<T: Real> Decoder<T> {
             deflation_u,
             penalty_weights,
             policy,
+            warm: None,
+            warm_start: false,
         })
+    }
+
+    /// Enables or disables warm-starting FISTA from the previous packet's
+    /// coefficient estimate. Off by default, and bit-exact with the cold
+    /// path while off. Disabling also drops any retained estimate.
+    pub fn set_warm_start(&mut self, enabled: bool) {
+        self.warm_start = enabled;
+        if !enabled {
+            self.warm = None;
+        }
+    }
+
+    /// Whether warm starts are enabled.
+    pub fn warm_start_enabled(&self) -> bool {
+        self.warm_start
+    }
+
+    /// The retained coefficient estimate, if any (present only while warm
+    /// starts are enabled and at least one packet has decoded since the
+    /// last desync).
+    pub fn last_estimate(&self) -> Option<&[T]> {
+        self.warm.as_deref()
+    }
+
+    /// Replaces the warm-start seed with an external estimate — e.g. the
+    /// same frame's solution from a sibling lead, which observes the same
+    /// heart over the same window. No-op while warm starts are disabled;
+    /// the safeguard in [`Decoder::decode_packet`] still applies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the estimate's length is not the packet length.
+    pub fn seed(&mut self, estimate: &[T]) {
+        assert_eq!(
+            estimate.len(),
+            self.config.packet_len(),
+            "warm-start seed length mismatch"
+        );
+        if self.warm_start {
+            self.warm = Some(estimate.to_vec());
+        }
     }
 
     /// The system configuration.
@@ -262,12 +374,64 @@ impl<T: Real> Decoder<T> {
             kernel: self.policy.kernel,
             record_objective: false,
         };
-        let result = if self.penalty_weights.is_empty() {
-            fista(&deflated, &yd, &cfg, Some(self.lipschitz))
+        // Safeguarded, amplitude-fitted warm start. Consecutive windows
+        // are correlated in waveform but wavelet coefficients are not
+        // shift-invariant, so the raw previous estimate can be a *worse*
+        // seed than zero. Two defenses (one operator application total,
+        // about one FISTA iteration):
+        //  1. rescale the seed by β = ⟨Aw, y⟩ / ‖Aw‖², the least-squares
+        //     amplitude fit in measurement space — a decorrelated window
+        //     drives β (and the seed) toward the cold start;
+        //  2. use the result only if its Eq. (3) objective beats the
+        //     cold start's ‖y‖².
+        let seed: Option<Vec<T>> = if self.warm_start {
+            self.warm.as_deref().and_then(|w| {
+                let aw = deflated.apply(w);
+                let mut aw_y = T::ZERO;
+                let mut aw_aw = T::ZERO;
+                for (&a, &y) in aw.iter().zip(&yd) {
+                    aw_y += a * y;
+                    aw_aw += a * a;
+                }
+                if aw_aw == T::ZERO {
+                    return None;
+                }
+                let beta = aw_y / aw_aw;
+                // ‖βAw − y‖² = ‖y‖² − β²‖Aw‖² at the least-squares β.
+                let cold_objective = yd.iter().fold(T::ZERO, |acc, &y| acc + y * y);
+                let residual = cold_objective - beta * beta * aw_aw;
+                let mut l1 = T::ZERO;
+                for (i, &wi) in w.iter().enumerate() {
+                    let weight = self.penalty_weights.get(i).copied().unwrap_or(T::ONE);
+                    l1 += weight * (beta * wi).abs();
+                }
+                if residual + lam * l1 < T::from_f64(0.5) * cold_objective {
+                    Some(w.iter().map(|&wi| beta * wi).collect())
+                } else {
+                    None
+                }
+            })
         } else {
-            fista_weighted(&deflated, &yd, &cfg, Some(self.lipschitz), &self.penalty_weights)
+            None
+        };
+        let warm = seed.as_deref();
+        let warm_started = warm.is_some();
+        let result = if self.penalty_weights.is_empty() {
+            fista_warm(&deflated, &yd, &cfg, Some(self.lipschitz), warm)
+        } else {
+            fista_weighted_warm(
+                &deflated,
+                &yd,
+                &cfg,
+                Some(self.lipschitz),
+                &self.penalty_weights,
+                warm,
+            )
         };
         let samples = self.dwt.synthesize(&result.solution);
+        if self.warm_start {
+            self.warm = Some(result.solution);
+        }
 
         Ok(DecodedPacket {
             index: packet.index,
@@ -275,12 +439,16 @@ impl<T: Real> Decoder<T> {
             iterations: result.iterations,
             converged: result.converged,
             solve_time: result.elapsed,
+            warm_started,
         })
     }
 
     /// Signals packet loss: decoding resumes at the next reference packet.
+    /// Also drops the warm-start state — the retained estimate belongs to
+    /// a packet the stream no longer continues from.
     pub fn desynchronize(&mut self) {
         self.diff.desynchronize();
+        self.warm = None;
     }
 }
 

@@ -27,6 +27,13 @@ pub enum PipelineError {
     Sensing(SensingError),
     /// An error bubbled up from the entropy-coding substrate.
     Codec(CodecError),
+    /// A fleet decode worker failed; the whole run is torn down.
+    Fleet {
+        /// Stream whose packet triggered the failure, if attributable.
+        stream: Option<usize>,
+        /// Human-readable cause (decode error text or "worker panicked").
+        cause: String,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -40,6 +47,12 @@ impl fmt::Display for PipelineError {
             PipelineError::Dsp(e) => write!(f, "dsp: {e}"),
             PipelineError::Sensing(e) => write!(f, "sensing: {e}"),
             PipelineError::Codec(e) => write!(f, "codec: {e}"),
+            PipelineError::Fleet { stream: Some(s), cause } => {
+                write!(f, "fleet worker failed on stream {s}: {cause}")
+            }
+            PipelineError::Fleet { stream: None, cause } => {
+                write!(f, "fleet worker failed: {cause}")
+            }
         }
     }
 }

@@ -1,0 +1,644 @@
+//! Fleet-scale decoding: many patient streams fanned over a worker pool.
+//!
+//! [`run_streaming`](crate::stream::run_streaming) reproduces the paper's
+//! single-patient coordinator (§IV-B1): one producer, one consumer, one
+//! bounded 3-packet buffer. A monitoring *service* — a ward server or a
+//! telehealth backend — decodes many such patients at once, each with the
+//! clinical norm of several leads. [`run_fleet`] generalizes the streaming
+//! pipeline to that setting:
+//!
+//! * **One producer thread per stream** plays the role of each patient's
+//!   mote, encoding multi-lead frames into tagged
+//!   [`ChannelPacket`]s.
+//! * **M decode workers** each own a bounded input queue (the per-worker
+//!   analogue of the paper's 3-packet shared buffer). Streams are assigned
+//!   to workers by *stream affinity* (`worker = stream mod M`): a stream's
+//!   differencing state and warm-start estimate are inherently sequential,
+//!   so all of its packets must visit the same worker, in order.
+//! * **A collector** on the calling thread reassembles results per stream
+//!   by sequence number and emits them strictly in order, so downstream
+//!   consumers observe exactly the per-patient order `run_streaming`
+//!   would deliver.
+//! * **Backpressure** is explicit: producers first `try_send`; a full
+//!   queue counts one stall before the blocking send (radio buffering, in
+//!   hardware terms).
+//! * **Shutdown** is by channel-disconnect cascade. Any worker decode
+//!   error (or a producer encode error) reaches the collector, which
+//!   stops consuming; dropping the result channel wakes blocked workers,
+//!   whose exits wake blocked producers. Worker panics are detected at
+//!   join and surface as [`PipelineError::Fleet`].
+//!
+//! Two fleet-wide optimizations ride on this topology:
+//!
+//! * the power-iteration spectral setup (Lipschitz constant + deflation
+//!   direction) is shared through a [`SpectralCache`], so only the first
+//!   decoder of a configuration pays it;
+//! * optional **warm starts** seed each packet's FISTA solve with the
+//!   previous packet's coefficients (consecutive 2-second ECG windows are
+//!   highly correlated), cutting iterations without moving the solution.
+//!   With warm starts off the fleet is bit-exact with `run_streaming`.
+
+use crate::config::SystemConfig;
+use crate::decoder::{DecodedPacket, Decoder, SolverPolicy};
+use crate::error::PipelineError;
+use crate::multichannel::{ChannelPacket, MultiChannelEncoder};
+use crate::stream::SHARED_BUFFER_PACKETS;
+use cs_codec::Codebook;
+use cs_dsp::Real;
+use cs_recovery::SpectralCache;
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shape of the worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Decode workers. `0` means one per available CPU.
+    pub workers: usize,
+    /// Capacity of each worker's input queue, in packets. Defaults to the
+    /// paper's 3-packet shared-buffer budget.
+    pub channel_capacity: usize,
+    /// Seed each FISTA solve with the previous packet's coefficients.
+    /// `false` (the default) keeps per-stream output bit-exact with
+    /// [`run_streaming`](crate::stream::run_streaming).
+    pub warm_start: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            workers: 0,
+            channel_capacity: SHARED_BUFFER_PACKETS,
+            warm_start: false,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// The worker count actually used: `workers`, or the host parallelism
+    /// when `workers == 0`.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        }
+    }
+}
+
+/// One patient's raw multi-lead input.
+#[derive(Debug, Clone)]
+pub struct FleetStream<'a> {
+    /// One sample slice per lead; every lead yields
+    /// `min(len) / packet_len` frames.
+    pub leads: Vec<&'a [i16]>,
+}
+
+impl<'a> FleetStream<'a> {
+    /// A single-lead stream.
+    pub fn single(samples: &'a [i16]) -> Self {
+        FleetStream { leads: vec![samples] }
+    }
+}
+
+/// One decoded packet as delivered by the collector, in per-stream order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetPacket<T: Real> {
+    /// Which input stream this packet belongs to.
+    pub stream: usize,
+    /// Lead index within the stream.
+    pub channel: u8,
+    /// The reconstruction and its solver statistics.
+    pub packet: DecodedPacket<T>,
+}
+
+/// Per-stream accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Packets delivered for this stream (all leads).
+    pub packets: usize,
+    /// Sum of solver wall-clock across the stream's packets.
+    pub total_decode_time: Duration,
+    /// Longest single solve.
+    pub max_decode_time: Duration,
+    /// Sum of FISTA iterations.
+    pub total_iterations: u64,
+    /// Packets whose solve was seeded from the previous estimate.
+    pub warm_started: usize,
+}
+
+/// Outcome of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-stream accounting, indexed by stream.
+    pub streams: Vec<StreamSummary>,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Packets decoded per worker (stream-affinity load picture).
+    pub worker_packets: Vec<usize>,
+    /// Total packets delivered across all streams.
+    pub packets_decoded: usize,
+    /// Times a producer found its worker's queue full and had to block.
+    pub backpressure_stalls: u64,
+    /// Distinct spectral configurations computed (cache misses).
+    pub spectral_misses: u64,
+    /// Decoder constructions served from the shared spectral cache.
+    pub spectral_hits: u64,
+    /// The packet period implied by the configuration (N / 256 Hz).
+    pub packet_period: Duration,
+    /// End-to-end wall-clock for the whole run.
+    pub wall_time: Duration,
+    /// Sum of solver wall-clock across all packets and streams.
+    pub total_decode_time: Duration,
+    /// Longest single solve anywhere in the fleet.
+    pub max_decode_time: Duration,
+}
+
+impl FleetReport {
+    /// Whether the fleet as a whole kept up with real time: the run
+    /// finished within one packet period per *frame* (packets arrive
+    /// concurrently across streams, so the budget is per frame, not per
+    /// packet).
+    pub fn real_time(&self) -> bool {
+        let frames = self
+            .streams
+            .iter()
+            .map(|s| s.packets)
+            .max()
+            .unwrap_or(0);
+        self.wall_time <= self.packet_period * (frames as u32).max(1)
+    }
+
+    /// Mean FISTA iterations per packet across the fleet.
+    pub fn mean_iterations(&self) -> f64 {
+        if self.packets_decoded == 0 {
+            return 0.0;
+        }
+        let total: u64 = self.streams.iter().map(|s| s.total_iterations).sum();
+        total as f64 / self.packets_decoded as f64
+    }
+}
+
+/// A unit of decode work: one tagged wire packet with its global
+/// per-stream sequence number.
+struct Job {
+    stream: usize,
+    seq: u64,
+    packet: ChannelPacket,
+}
+
+/// What workers (and erroring producers) send the collector.
+enum FleetMsg<T: Real> {
+    Decoded {
+        stream: usize,
+        seq: u64,
+        channel: u8,
+        worker: usize,
+        packet: DecodedPacket<T>,
+    },
+    Failed {
+        stream: Option<usize>,
+        cause: String,
+    },
+}
+
+/// What each producer thread feeds from.
+enum Feed<'a> {
+    /// Raw leads, encoded on the producer thread (the mote's role).
+    Raw(&'a FleetStream<'a>),
+    /// Pre-encoded wire packets, replayed as-is. This path exists so
+    /// tests can inject corrupt or reordered traffic.
+    Encoded(&'a [ChannelPacket]),
+}
+
+/// Decodes many multi-lead streams concurrently over a worker pool.
+///
+/// `on_packet` observes every decoded packet grouped per stream in
+/// arrival order (frame-major, lead-minor) — the same order
+/// [`run_streaming`](crate::stream::run_streaming) delivers for each
+/// stream individually.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::InvalidConfig`] for an empty fleet or a
+/// stream with no leads, and [`PipelineError::Fleet`] when any worker
+/// fails or panics; construction and decode errors propagate with their
+/// stream attribution.
+pub fn run_fleet<T, F>(
+    config: &SystemConfig,
+    codebook: Arc<Codebook>,
+    streams: &[FleetStream<'_>],
+    policy: SolverPolicy<T>,
+    fleet: &FleetConfig,
+    on_packet: F,
+) -> Result<FleetReport, PipelineError>
+where
+    T: Real,
+    F: FnMut(&FleetPacket<T>) + Send,
+{
+    if streams.iter().any(|s| s.leads.is_empty()) {
+        return Err(PipelineError::InvalidConfig(
+            "fleet stream with zero leads".into(),
+        ));
+    }
+    let feeds: Vec<Feed<'_>> = streams.iter().map(Feed::Raw).collect();
+    fleet_engine(config, codebook, feeds, policy, fleet, on_packet)
+}
+
+/// Like [`run_fleet`], but replays pre-encoded wire traffic instead of
+/// encoding raw samples. Packets are delivered to the decoder in slice
+/// order, so corrupting or dropping an element exercises the fleet's
+/// error path deterministically.
+///
+/// # Errors
+///
+/// Same contract as [`run_fleet`].
+pub fn run_fleet_encoded<T, F>(
+    config: &SystemConfig,
+    codebook: Arc<Codebook>,
+    streams: &[Vec<ChannelPacket>],
+    policy: SolverPolicy<T>,
+    fleet: &FleetConfig,
+    on_packet: F,
+) -> Result<FleetReport, PipelineError>
+where
+    T: Real,
+    F: FnMut(&FleetPacket<T>) + Send,
+{
+    let feeds: Vec<Feed<'_>> = streams.iter().map(|s| Feed::Encoded(s)).collect();
+    fleet_engine(config, codebook, feeds, policy, fleet, on_packet)
+}
+
+fn fleet_engine<T, F>(
+    config: &SystemConfig,
+    codebook: Arc<Codebook>,
+    feeds: Vec<Feed<'_>>,
+    policy: SolverPolicy<T>,
+    fleet: &FleetConfig,
+    mut on_packet: F,
+) -> Result<FleetReport, PipelineError>
+where
+    T: Real,
+    F: FnMut(&FleetPacket<T>) + Send,
+{
+    if feeds.is_empty() {
+        return Err(PipelineError::InvalidConfig("empty fleet".into()));
+    }
+    if fleet.channel_capacity == 0 {
+        return Err(PipelineError::InvalidConfig(
+            "fleet channel capacity must be positive".into(),
+        ));
+    }
+    let workers = fleet.effective_workers();
+    let n = config.packet_len();
+    let packet_period = Duration::from_secs_f64(n as f64 / 256.0);
+    let nstreams = feeds.len();
+
+    let cache: SpectralCache<T> = SpectralCache::new();
+    let stalls = AtomicU64::new(0);
+
+    // One bounded queue per worker: this is where backpressure lives.
+    let (job_txs, job_rxs): (Vec<_>, Vec<_>) = (0..workers)
+        .map(|_| crossbeam::channel::bounded::<Job>(fleet.channel_capacity))
+        .unzip();
+    // Results fan in; sized so the collector lagging one frame across the
+    // whole fleet does not stall workers.
+    let (res_tx, res_rx) =
+        crossbeam::channel::bounded::<FleetMsg<T>>(fleet.channel_capacity * nstreams);
+
+    let mut summaries = vec![StreamSummary::default(); nstreams];
+    let mut worker_packets = vec![0usize; workers];
+    let mut packets_decoded = 0usize;
+    let mut total_decode = Duration::ZERO;
+    let mut max_decode = Duration::ZERO;
+    let mut failure: Option<PipelineError> = None;
+    let started = Instant::now();
+
+    let mut worker_panicked = false;
+    std::thread::scope(|scope| {
+        // --- Decode workers -------------------------------------------
+        let mut worker_handles = Vec::with_capacity(workers);
+        for (worker_id, jobs) in job_rxs.into_iter().enumerate() {
+            let results = res_tx.clone();
+            let codebook = Arc::clone(&codebook);
+            let cache = &cache;
+            worker_handles.push(scope.spawn(move || {
+                let mut lanes: HashMap<(usize, u8), Decoder<T>> = HashMap::new();
+                for Job { stream, seq, packet } in jobs.iter() {
+                    // Cross-lead warm start: sibling leads observe the
+                    // same heart over the same window, so lead 0's
+                    // solution for this frame is the best available seed
+                    // for the other leads (stream affinity guarantees it
+                    // was decoded just before). The decoder's safeguard
+                    // still rejects it if it does not beat a cold start.
+                    let sibling: Option<Vec<T>> = if fleet.warm_start && packet.channel > 0 {
+                        lanes
+                            .get(&(stream, 0))
+                            .and_then(|d| d.last_estimate().map(<[T]>::to_vec))
+                    } else {
+                        None
+                    };
+                    let decoder = match lanes.entry((stream, packet.channel)) {
+                        Entry::Occupied(e) => e.into_mut(),
+                        Entry::Vacant(v) => {
+                            match Decoder::with_cache(
+                                config,
+                                Arc::clone(&codebook),
+                                policy,
+                                cache,
+                            ) {
+                                Ok(mut d) => {
+                                    d.set_warm_start(fleet.warm_start);
+                                    v.insert(d)
+                                }
+                                Err(e) => {
+                                    let _ = results.send(FleetMsg::Failed {
+                                        stream: Some(stream),
+                                        cause: e.to_string(),
+                                    });
+                                    return;
+                                }
+                            }
+                        }
+                    };
+                    if let Some(estimate) = sibling {
+                        decoder.seed(&estimate);
+                    }
+                    match decoder.decode_packet(&packet.packet) {
+                        Ok(decoded) => {
+                            let msg = FleetMsg::Decoded {
+                                stream,
+                                seq,
+                                channel: packet.channel,
+                                worker: worker_id,
+                                packet: decoded,
+                            };
+                            if results.send(msg).is_err() {
+                                return; // collector hung up
+                            }
+                        }
+                        Err(e) => {
+                            let _ = results.send(FleetMsg::Failed {
+                                stream: Some(stream),
+                                cause: e.to_string(),
+                            });
+                            return;
+                        }
+                    }
+                }
+            }));
+        }
+
+        // --- Producers: one per stream --------------------------------
+        for (stream, feed) in feeds.into_iter().enumerate() {
+            let jobs = job_txs[stream % workers].clone();
+            let results = res_tx.clone();
+            let codebook = Arc::clone(&codebook);
+            let stalls = &stalls;
+            scope.spawn(move || {
+                let send = |seq: u64, packet: ChannelPacket| -> bool {
+                    let mut job = Job { stream, seq, packet };
+                    match jobs.try_send(job) {
+                        Ok(()) => true,
+                        Err(crossbeam::channel::TrySendError::Full(back)) => {
+                            stalls.fetch_add(1, Ordering::Relaxed);
+                            job = back;
+                            jobs.send(job).is_ok()
+                        }
+                        Err(crossbeam::channel::TrySendError::Disconnected(_)) => false,
+                    }
+                };
+                match feed {
+                    Feed::Encoded(packets) => {
+                        for (seq, packet) in packets.iter().enumerate() {
+                            if !send(seq as u64, packet.clone()) {
+                                return;
+                            }
+                        }
+                    }
+                    Feed::Raw(input) => {
+                        let channels = input.leads.len();
+                        let mut encoder =
+                            match MultiChannelEncoder::new(config, codebook, channels) {
+                                Ok(enc) => enc,
+                                Err(e) => {
+                                    let _ = results.send(FleetMsg::Failed {
+                                        stream: Some(stream),
+                                        cause: e.to_string(),
+                                    });
+                                    return;
+                                }
+                            };
+                        let frames = input
+                            .leads
+                            .iter()
+                            .map(|lead| lead.len() / n)
+                            .min()
+                            .unwrap_or(0);
+                        for frame in 0..frames {
+                            let window: Vec<&[i16]> = input
+                                .leads
+                                .iter()
+                                .map(|lead| &lead[frame * n..(frame + 1) * n])
+                                .collect();
+                            let tagged = match encoder.encode_frame(&window) {
+                                Ok(t) => t,
+                                Err(e) => {
+                                    let _ = results.send(FleetMsg::Failed {
+                                        stream: Some(stream),
+                                        cause: e.to_string(),
+                                    });
+                                    return;
+                                }
+                            };
+                            for (ch, packet) in tagged.into_iter().enumerate() {
+                                let seq = (frame * channels + ch) as u64;
+                                if !send(seq, packet) {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        // The collector must see the channel close once workers and
+        // producers finish.
+        drop(res_tx);
+        drop(job_txs);
+
+        // --- Collector: per-stream in-order reassembly -----------------
+        let mut pending: Vec<BTreeMap<u64, (u8, DecodedPacket<T>)>> =
+            (0..nstreams).map(|_| BTreeMap::new()).collect();
+        let mut next_seq = vec![0u64; nstreams];
+        for msg in res_rx.iter() {
+            match msg {
+                FleetMsg::Decoded { stream, seq, channel, worker, packet } => {
+                    worker_packets[worker] += 1;
+                    pending[stream].insert(seq, (channel, packet));
+                    while let Some((channel, packet)) =
+                        pending[stream].remove(&next_seq[stream])
+                    {
+                        next_seq[stream] += 1;
+                        let summary = &mut summaries[stream];
+                        summary.packets += 1;
+                        summary.total_decode_time += packet.solve_time;
+                        summary.max_decode_time = summary.max_decode_time.max(packet.solve_time);
+                        summary.total_iterations += packet.iterations as u64;
+                        summary.warm_started += usize::from(packet.warm_started);
+                        packets_decoded += 1;
+                        total_decode += packet.solve_time;
+                        max_decode = max_decode.max(packet.solve_time);
+                        let delivered = FleetPacket { stream, channel, packet };
+                        on_packet(&delivered);
+                    }
+                }
+                FleetMsg::Failed { stream, cause } => {
+                    failure = Some(PipelineError::Fleet { stream, cause });
+                    break;
+                }
+            }
+        }
+        // Wake any worker blocked on a full result queue so the
+        // disconnect cascade can finish before we join.
+        drop(res_rx);
+        for handle in worker_handles {
+            if handle.join().is_err() {
+                worker_panicked = true;
+            }
+        }
+    });
+
+    if worker_panicked {
+        return Err(PipelineError::Fleet {
+            stream: None,
+            cause: "worker panicked".into(),
+        });
+    }
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    Ok(FleetReport {
+        streams: summaries,
+        workers,
+        worker_packets,
+        packets_decoded,
+        backpressure_stalls: stalls.into_inner(),
+        spectral_misses: cache.misses(),
+        spectral_hits: cache.hits(),
+        packet_period,
+        wall_time: started.elapsed(),
+        total_decode_time: total_decode,
+        max_decode_time: max_decode,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codebook::uniform_codebook;
+
+    fn ecg_like(npackets: usize, n: usize, phase: f64) -> Vec<i16> {
+        (0..npackets * n)
+            .map(|i| {
+                let t = (i % n) as f64 / n as f64;
+                (700.0 * (-((t - 0.4 + phase) * 25.0).powi(2)).exp() + 50.0 * (t * 10.0).sin())
+                    as i16
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_fleet_rejected() {
+        let config = SystemConfig::paper_default();
+        let cb = Arc::new(uniform_codebook(512).unwrap());
+        let err = run_fleet::<f64, _>(
+            &config,
+            cb,
+            &[],
+            SolverPolicy::default(),
+            &FleetConfig::default(),
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn zero_lead_stream_rejected() {
+        let config = SystemConfig::paper_default();
+        let cb = Arc::new(uniform_codebook(512).unwrap());
+        let streams = [FleetStream { leads: vec![] }];
+        let err = run_fleet::<f64, _>(
+            &config,
+            cb,
+            &streams,
+            SolverPolicy::default(),
+            &FleetConfig::default(),
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        let config = SystemConfig::paper_default();
+        let cb = Arc::new(uniform_codebook(512).unwrap());
+        let samples = ecg_like(1, 512, 0.0);
+        let streams = [FleetStream::single(&samples)];
+        let fleet = FleetConfig { channel_capacity: 0, ..FleetConfig::default() };
+        let err = run_fleet::<f64, _>(
+            &config,
+            cb,
+            &streams,
+            SolverPolicy::default(),
+            &fleet,
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn effective_workers_defaults_to_host_parallelism() {
+        let auto = FleetConfig::default();
+        assert!(auto.effective_workers() >= 1);
+        let fixed = FleetConfig { workers: 3, ..FleetConfig::default() };
+        assert_eq!(fixed.effective_workers(), 3);
+    }
+
+    #[test]
+    fn small_fleet_decodes_and_shares_spectral_setup() {
+        let config = SystemConfig::paper_default();
+        let cb = Arc::new(uniform_codebook(512).unwrap());
+        let s0 = ecg_like(2, 512, 0.0);
+        let s1 = ecg_like(2, 512, 0.05);
+        let streams = [FleetStream::single(&s0), FleetStream::single(&s1)];
+        let fleet = FleetConfig { workers: 2, ..FleetConfig::default() };
+        let mut seen: Vec<(usize, u64)> = Vec::new();
+        let report = run_fleet::<f32, _>(
+            &config,
+            Arc::clone(&cb),
+            &streams,
+            SolverPolicy::default(),
+            &fleet,
+            |p| seen.push((p.stream, p.packet.index)),
+        )
+        .unwrap();
+        assert_eq!(report.packets_decoded, 4);
+        assert_eq!(report.streams[0].packets, 2);
+        assert_eq!(report.streams[1].packets, 2);
+        // Identical configurations must share one spectral computation.
+        assert_eq!(report.spectral_misses, 1);
+        assert_eq!(report.spectral_hits, 1);
+        // Per-stream delivery is in order.
+        for stream in 0..2 {
+            let indices: Vec<u64> =
+                seen.iter().filter(|(s, _)| *s == stream).map(|&(_, i)| i).collect();
+            assert_eq!(indices, vec![0, 1]);
+        }
+    }
+}

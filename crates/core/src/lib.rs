@@ -19,6 +19,9 @@
 //!   returning per-packet CR/PRD/SNR and solver statistics.
 //! * [`run_streaming`] — the two-thread producer–consumer structure of the
 //!   iPhone app, with the 6-second shared buffer.
+//! * [`run_fleet`] — the multi-patient generalization: N multi-lead
+//!   streams fanned over M decode workers with per-stream in-order
+//!   delivery, shared spectral setup and optional warm-started FISTA.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +52,7 @@ mod config;
 mod decoder;
 mod encoder;
 mod error;
+mod fleet;
 mod multichannel;
 mod packet;
 mod pipeline;
@@ -60,6 +64,10 @@ pub use config::{SystemConfig, SystemConfigBuilder};
 pub use decoder::{DecodedPacket, Decoder, SolverPolicy};
 pub use encoder::Encoder;
 pub use error::PipelineError;
+pub use fleet::{
+    run_fleet, run_fleet_encoded, FleetConfig, FleetPacket, FleetReport, FleetStream,
+    StreamSummary,
+};
 pub use multichannel::{ChannelPacket, MultiChannelDecoder, MultiChannelEncoder};
 pub use packet::{EncodedPacket, PacketKind, HEADER_BYTES};
 pub use pipeline::{

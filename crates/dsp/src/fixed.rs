@@ -68,7 +68,7 @@ impl Q15 {
     /// Saturating fixed-point multiply-accumulate `self + a·b`, the MSP430
     /// hardware-multiplier primitive the sparse-sensing inner loop uses.
     pub fn mac(self, a: Q15, b: Q15) -> Q15 {
-        let prod = ((a.0 as i32 * b.0 as i32) >> 15) as i32;
+        let prod = (a.0 as i32 * b.0 as i32) >> 15;
         saturate(self.0 as i32 + prod)
     }
 
@@ -109,7 +109,7 @@ impl Sub for Q15 {
 impl Mul for Q15 {
     type Output = Q15;
     fn mul(self, o: Q15) -> Q15 {
-        saturate(((self.0 as i32 * o.0 as i32) >> 15) as i32)
+        saturate((self.0 as i32 * o.0 as i32) >> 15)
     }
 }
 

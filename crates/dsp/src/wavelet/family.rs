@@ -139,7 +139,7 @@ impl Wavelet {
 
     fn from_scaling_filter(family: WaveletFamily, h: Vec<f64>) -> Self {
         let l = h.len();
-        debug_assert!(l % 2 == 0, "orthonormal scaling filters have even length");
+        debug_assert!(l.is_multiple_of(2), "orthonormal scaling filters have even length");
         let rec_lo = h;
         let rec_hi: Vec<f64> = (0..l)
             .map(|n| {
@@ -205,7 +205,7 @@ impl Wavelet {
         let l = self.filter_len();
         let mut level = 0;
         let mut cur = n;
-        while cur >= l && cur % 2 == 0 && cur >= 2 {
+        while cur >= l && cur.is_multiple_of(2) && cur >= 2 {
             level += 1;
             cur /= 2;
             if cur < l {
@@ -333,7 +333,7 @@ fn scaling_filter_symlet(p: usize) -> Vec<f64> {
         }
         let h = scaling_filter_from_roots(p, &selected);
         let score = phase_nonlinearity(&h);
-        if best.as_ref().map_or(true, |(s, _)| score < *s) {
+        if best.as_ref().is_none_or(|(s, _)| score < *s) {
             best = Some((score, h));
         }
     }

@@ -66,7 +66,7 @@ impl<T: Real> Dwt<T> {
                 max: wavelet.max_level(n),
             });
         }
-        if n == 0 || n % (1 << levels) != 0 {
+        if n == 0 || !n.is_multiple_of(1 << levels) {
             return Err(DspError::InvalidLength {
                 len: n,
                 requirement: format!("divisible by 2^{levels}"),
@@ -200,7 +200,7 @@ impl<T: Real> Dwt<T> {
 /// detail channel. The circular index keeps the transform square.
 fn forward_level<T: Real>(x: &[T], out: &mut [T], lo: &[T], hi: &[T]) {
     let m = x.len();
-    debug_assert!(m % 2 == 0);
+    debug_assert!(m.is_multiple_of(2));
     let half = m / 2;
     let l = lo.len();
     for k in 0..half {
@@ -273,7 +273,7 @@ fn inverse_level<T: Real>(approx: &[T], detail: &[T], out: &mut [T], lo: &[T], h
 /// assert!(a.iter().all(|&v| (v - std::f64::consts::SQRT_2).abs() < 1e-12));
 /// ```
 pub fn dwt_single<T: Real>(x: &[T], wavelet: &Wavelet) -> (Vec<T>, Vec<T>) {
-    assert!(!x.is_empty() && x.len() % 2 == 0, "dwt_single: length must be even and nonzero");
+    assert!(!x.is_empty() && x.len().is_multiple_of(2), "dwt_single: length must be even and nonzero");
     let m = x.len();
     let lo: Vec<T> = wavelet.dec_lo().iter().map(|&v| T::from_f64(v)).collect();
     let hi: Vec<T> = wavelet.dec_hi().iter().map(|&v| T::from_f64(v)).collect();

@@ -136,7 +136,7 @@ pub fn detect_r_peaks(signal: &[f64], config: &QrsDetectorConfig) -> Vec<usize> 
         let threshold = npki + frac * (spki - npki);
         let in_refractory = detections
             .last()
-            .map_or(false, |&last| i.saturating_sub(last) <= refractory);
+            .is_some_and(|&last| i.saturating_sub(last) <= refractory);
         if v > threshold && !in_refractory {
             // Refine to the band-passed extremum near the crest.
             let start = i.saturating_sub(w);
@@ -151,7 +151,7 @@ pub fn detect_r_peaks(signal: &[f64], config: &QrsDetectorConfig) -> Vec<usize> 
                 .unwrap_or(i);
             if detections
                 .last()
-                .map_or(true, |&last| refined.saturating_sub(last) > refractory)
+                .is_none_or(|&last| refined.saturating_sub(last) > refractory)
             {
                 detections.push(refined);
                 // Cap the contribution of one crest so a single giant

@@ -20,7 +20,7 @@
 /// assert_eq!(s.max(), 6.0);
 /// assert!((s.std_dev() - 2.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Summary {
     count: u64,
@@ -28,6 +28,14 @@ pub struct Summary {
     m2: f64,
     min: f64,
     max: f64,
+}
+
+// Not derived: the derive would zero `min`/`max`, which corrupts the
+// extrema of any summary that starts from `Default` instead of `new()`.
+impl Default for Summary {
+    fn default() -> Self {
+        Summary::new()
+    }
 }
 
 impl Summary {

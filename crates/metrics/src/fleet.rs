@@ -1,0 +1,166 @@
+//! Per-stream and fleet-wide solver statistics.
+//!
+//! The fleet decode engine reports raw per-packet numbers (iterations,
+//! solve time, warm-start usage). These types turn them into the
+//! summaries the `fleet_report` harness prints: per-stream distributions
+//! plus a fleet aggregate with worker-balance and warm-start-saving
+//! figures.
+
+use crate::aggregate::Summary;
+
+/// Solver statistics for one decoded stream.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct StreamStats {
+    /// Distribution of FISTA iteration counts across the stream's packets.
+    pub iterations: Summary,
+    /// Distribution of per-packet solve times, in seconds.
+    pub solve_time: Summary,
+    /// Packets whose solve was seeded from the previous estimate.
+    pub warm_started: u64,
+}
+
+impl StreamStats {
+    /// An empty record.
+    pub fn new() -> Self {
+        StreamStats::default()
+    }
+
+    /// Adds one packet's observation.
+    pub fn record(&mut self, iterations: usize, solve_time_secs: f64, warm_started: bool) {
+        self.iterations.push(iterations as f64);
+        self.solve_time.push(solve_time_secs);
+        self.warm_started += u64::from(warm_started);
+    }
+
+    /// Packets observed.
+    pub fn packets(&self) -> u64 {
+        self.iterations.count()
+    }
+}
+
+/// Fleet-wide aggregate over all streams.
+///
+/// # Examples
+///
+/// ```
+/// use cs_metrics::{FleetStats, StreamStats};
+///
+/// let mut a = StreamStats::new();
+/// a.record(100, 0.010, false);
+/// a.record(60, 0.006, true);
+/// let mut b = StreamStats::new();
+/// b.record(80, 0.008, false);
+///
+/// let fleet = FleetStats::from_streams(&[a, b]);
+/// assert_eq!(fleet.packets(), 3);
+/// assert_eq!(fleet.warm_started, 1);
+/// assert!((fleet.iterations.mean() - 80.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FleetStats {
+    /// Streams aggregated.
+    pub streams: u64,
+    /// Merged iteration distribution across every packet of every stream.
+    pub iterations: Summary,
+    /// Merged solve-time distribution, in seconds.
+    pub solve_time: Summary,
+    /// Warm-started packets across the fleet.
+    pub warm_started: u64,
+}
+
+impl FleetStats {
+    /// Merges per-stream records into the fleet aggregate.
+    pub fn from_streams(streams: &[StreamStats]) -> Self {
+        let mut fleet = FleetStats {
+            streams: streams.len() as u64,
+            ..FleetStats::default()
+        };
+        for s in streams {
+            fleet.iterations.merge(&s.iterations);
+            fleet.solve_time.merge(&s.solve_time);
+            fleet.warm_started += s.warm_started;
+        }
+        fleet
+    }
+
+    /// Total packets across the fleet.
+    pub fn packets(&self) -> u64 {
+        self.iterations.count()
+    }
+
+    /// The relative iteration saving of this (warm-started) fleet against
+    /// a cold baseline: `1 − mean_warm / mean_cold`, in [0, 1] when warm
+    /// starts help. Returns 0 for an empty baseline.
+    pub fn iteration_saving_vs(&self, cold: &FleetStats) -> f64 {
+        if cold.packets() == 0 || cold.iterations.mean() == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.iterations.mean() / cold.iterations.mean()
+    }
+}
+
+/// How evenly packets landed on the pool's workers: the ratio of the
+/// busiest worker to the ideal per-worker share (1.0 = perfectly even).
+/// Returns 0 for an empty pool or an idle fleet.
+pub fn worker_imbalance(worker_packets: &[usize]) -> f64 {
+    let total: usize = worker_packets.iter().sum();
+    if worker_packets.is_empty() || total == 0 {
+        return 0.0;
+    }
+    let busiest = *worker_packets.iter().max().expect("non-empty") as f64;
+    let ideal = total as f64 / worker_packets.len() as f64;
+    busiest / ideal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_stats_accumulate() {
+        let mut s = StreamStats::new();
+        s.record(10, 0.001, true);
+        s.record(30, 0.003, false);
+        assert_eq!(s.packets(), 2);
+        assert_eq!(s.warm_started, 1);
+        assert_eq!(s.iterations.mean(), 20.0);
+        assert!((s.solve_time.max() - 0.003).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fleet_merges_streams() {
+        let mut a = StreamStats::new();
+        let mut b = StreamStats::new();
+        for i in 0..4 {
+            a.record(100 + i, 0.01, false);
+            b.record(50, 0.005, true);
+        }
+        let fleet = FleetStats::from_streams(&[a, b]);
+        assert_eq!(fleet.streams, 2);
+        assert_eq!(fleet.packets(), 8);
+        assert_eq!(fleet.warm_started, 4);
+        assert!(fleet.iterations.min() == 50.0 && fleet.iterations.max() == 103.0);
+    }
+
+    #[test]
+    fn iteration_saving_is_relative() {
+        let mut warm = StreamStats::new();
+        let mut cold = StreamStats::new();
+        warm.record(60, 0.006, true);
+        cold.record(100, 0.010, false);
+        let w = FleetStats::from_streams(&[warm]);
+        let c = FleetStats::from_streams(&[cold]);
+        assert!((w.iteration_saving_vs(&c) - 0.4).abs() < 1e-12);
+        assert_eq!(w.iteration_saving_vs(&FleetStats::default()), 0.0);
+    }
+
+    #[test]
+    fn imbalance_of_even_and_skewed_pools() {
+        assert_eq!(worker_imbalance(&[]), 0.0);
+        assert_eq!(worker_imbalance(&[0, 0]), 0.0);
+        assert!((worker_imbalance(&[5, 5, 5, 5]) - 1.0).abs() < 1e-12);
+        assert!((worker_imbalance(&[10, 0]) - 2.0).abs() < 1e-12);
+    }
+}

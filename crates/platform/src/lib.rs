@@ -44,7 +44,8 @@ mod link;
 mod mote;
 
 pub use coordinator::{
-    analyze_solves, iteration_budget_ratio, CoordinatorSpec, RealTimeReport, SolveSample,
+    analyze_fleet, analyze_solves, iteration_budget_ratio, CoordinatorSpec, FleetCapacityReport,
+    RealTimeReport, SolveSample,
 };
 pub use energy::{compare_lifetime, EnergyModel, LifetimeComparison, RadioSpec};
 pub use link::{ChannelModel, LossReport};

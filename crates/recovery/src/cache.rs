@@ -1,0 +1,168 @@
+//! A shared cache of per-configuration spectral estimates.
+//!
+//! Constant-step FISTA needs `L = 2‖A‖²` (and, when spectral deflation is
+//! on, the top singular direction of `A`) before it can take a single
+//! step. Both come from power iteration — dozens of operator applications,
+//! each as expensive as a FISTA iteration. A single decoder pays that once
+//! at construction; a **fleet** of decoders over identical sensing
+//! configurations would pay it once *per stream* for bit-identical
+//! results. [`SpectralCache`] shares the estimate: the first decoder of a
+//! configuration computes, every later one reuses.
+//!
+//! The cache is keyed by an opaque `u64` the caller derives from whatever
+//! defines its operator (sensing seed and shape, wavelet, deflation
+//! factor, …). Keys must be injective per distinct operator — the cache
+//! trusts them blindly.
+
+use cs_dsp::Real;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The spectral quantities FISTA needs, computed once per configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectralEstimate<T: Real> {
+    /// The step constant `L = 2‖A‖²` (padded; see
+    /// [`crate::lipschitz_constant`]).
+    pub lipschitz: T,
+    /// Top measurement-space singular direction of the *undeflated*
+    /// operator; empty when deflation is off.
+    pub deflation_u: Vec<T>,
+}
+
+/// A thread-safe, insert-only map from configuration key to
+/// [`SpectralEstimate`].
+///
+/// # Examples
+///
+/// ```
+/// use cs_recovery::{SpectralCache, SpectralEstimate};
+///
+/// let cache: SpectralCache<f64> = SpectralCache::new();
+/// let a = cache.get_or_compute(7, || SpectralEstimate {
+///     lipschitz: 2.5,
+///     deflation_u: vec![],
+/// });
+/// // The second lookup must not recompute.
+/// let b = cache.get_or_compute(7, || unreachable!());
+/// assert_eq!(a.lipschitz, b.lipschitz);
+/// assert_eq!(cache.hits(), 1);
+/// assert_eq!(cache.misses(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct SpectralCache<T: Real> {
+    entries: Mutex<HashMap<u64, Arc<SpectralEstimate<T>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<T: Real> SpectralCache<T> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SpectralCache {
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the estimate for `key`, running `compute` only on the first
+    /// request. Concurrent first requests for the same key serialize, so
+    /// the power iteration runs exactly once per configuration.
+    pub fn get_or_compute(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> SpectralEstimate<T>,
+    ) -> Arc<SpectralEstimate<T>> {
+        let mut entries = self.entries.lock().expect("spectral cache poisoned");
+        if let Some(found) = entries.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(found);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let computed = Arc::new(compute());
+        entries.insert(key, Arc::clone(&computed));
+        computed
+    }
+
+    /// Number of distinct configurations cached so far.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("spectral cache poisoned").len()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from cache (power iterations avoided).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to compute.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn estimate(l: f64) -> SpectralEstimate<f64> {
+        SpectralEstimate {
+            lipschitz: l,
+            deflation_u: vec![1.0, 0.0],
+        }
+    }
+
+    #[test]
+    fn computes_once_per_key() {
+        let cache = SpectralCache::new();
+        let mut calls = 0;
+        for _ in 0..5 {
+            cache.get_or_compute(42, || {
+                calls += 1;
+                estimate(3.0)
+            });
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 4);
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_entries() {
+        let cache = SpectralCache::new();
+        let a = cache.get_or_compute(1, || estimate(1.0));
+        let b = cache.get_or_compute(2, || estimate(2.0));
+        assert_eq!(a.lipschitz, 1.0);
+        assert_eq!(b.lipschitz, 2.0);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_access_computes_exactly_once() {
+        let cache = Arc::new(SpectralCache::new());
+        let computed = Arc::new(AtomicU64::new(0));
+        thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                let computed = Arc::clone(&computed);
+                scope.spawn(move || {
+                    let e = cache.get_or_compute(9, || {
+                        computed.fetch_add(1, Ordering::SeqCst);
+                        estimate(9.0)
+                    });
+                    assert_eq!(e.lipschitz, 9.0);
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 7);
+    }
+}

@@ -54,15 +54,18 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod cache;
 mod kernels;
 mod lipschitz;
 mod operator;
 mod solvers;
 
+pub use cache::{SpectralCache, SpectralEstimate};
 pub use kernels::{axpy, dot, momentum_combine, soft_threshold, soft_threshold_weighted, squared_distance, KernelMode};
 pub use lipschitz::{lipschitz_constant, operator_norm, top_singular_pair};
 pub use operator::{DeflatedOperator, DenseOperator, LinearOperator, SynthesisOperator};
 pub use solvers::{
-    amp, debias, fista, fista_backtracking, fista_weighted, ista, lambda_max, omp, DebiasConfig, OmpConfig, OmpResult,
-    ShrinkageConfig, SolverResult, AmpConfig, AmpResult,
+    amp, debias, fista, fista_backtracking, fista_warm, fista_weighted, fista_weighted_warm, ista,
+    ista_warm, lambda_max, omp, DebiasConfig, OmpConfig, OmpResult, ShrinkageConfig, SolverResult,
+    AmpConfig, AmpResult,
 };

@@ -321,8 +321,8 @@ impl<T: Real> DenseOperator<T> {
     pub fn column_into(&self, j: usize, out: &mut [T]) {
         assert!(j < self.n, "column_into: column out of range");
         assert_eq!(out.len(), self.m, "column_into: output length mismatch");
-        for i in 0..self.m {
-            out[i] = self.data[i * self.n + j];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.data[i * self.n + j];
         }
     }
 

@@ -9,4 +9,7 @@ mod shrinkage;
 pub use amp::{amp, AmpConfig, AmpResult};
 pub use debias::{debias, DebiasConfig};
 pub use omp::{omp, OmpConfig, OmpResult};
-pub use shrinkage::{fista, fista_backtracking, fista_weighted, ista, lambda_max, ShrinkageConfig, SolverResult};
+pub use shrinkage::{
+    fista, fista_backtracking, fista_warm, fista_weighted, fista_weighted_warm, ista, ista_warm,
+    lambda_max, ShrinkageConfig, SolverResult,
+};

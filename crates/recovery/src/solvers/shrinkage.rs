@@ -107,7 +107,30 @@ pub fn ista<T: Real, A: LinearOperator<T>>(
     config: &ShrinkageConfig<T>,
     lipschitz: Option<T>,
 ) -> SolverResult<T> {
-    shrinkage_loop(op, y, config, lipschitz, false, None)
+    shrinkage_loop(op, y, config, lipschitz, false, None, None)
+}
+
+/// [`ista`] with an explicit starting point.
+///
+/// `warm_start` seeds the iteration at the given coefficient vector
+/// instead of zero — the fleet decoder passes packet *k*'s solution when
+/// solving packet *k+1*, which on correlated consecutive packets lands the
+/// solver inside the basin where the stopping tolerance fires after a
+/// handful of iterations (Polanía et al., arXiv:1405.4201, observe the
+/// same effect for wireless ECG CS). `None` is exactly [`ista`].
+///
+/// # Panics
+///
+/// Panics under [`ista`]'s conditions, or if the warm-start length is not
+/// `op.cols()`.
+pub fn ista_warm<T: Real, A: LinearOperator<T>>(
+    op: &A,
+    y: &[T],
+    config: &ShrinkageConfig<T>,
+    lipschitz: Option<T>,
+    warm_start: Option<&[T]>,
+) -> SolverResult<T> {
+    shrinkage_loop(op, y, config, lipschitz, false, None, warm_start)
 }
 
 /// Solves Eq. (3) with FISTA (constant step size), the paper's decoder.
@@ -144,7 +167,30 @@ pub fn fista<T: Real, A: LinearOperator<T>>(
     config: &ShrinkageConfig<T>,
     lipschitz: Option<T>,
 ) -> SolverResult<T> {
-    shrinkage_loop(op, y, config, lipschitz, true, None)
+    shrinkage_loop(op, y, config, lipschitz, true, None, None)
+}
+
+/// [`fista`] with an explicit starting point.
+///
+/// `warm_start` seeds both the iterate and the momentum extrapolation
+/// point at the given vector (momentum itself restarts at `t₁ = 1`, which
+/// keeps the `O(1/k²)` guarantee — FISTA's bound holds for any starting
+/// point). `None` is exactly [`fista`]. The solution is the minimizer of
+/// the same convex objective, so warm and cold starts agree to within the
+/// stopping tolerance; only the iteration count changes.
+///
+/// # Panics
+///
+/// Panics under [`ista`]'s conditions, or if the warm-start length is not
+/// `op.cols()`.
+pub fn fista_warm<T: Real, A: LinearOperator<T>>(
+    op: &A,
+    y: &[T],
+    config: &ShrinkageConfig<T>,
+    lipschitz: Option<T>,
+    warm_start: Option<&[T]>,
+) -> SolverResult<T> {
+    shrinkage_loop(op, y, config, lipschitz, true, None, warm_start)
 }
 
 /// FISTA with per-coefficient penalty weights: solves
@@ -166,12 +212,29 @@ pub fn fista_weighted<T: Real, A: LinearOperator<T>>(
     lipschitz: Option<T>,
     weights: &[T],
 ) -> SolverResult<T> {
+    fista_weighted_warm(op, y, config, lipschitz, weights, None)
+}
+
+/// [`fista_weighted`] with an explicit starting point (see [`fista_warm`]).
+///
+/// # Panics
+///
+/// Panics under [`fista_weighted`]'s conditions, or if the warm-start
+/// length is not `op.cols()`.
+pub fn fista_weighted_warm<T: Real, A: LinearOperator<T>>(
+    op: &A,
+    y: &[T],
+    config: &ShrinkageConfig<T>,
+    lipschitz: Option<T>,
+    weights: &[T],
+    warm_start: Option<&[T]>,
+) -> SolverResult<T> {
     assert_eq!(weights.len(), op.cols(), "fista_weighted: weight length mismatch");
     assert!(
         weights.iter().all(|&w| w >= T::ZERO),
         "fista_weighted: negative weight"
     );
-    shrinkage_loop(op, y, config, lipschitz, true, Some(weights))
+    shrinkage_loop(op, y, config, lipschitz, true, Some(weights), warm_start)
 }
 
 /// Solves Eq. (3) with FISTA and **backtracking** line search (the other
@@ -321,10 +384,14 @@ fn shrinkage_loop<T: Real, A: LinearOperator<T>>(
     lipschitz: Option<T>,
     accelerate: bool,
     weights: Option<&[T]>,
+    warm_start: Option<&[T]>,
 ) -> SolverResult<T> {
     assert_eq!(y.len(), op.rows(), "shrinkage solver: y length mismatch");
     assert!(config.lambda >= T::ZERO, "shrinkage solver: negative lambda");
     assert!(config.max_iterations > 0, "shrinkage solver: zero iteration cap");
+    if let Some(w) = warm_start {
+        assert_eq!(w.len(), op.cols(), "shrinkage solver: warm-start length mismatch");
+    }
 
     let start = Instant::now();
     let l = lipschitz.unwrap_or_else(|| lipschitz_constant(op, 60));
@@ -346,9 +413,12 @@ fn shrinkage_loop<T: Real, A: LinearOperator<T>>(
 
     let n = op.cols();
     let m = op.rows();
-    let mut alpha = vec![T::ZERO; n]; // α_{k}
+    // Seed iterate and extrapolation point at the warm start (momentum
+    // restarts at t₁ = 1 — FISTA's convergence bound holds from any
+    // starting point, so this is safe and only the iteration count moves).
+    let mut alpha = warm_start.map_or_else(|| vec![T::ZERO; n], <[T]>::to_vec); // α_{k}
     let mut alpha_prev = vec![T::ZERO; n]; // α_{k-1}
-    let mut point = vec![T::ZERO; n]; // y_k (extrapolation point)
+    let mut point = alpha.clone(); // y_k (extrapolation point)
     let mut grad_point = vec![T::ZERO; n];
     let mut residual = vec![T::ZERO; m];
     let mut t = T::ONE;
@@ -599,6 +669,144 @@ mod tests {
         let r = fista(&op, &y, &cfg, None);
         assert!(r.residual_norm >= 0.0);
         assert!(r.residual_norm < cs_dsp::l2_norm(&y));
+    }
+}
+
+#[cfg(test)]
+mod warm_start_tests {
+    use super::*;
+    use crate::kernels::KernelMode;
+    use crate::operator::DenseOperator;
+    use cs_sensing::MotePrng;
+    use proptest::prelude::*;
+
+    /// A sensing instance plus a pair of correlated sparse ground truths:
+    /// the second is the first nudged by `drift` (relative), modelling two
+    /// consecutive 2-second packets of the same heartbeat.
+    fn correlated_pair(
+        seed: u64,
+        drift: f64,
+    ) -> (DenseOperator<f64>, Vec<f64>, Vec<f64>) {
+        let (m, n, sparsity) = (64, 128, 6);
+        let mut rng = MotePrng::new(seed);
+        let data: Vec<f64> = (0..m * n)
+            .map(|_| rng.next_gaussian() / (m as f64).sqrt())
+            .collect();
+        let op = DenseOperator::from_row_major(m, n, data, KernelMode::Unrolled4);
+        let mut x1 = vec![0.0; n];
+        for idx in rng.distinct_below(sparsity, n as u32) {
+            x1[idx as usize] = rng.next_gaussian() * 2.0 + 1.0;
+        }
+        let x2: Vec<f64> = x1
+            .iter()
+            .map(|&v| {
+                if v == 0.0 {
+                    0.0
+                } else {
+                    v * (1.0 + drift * rng.next_gaussian())
+                }
+            })
+            .collect();
+        (op, x1, x2)
+    }
+
+    fn config() -> ShrinkageConfig<f64> {
+        ShrinkageConfig {
+            lambda: 1e-3,
+            max_iterations: 4000,
+            tolerance: 1e-6,
+            residual_tolerance: 0.0,
+            kernel: KernelMode::Unrolled4,
+            record_objective: false,
+        }
+    }
+
+    #[test]
+    fn warm_none_is_exactly_cold() {
+        let (op, x1, _) = correlated_pair(5, 0.0);
+        let y = op.apply(&x1);
+        let cfg = config();
+        let cold = fista(&op, &y, &cfg, None);
+        let warm_none = fista_warm(&op, &y, &cfg, None, None);
+        assert_eq!(cold.solution, warm_none.solution);
+        assert_eq!(cold.iterations, warm_none.iterations);
+    }
+
+    #[test]
+    fn warm_start_at_optimum_stops_immediately() {
+        let (op, x1, _) = correlated_pair(11, 0.0);
+        let y = op.apply(&x1);
+        let cfg = config();
+        let cold = fista(&op, &y, &cfg, None);
+        let rewarm = fista_warm(&op, &y, &cfg, None, Some(&cold.solution));
+        assert!(rewarm.converged);
+        assert!(
+            rewarm.iterations <= 3,
+            "restarting at the optimum took {} iterations",
+            rewarm.iterations
+        );
+    }
+
+    #[test]
+    fn ista_warm_matches_ista_solution() {
+        let (op, x1, x2) = correlated_pair(23, 0.02);
+        let y1 = op.apply(&x1);
+        let y2 = op.apply(&x2);
+        let cfg = ShrinkageConfig {
+            max_iterations: 20_000,
+            ..config()
+        };
+        let prior = ista(&op, &y1, &cfg, None);
+        let cold = ista(&op, &y2, &cfg, None);
+        let warm = ista_warm(&op, &y2, &cfg, None, Some(&prior.solution));
+        assert!(warm.iterations <= cold.iterations);
+        for (a, b) in cold.solution.iter().zip(&warm.solution) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "warm-start length mismatch")]
+    fn wrong_warm_length_panics() {
+        let (op, x1, _) = correlated_pair(3, 0.0);
+        let y = op.apply(&x1);
+        let bad = vec![0.0; 7];
+        let _ = fista_warm(&op, &y, &config(), None, Some(&bad));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// On consecutive correlated packets, the warm-started solve must
+        /// reach the same minimizer (within the stopping tolerance) and
+        /// never spend more iterations than the cold solve.
+        #[test]
+        fn prop_warm_start_same_solution_fewer_iterations(
+            seed in 1_u64..10_000,
+            drift in 0.0005_f64..0.05,
+        ) {
+            let (op, x1, x2) = correlated_pair(seed, drift);
+            let y1 = op.apply(&x1);
+            let y2 = op.apply(&x2);
+            let cfg = config();
+            let prior = fista(&op, &y1, &cfg, None);
+            let cold = fista(&op, &y2, &cfg, None);
+            let warm = fista_warm(&op, &y2, &cfg, None, Some(&prior.solution));
+            prop_assert!(
+                warm.iterations <= cold.iterations,
+                "warm {} > cold {} (seed {seed}, drift {drift})",
+                warm.iterations,
+                cold.iterations
+            );
+            // Same objective minimizer within solver tolerance.
+            let scale = cs_dsp::l2_norm(&cold.solution).max(1.0);
+            let dist = squared_distance(&cold.solution, &warm.solution, cfg.kernel).sqrt();
+            prop_assert!(
+                dist / scale < 5e-3,
+                "solutions diverge: {} (seed {seed}, drift {drift})",
+                dist / scale
+            );
+        }
     }
 }
 

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything must pass before a change lands.
+#
+#   scripts/tier1.sh
+#
+# Release build (the benches and report binaries only make sense
+# optimized), the full test suite, and clippy with warnings denied.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings

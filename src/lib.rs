@@ -62,8 +62,9 @@ pub use cs_sensing as sensing;
 pub mod prelude {
     pub use cs_codec::Codebook;
     pub use cs_core::{
-        evaluate_stream, packetize, run_streaming, train_and_evaluate, train_codebook,
-        uniform_codebook, Decoder, Encoder, SolverPolicy, SystemConfig,
+        evaluate_stream, packetize, run_fleet, run_streaming, train_and_evaluate,
+        train_codebook, uniform_codebook, Decoder, Encoder, FleetConfig, FleetStream,
+        SolverPolicy, SystemConfig,
     };
     pub use cs_dsp::wavelet::{Dwt, Wavelet, WaveletFamily};
     pub use cs_ecg_data::{
@@ -71,10 +72,13 @@ pub mod prelude {
         DatabaseConfig, EcgModel, EcgModelConfig, NoiseConfig, QrsDetectorConfig, Record,
         SyntheticDatabase,
     };
-    pub use cs_metrics::{compression_ratio, output_snr, prd, DiagnosticQuality};
+    pub use cs_metrics::{
+        compression_ratio, output_snr, prd, worker_imbalance, DiagnosticQuality, FleetStats,
+        StreamStats,
+    };
     pub use cs_platform::{
-        analyze_solves, compare_lifetime, encode_cost, encoder_footprint, CoordinatorSpec,
-        EnergyModel, MoteSpec,
+        analyze_fleet, analyze_solves, compare_lifetime, encode_cost, encoder_footprint,
+        CoordinatorSpec, EnergyModel, MoteSpec,
     };
     pub use cs_recovery::{fista, ista, omp, KernelMode, ShrinkageConfig, SynthesisOperator};
     pub use cs_sensing::{measurements_for_cr, DenseSensing, Sensing, SparseBinarySensing};

@@ -127,3 +127,91 @@ fn sensing_matrix_shared_by_seed_is_identical_across_sides() {
     .unwrap();
     assert_eq!(a, b);
 }
+
+// ---------------------------------------------------------------------
+// Entropy-coder round-trip properties: both coders must be exact
+// identities over their full input domains, including the degenerate
+// blocks real traffic produces (empty payloads, constant runs).
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Huffman encode→decode is the identity for any symbol stream over
+    /// any (smoothed) count distribution.
+    #[test]
+    fn huffman_round_trip_identity(
+        counts in proptest::collection::vec(0_u64..1000, 16),
+        symbols in proptest::collection::vec(0_u16..16, 0..64),
+    ) {
+        let cb = Codebook::from_counts(&counts, 16).unwrap();
+        let mut w = cs_codec::BitWriter::new();
+        cb.encode(&symbols, &mut w).unwrap();
+        let bytes = w.finish();
+        let mut r = cs_codec::BitReader::new(&bytes);
+        let decoded = cb.decode(&mut r, symbols.len()).unwrap();
+        prop_assert_eq!(decoded, symbols);
+    }
+
+    /// A stream that uses one single symbol — the extreme the
+    /// delta-dominated CS-ECG payloads approach — still round-trips,
+    /// whatever the trained distribution looked like.
+    #[test]
+    fn huffman_single_symbol_stream_round_trips(
+        hot in 0_u16..16,
+        len in 1_usize..128,
+        skew in 1_u64..10_000,
+    ) {
+        let mut counts = vec![1_u64; 16];
+        counts[hot as usize] = skew;
+        let cb = Codebook::from_counts(&counts, 16).unwrap();
+        let symbols = vec![hot; len];
+        let mut w = cs_codec::BitWriter::new();
+        cb.encode(&symbols, &mut w).unwrap();
+        let bytes = w.finish();
+        let mut r = cs_codec::BitReader::new(&bytes);
+        prop_assert_eq!(cb.decode(&mut r, len).unwrap(), symbols);
+    }
+
+    /// Rice block encode→decode is the identity for any signed block,
+    /// including blocks whose optimal k is at either extreme.
+    #[test]
+    fn rice_block_round_trip_identity(
+        values in proptest::collection::vec(-100_000_i32..100_000, 0..96),
+    ) {
+        let mut w = cs_codec::BitWriter::new();
+        cs_codec::rice_encode_block(&values, &mut w);
+        let bytes = w.finish();
+        let mut r = cs_codec::BitReader::new(&bytes);
+        let decoded = cs_codec::rice_decode_block(values.len(), &mut r).unwrap();
+        prop_assert_eq!(decoded, values);
+    }
+
+    /// Zigzag is a bijection over the full i32 range Rice coding relies
+    /// on.
+    #[test]
+    fn zigzag_bijective(v in any::<i32>()) {
+        prop_assert_eq!(cs_codec::zigzag_decode(cs_codec::zigzag_encode(v)), v);
+    }
+}
+
+#[test]
+fn huffman_empty_stream_round_trips() {
+    let cb = uniform_codebook(16).unwrap();
+    let mut w = cs_codec::BitWriter::new();
+    cb.encode(&[], &mut w).unwrap();
+    let bytes = w.finish();
+    let mut r = cs_codec::BitReader::new(&bytes);
+    assert_eq!(cb.decode(&mut r, 0).unwrap(), Vec::<u16>::new());
+}
+
+#[test]
+fn rice_empty_and_single_value_blocks_round_trip() {
+    for block in [Vec::new(), vec![0_i32], vec![-1], vec![i32::MIN / 2]] {
+        let mut w = cs_codec::BitWriter::new();
+        cs_codec::rice_encode_block(&block, &mut w);
+        let bytes = w.finish();
+        let mut r = cs_codec::BitReader::new(&bytes);
+        assert_eq!(cs_codec::rice_decode_block(block.len(), &mut r).unwrap(), block);
+    }
+}

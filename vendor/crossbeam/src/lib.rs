@@ -1,0 +1,13 @@
+//! Vendored, API-compatible subset of `crossbeam`.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the one crossbeam facility it uses: **MPMC bounded channels** with
+//! blocking `send`/`recv`, non-blocking `try_*` variants and disconnect
+//! semantics. The implementation is a `Mutex<VecDeque>` with two condvars
+//! — not lock-free like the real crate, but semantically identical for
+//! FIFO order, backpressure and hang-up behaviour, which is what the
+//! decode pipeline and its tests rely on.
+
+#![forbid(unsafe_code)]
+
+pub mod channel;

@@ -1,0 +1,182 @@
+//! Vendored, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no network access and no crates.io cache, so
+//! the workspace vendors the slice of proptest it uses: the [`proptest!`]
+//! macro, `prop_assert*` macros, range / `any` / `Just` / tuple / vec
+//! strategies, `prop_oneof!`, and `ProptestConfig::with_cases`.
+//!
+//! Differences from upstream, deliberate and documented:
+//!
+//! * **Deterministic**: every test function derives its RNG seed from its
+//!   own module path and case index, so failures reproduce exactly across
+//!   runs and machines — there is no persistence file. (Existing
+//!   `*.proptest-regressions` files are ignored.)
+//! * **No shrinking**: a failing case reports its case index and message
+//!   instead of a minimized input. Determinism makes the failure
+//!   re-runnable under a debugger.
+//! * Value generation is uniform over the requested range rather than
+//!   edge-biased.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines deterministic property tests.
+///
+/// Supports the upstream surface this workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///
+///     #[test]
+///     fn my_property(x in 0u32..100, v in proptest::collection::vec(any::<u8>(), 0..16)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident $args:tt $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            const __PT_NAME: &str = concat!(module_path!(), "::", stringify!($name));
+            let __pt_config: $crate::test_runner::ProptestConfig = $cfg;
+            for __pt_case in 0..__pt_config.cases {
+                let mut __pt_rng =
+                    $crate::test_runner::TestRng::for_case(__PT_NAME, __pt_case as u64);
+                let __pt_outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> = {
+                    $crate::__proptest_bind!(__pt_rng, $args);
+                    $crate::__proptest_run!($body)
+                };
+                if let ::std::result::Result::Err(e) = __pt_outcome {
+                    ::std::panic!(
+                        "proptest case {}/{} of {} failed: {}",
+                        __pt_case + 1,
+                        __pt_config.cases,
+                        __PT_NAME,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_run {
+    ($body:block) => {
+        (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+            $body
+            #[allow(unreachable_code)]
+            ::std::result::Result::Ok(())
+        })()
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, ($($args:tt)*)) => {
+        $crate::__proptest_bind_inner!($rng, $($args)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind_inner {
+    ($rng:ident,) => {};
+    ($rng:ident, $arg:ident in $strat:expr) => {
+        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident, $arg:ident in $strat:expr, $($rest:tt)*) => {
+        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind_inner!($rng, $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (with an optional formatted message) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Uniformly picks one of several same-typed strategies per case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![$($strat),+])
+    };
+}

@@ -1,0 +1,115 @@
+//! The deterministic case runner: config, RNG and failure type.
+
+use std::fmt;
+
+/// Per-test configuration. Only the field this workspace uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    ///
+    /// The `PROPTEST_CASES` environment variable, when set, caps the count
+    /// — useful to shorten CI or deepen local soak runs.
+    pub fn with_cases(cases: u32) -> Self {
+        let cap = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse::<u32>().ok())
+            .unwrap_or(u32::MAX);
+        ProptestConfig {
+            cases: cases.min(cap).max(1),
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; this workspace's properties are
+        // numerical and debug-built on small hosts, so default lighter.
+        ProptestConfig::with_cases(64)
+    }
+}
+
+/// Why a single generated case failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed assertion with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    /// Upstream-compatible alias of [`TestCaseError::fail`] for rejected
+    /// (filtered-out) inputs.
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self::fail(message)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic per-case generator (splitmix64 over a seed derived from
+/// the test's module path and the case index).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The generator for case `case` of the test named `name`.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        // FNV-1a over the fully qualified test name...
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        // ...mixed with the case index so each case gets its own stream.
+        let mut rng = TestRng {
+            state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        };
+        rng.next_u64(); // discard the correlated first output
+        rng
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        // splitmix64 (Steele, Lea & Flood).
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, 1)` with 53 random bits.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from `[0, span)` without modulo bias.
+    pub fn below(&mut self, span: u128) -> u128 {
+        assert!(span > 0, "TestRng::below: zero span");
+        let zone = u128::MAX - (u128::MAX - span + 1) % span;
+        loop {
+            let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+            if wide <= zone {
+                return wide % span;
+            }
+        }
+    }
+}

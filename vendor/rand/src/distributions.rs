@@ -1,0 +1,138 @@
+//! Distributions: the `Standard` uniform distribution and range sampling.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" uniform distribution: full range for integers, `[0, 1)`
+/// for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $via:ty),* $(,)?) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $via as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => u64,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => u64,
+);
+
+pub mod uniform {
+    //! Uniform sampling from ranges.
+
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that [`crate::Rng::gen_range`] can sample uniformly.
+    pub trait SampleUniform: PartialOrd + Copy {
+        /// Uniform draw from `[low, high)`.
+        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+        /// Uniform draw from `[low, high]`.
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    }
+
+    /// Range forms accepted by [`crate::Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Draws one sample from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range: empty range");
+            T::sample_half_open(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = self.into_inner();
+            assert!(lo <= hi, "gen_range: empty range");
+            T::sample_inclusive(rng, lo, hi)
+        }
+    }
+
+    /// Uniform draw from `[0, span)` by rejection, avoiding modulo bias.
+    fn below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        let zone = u128::MAX - (u128::MAX - span + 1) % span;
+        loop {
+            let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+            if wide <= zone {
+                return wide % span;
+            }
+        }
+    }
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let span = (high as i128).wrapping_sub(low as i128) as u128;
+                    let off = below(rng, span);
+                    ((low as i128).wrapping_add(off as i128)) as $t
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let span = ((high as i128).wrapping_sub(low as i128) as u128).wrapping_add(1);
+                    if span == 0 {
+                        // Full u128 span cannot occur for <=64-bit types.
+                        return rng.next_u64() as $t;
+                    }
+                    let off = below(rng, span);
+                    ((low as i128).wrapping_add(off as i128)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_sample_uniform_float {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    let v = low as f64 + unit * (high as f64 - low as f64);
+                    // Floating rounding can land exactly on `high`; clamp back.
+                    if v as $t >= high { low } else { v as $t }
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let unit = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+                    (low as f64 + unit * (high as f64 - low as f64)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform_float!(f32, f64);
+}

@@ -1,0 +1,19 @@
+//! Vendored stub of `serde`.
+//!
+//! The workspace declares optional `serde` support behind off-by-default
+//! features, and the build environment cannot download the real crate.
+//! This stub keeps the dependency graph resolvable. The `derive` feature
+//! expands to no-op derives (see `serde_derive`), so `--features serde`
+//! builds still compile; actual serialization is not provided and nothing
+//! in the workspace currently calls it.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
