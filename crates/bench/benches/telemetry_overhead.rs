@@ -1,0 +1,103 @@
+//! Telemetry overhead budget: the observed pipeline (live registry,
+//! spans on every stage, solve traces journaled) must cost < 2 % of
+//! throughput against the same pipeline with the disabled registry.
+//!
+//! The two arms run interleaved (disabled, enabled, disabled, ...) so
+//! slow drift on the host hits both equally, and the verdict compares
+//! the median round of each arm. Exits non-zero over budget.
+//!
+//! ```text
+//! cargo bench -p cs-bench --bench telemetry_overhead
+//! ```
+
+use cs_core::{run_streaming_observed, uniform_codebook, SolverPolicy, SystemConfig};
+use cs_telemetry::TelemetryRegistry;
+use std::sync::Arc;
+use std::time::Instant;
+
+const N: usize = 512;
+const FRAMES: usize = 4;
+const ROUNDS: usize = 7;
+const ITERS_PER_ROUND: usize = 2;
+const BUDGET_PERCENT: f64 = 2.0;
+
+fn ecg_like() -> Vec<i16> {
+    (0..FRAMES * N)
+        .map(|i| {
+            let t = (i % N) as f64 / N as f64;
+            (700.0 * (-((t - 0.4) * 25.0).powi(2)).exp() + 50.0 * (t * 10.0).sin()) as i16
+        })
+        .collect()
+}
+
+/// Runs the streaming pipeline `ITERS_PER_ROUND` times against the given
+/// registry and returns the wall time in seconds.
+fn round(
+    config: &SystemConfig,
+    codebook: &Arc<cs_codec::Codebook>,
+    samples: &[i16],
+    telemetry: &TelemetryRegistry,
+) -> f64 {
+    let started = Instant::now();
+    for _ in 0..ITERS_PER_ROUND {
+        run_streaming_observed::<f32, _>(
+            config,
+            Arc::clone(codebook),
+            samples,
+            SolverPolicy::default(),
+            telemetry,
+            |_| {},
+        )
+        .expect("streaming run");
+    }
+    started.elapsed().as_secs_f64()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let config = SystemConfig::paper_default();
+    let codebook = Arc::new(uniform_codebook(config.alphabet()).expect("codebook"));
+    let samples = ecg_like();
+    let off = TelemetryRegistry::disabled();
+    let on = TelemetryRegistry::new();
+
+    // Warm up caches and the allocator on both arms.
+    round(&config, &codebook, &samples, &off);
+    round(&config, &codebook, &samples, &on);
+
+    let mut t_off = Vec::with_capacity(ROUNDS);
+    let mut t_on = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        t_off.push(round(&config, &codebook, &samples, &off));
+        t_on.push(round(&config, &codebook, &samples, &on));
+    }
+
+    let packets = (FRAMES * ITERS_PER_ROUND) as f64;
+    let off_med = median(t_off);
+    let on_med = median(t_on);
+    let overhead = (on_med - off_med) / off_med * 100.0;
+    let snapshot = on.snapshot();
+    let observed: u64 = snapshot.stages.iter().map(|(_, h)| h.count()).sum();
+
+    println!("# telemetry_overhead — observed pipeline vs disabled registry");
+    println!(
+        "disabled registry : {:>8.2} packets/s  (median of {ROUNDS} rounds)",
+        packets / off_med
+    );
+    println!(
+        "live registry     : {:>8.2} packets/s  ({observed} span records, {} solve traces)",
+        packets / on_med,
+        snapshot.journal_pushed
+    );
+    println!("overhead          : {overhead:>8.2} %  (budget {BUDGET_PERCENT} %)");
+
+    if overhead > BUDGET_PERCENT {
+        eprintln!("FAIL: telemetry overhead {overhead:.2} % exceeds {BUDGET_PERCENT} % budget");
+        std::process::exit(1);
+    }
+    println!("verdict           : within budget");
+}

@@ -7,18 +7,25 @@
 //! the warm-start iteration saving (cold fleet vs warm fleet over the
 //! same traffic).
 //!
+//! Every run decodes against a live [`TelemetryRegistry`]: per-stage
+//! latency quantiles and per-worker packet counters come from the
+//! registry the workers recorded into, not from post-hoc aggregates.
+//! `--telemetry` additionally dumps the Prometheus scrape text and a
+//! JSON-Lines snapshot.
+//!
 //! ```text
-//! cargo run --release -p cs-bench --bin fleet_report [--full]
+//! cargo run --release -p cs-bench --bin fleet_report [--full] [--telemetry]
 //! ```
 
 use cs_bench::{banner, RunSettings};
 use cs_core::{
-    packetize, run_fleet, run_streaming, train_codebook, FleetConfig, FleetReport, FleetStream,
-    SolverPolicy, SystemConfig,
+    packetize, run_fleet_observed, run_streaming, train_codebook, FleetConfig, FleetReport,
+    FleetStream, SolverPolicy, SystemConfig,
 };
 use cs_ecg_data::{resample_360_to_256, DatabaseConfig, Record, SyntheticDatabase};
 use cs_metrics::{worker_imbalance, FleetStats, StreamStats};
 use cs_platform::{analyze_fleet, CoordinatorSpec, SolveSample};
+use cs_telemetry::TelemetryRegistry;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -29,20 +36,35 @@ fn prepare(record: &Record, channel: usize) -> Vec<i16> {
     at256.iter().map(|&v| adc.to_signed(adc.quantize(v))).collect()
 }
 
+/// Renders nanoseconds at a human scale.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
 fn run(
     streams: &[FleetStream<'_>],
     config: &SystemConfig,
     codebook: &Arc<cs_codec::Codebook>,
     fleet: &FleetConfig,
+    telemetry: &TelemetryRegistry,
 ) -> (FleetReport, Vec<StreamStats>, Vec<Vec<SolveSample>>) {
     let mut stats = vec![StreamStats::new(); streams.len()];
     let mut solves = vec![Vec::new(); streams.len()];
-    let report = run_fleet::<f32, _>(
+    let report = run_fleet_observed::<f32, _>(
         config,
         Arc::clone(codebook),
         streams,
         SolverPolicy::default(),
         fleet,
+        telemetry,
         |p| {
             stats[p.stream].record(
                 p.packet.iterations,
@@ -110,10 +132,20 @@ fn main() {
     let sequential_wall = started.elapsed();
     let sequential_rate = sequential_packets as f64 / sequential_wall.as_secs_f64();
 
+    // The cold run decodes against a live registry; the stage table and
+    // per-worker counts below come from it, not from the callbacks.
+    let registry = TelemetryRegistry::new();
     let fleet_cfg = FleetConfig::default();
-    let (cold_report, cold_stats, solves) = run(&streams, &config, &codebook, &fleet_cfg);
+    let (cold_report, cold_stats, solves) =
+        run(&streams, &config, &codebook, &fleet_cfg, &registry);
     let warm_cfg = FleetConfig { warm_start: true, ..fleet_cfg };
-    let (warm_report, warm_stats, _) = run(&streams, &config, &codebook, &warm_cfg);
+    let (warm_report, warm_stats, _) = run(
+        &streams,
+        &config,
+        &codebook,
+        &warm_cfg,
+        &TelemetryRegistry::disabled(),
+    );
 
     let cold = FleetStats::from_streams(&cold_stats);
     let warm = FleetStats::from_streams(&warm_stats);
@@ -144,6 +176,12 @@ fn main() {
     println!("speedup                 : {:>8.2} ×", fleet_rate / sequential_rate);
 
     println!("== Warm-start FISTA ==");
+    println!(
+        "cold solve p50/p95/p99  : {:>8.2} / {:.2} / {:.2} ms",
+        cold.solve_time_p50() * 1e3,
+        cold.solve_time_p95() * 1e3,
+        cold.solve_time_p99() * 1e3
+    );
     println!(
         "cold mean iterations    : {:>8.1}",
         cold.iterations.mean()
@@ -176,4 +214,45 @@ fn main() {
         "real-time verdict       : {:>8}",
         if capacity.real_time { "yes" } else { "NO" }
     );
+
+    let snapshot = registry.snapshot();
+    println!("== Telemetry (live registry, cold run) ==");
+    println!(
+        "{:<20} {:>8} {:>12} {:>12} {:>12}",
+        "stage", "count", "p50", "p95", "p99"
+    );
+    for (stage, hist) in snapshot.stages {
+        if hist.count() == 0 {
+            continue;
+        }
+        println!(
+            "{:<20} {:>8} {:>12} {:>12} {:>12}",
+            stage.name(),
+            hist.count(),
+            fmt_ns(hist.quantile(0.50)),
+            fmt_ns(hist.quantile(0.95)),
+            fmt_ns(hist.quantile(0.99))
+        );
+    }
+    let per_worker = registry.worker_packets(cold_report.workers);
+    println!(
+        "worker packets          : {}",
+        per_worker
+            .iter()
+            .enumerate()
+            .map(|(w, n)| format!("w{w}={n}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    println!(
+        "solve traces            : {:>6} buffered, {} pushed, {} dropped",
+        snapshot.journal_len, snapshot.journal_pushed, snapshot.journal_dropped
+    );
+
+    if settings.telemetry {
+        println!("== Prometheus scrape ==");
+        print!("{}", registry.prometheus());
+        println!("== JSONL snapshot ==");
+        println!("{}", registry.json_line());
+    }
 }

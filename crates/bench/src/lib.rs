@@ -91,6 +91,9 @@ pub struct RunSettings {
     pub records: usize,
     /// Seconds per record.
     pub seconds: f64,
+    /// Emit live telemetry (Prometheus scrape + JSON-Lines snapshot) in
+    /// binaries that support it.
+    pub telemetry: bool,
 }
 
 impl RunSettings {
@@ -99,6 +102,7 @@ impl RunSettings {
         RunSettings {
             records: 8,
             seconds: 16.0,
+            telemetry: false,
         }
     }
 
@@ -109,18 +113,24 @@ impl RunSettings {
         RunSettings {
             records: 48,
             seconds: 60.0,
+            telemetry: false,
         }
     }
 
-    /// Parses `--records N`, `--seconds S` and `--full` from process
-    /// arguments, starting from the quick defaults.
+    /// Parses `--records N`, `--seconds S`, `--full` and `--telemetry`
+    /// from process arguments, starting from the quick defaults.
     pub fn from_args() -> Self {
         let mut settings = RunSettings::quick();
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
-                "--full" => settings = RunSettings::full(),
+                "--full" => {
+                    let telemetry = settings.telemetry;
+                    settings = RunSettings::full();
+                    settings.telemetry = telemetry;
+                }
+                "--telemetry" => settings.telemetry = true,
                 "--records" => {
                     if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
                         settings.records = v;

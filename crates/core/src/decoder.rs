@@ -14,11 +14,12 @@ use cs_codec::{symbol_to_value, BitReader, Codebook, DeltaBlock, DiffConfig, Dif
 use cs_dsp::wavelet::{Dwt, Wavelet};
 use cs_dsp::Real;
 use cs_recovery::{
-    fista_warm, fista_weighted_warm, lambda_max, lipschitz_constant, top_singular_pair,
-    DeflatedOperator, KernelMode, LinearOperator, ShrinkageConfig, SpectralCache,
-    SpectralEstimate, SynthesisOperator,
+    fista_warm_observed, fista_weighted_warm_observed, lambda_max, lipschitz_constant,
+    top_singular_pair, DeflatedOperator, KernelMode, LinearOperator, ShrinkageConfig,
+    SpectralCache, SpectralEstimate, SynthesisOperator,
 };
 use cs_sensing::SparseBinarySensing;
+use cs_telemetry::{SolveTrace, Stage, TelemetryRegistry};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::Duration;
@@ -84,6 +85,8 @@ pub struct DecodedPacket<T: Real> {
     /// Whether FISTA was seeded with the previous packet's solution
     /// (see [`Decoder::set_warm_start`]).
     pub warm_started: bool,
+    /// Final solver residual norm `‖Aα − y‖₂` (measurement-space fit).
+    pub residual_norm: T,
 }
 
 /// The CS-ECG decoder.
@@ -126,6 +129,12 @@ pub struct Decoder<T: Real> {
     /// seeding FISTA here cuts iterations without moving the fixed point.
     warm: Option<Vec<T>>,
     warm_start: bool,
+    /// Where stage spans and solve traces land; the shared disabled
+    /// registry (one atomic load per span) unless the owner installs a
+    /// live one via [`Decoder::set_telemetry`].
+    telemetry: TelemetryRegistry,
+    /// `(stream, channel)` labels stamped onto journal traces.
+    telemetry_labels: (u32, u8),
 }
 
 impl<T: Real> Decoder<T> {
@@ -252,7 +261,28 @@ impl<T: Real> Decoder<T> {
             policy,
             warm: None,
             warm_start: false,
+            telemetry: TelemetryRegistry::disabled(),
+            telemetry_labels: (0, 0),
         })
+    }
+
+    /// Installs a telemetry registry: subsequent decodes time each stage
+    /// into its histograms and journal their solve traces. Decoders start
+    /// on the shared disabled registry, where instrumentation costs one
+    /// atomic load per stage.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryRegistry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Sets the `(stream, channel)` labels stamped onto this decoder's
+    /// journal traces — the fleet engine identifies each lane this way.
+    pub fn set_telemetry_labels(&mut self, stream: u32, channel: u8) {
+        self.telemetry_labels = (stream, channel);
+    }
+
+    /// The registry this decoder records into.
+    pub fn telemetry(&self) -> &TelemetryRegistry {
+        &self.telemetry
     }
 
     /// Enables or disables warm-starting FISTA from the previous packet's
@@ -348,8 +378,14 @@ impl<T: Real> Decoder<T> {
         packet: &EncodedPacket,
     ) -> Result<DecodedPacket<T>, PipelineError> {
         // Stages 1–2: entropy decode and redundancy reinsertion.
-        let diff_packet = self.parse_measurements(packet)?;
-        let y_int = self.diff.decode(&diff_packet)?;
+        let diff_packet = {
+            let _span = self.telemetry.span(Stage::HuffmanDecode);
+            self.parse_measurements(packet)?
+        };
+        let y_int = {
+            let _span = self.telemetry.span(Stage::DiffDecode);
+            self.diff.decode(&diff_packet)?
+        };
 
         // Scale by the 1/√d the mote never applied.
         let scale = T::from_f64(self.phi.nonzero_value());
@@ -417,18 +453,33 @@ impl<T: Real> Decoder<T> {
         let warm = seed.as_deref();
         let warm_started = warm.is_some();
         let result = if self.penalty_weights.is_empty() {
-            fista_warm(&deflated, &yd, &cfg, Some(self.lipschitz), warm)
+            fista_warm_observed(&deflated, &yd, &cfg, Some(self.lipschitz), warm, &self.telemetry)
         } else {
-            fista_weighted_warm(
+            fista_weighted_warm_observed(
                 &deflated,
                 &yd,
                 &cfg,
                 Some(self.lipschitz),
                 &self.penalty_weights,
                 warm,
+                &self.telemetry,
             )
         };
-        let samples = self.dwt.synthesize(&result.solution);
+        let (stream, channel) = self.telemetry_labels;
+        self.telemetry.record_solve(SolveTrace {
+            stream,
+            channel,
+            seq: packet.index,
+            iterations: u32::try_from(result.iterations).unwrap_or(u32::MAX),
+            residual: result.residual_norm.to_f64(),
+            solve_ns: u64::try_from(result.elapsed.as_nanos()).unwrap_or(u64::MAX),
+            warm_started,
+            converged: result.converged,
+        });
+        let samples = {
+            let _span = self.telemetry.span(Stage::WaveletSynthesis);
+            self.dwt.synthesize(&result.solution)
+        };
         if self.warm_start {
             self.warm = Some(result.solution);
         }
@@ -440,6 +491,7 @@ impl<T: Real> Decoder<T> {
             converged: result.converged,
             solve_time: result.elapsed,
             warm_started,
+            residual_norm: result.residual_norm,
         })
     }
 

@@ -11,6 +11,7 @@ use crate::error::PipelineError;
 use crate::packet::{EncodedPacket, PacketKind};
 use cs_codec::{value_to_symbol, BitWriter, Codebook, DiffConfig, DiffEncoder, DiffPacket};
 use cs_sensing::SparseBinarySensing;
+use cs_telemetry::{Stage, TelemetryRegistry};
 use std::sync::Arc;
 
 /// Bits used per raw measurement in reference packets.
@@ -41,6 +42,9 @@ pub struct Encoder {
     diff: DiffEncoder,
     codebook: Arc<Codebook>,
     next_index: u64,
+    /// Where stage spans land; the shared disabled registry (one atomic
+    /// load per span) unless the owner installs a live one.
+    telemetry: TelemetryRegistry,
 }
 
 impl Encoder {
@@ -86,7 +90,20 @@ impl Encoder {
             diff,
             codebook,
             next_index: 0,
+            telemetry: TelemetryRegistry::disabled(),
         })
+    }
+
+    /// Installs a telemetry registry: subsequent encodes time each mote
+    /// stage (sensing projection, differencing, entropy coding, packet
+    /// assembly) into its histograms.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryRegistry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The registry this encoder records into.
+    pub fn telemetry(&self) -> &TelemetryRegistry {
+        &self.telemetry
     }
 
     /// The sensing matrix (shared with the decoder through the seed).
@@ -118,12 +135,19 @@ impl Encoder {
             });
         }
         // Stage 1: linear CS measurement (integer gather-add, no multiply).
-        let y = self.phi.apply_unscaled_i32(samples);
+        let y = {
+            let _span = self.telemetry.span(Stage::SensingProjection);
+            self.phi.apply_unscaled_i32(samples)
+        };
 
         // Stage 2: inter-packet redundancy removal.
-        let diff_packet = self.diff.encode(&y)?;
+        let diff_packet = {
+            let _span = self.telemetry.span(Stage::DiffEncode);
+            self.diff.encode(&y)?
+        };
 
         // Stage 3: entropy coding.
+        let entropy_span = self.telemetry.span(Stage::HuffmanEncode);
         let mut writer = BitWriter::new();
         let kind = match &diff_packet {
             DiffPacket::Reference(values) => {
@@ -150,6 +174,10 @@ impl Encoder {
             }
         };
 
+        drop(entropy_span);
+
+        // Stage 4: wire assembly.
+        let _span = self.telemetry.span(Stage::Packetize);
         let payload_bits = writer.bit_len();
         let packet = EncodedPacket {
             index: self.next_index,

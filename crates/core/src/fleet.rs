@@ -46,6 +46,7 @@ use crate::stream::SHARED_BUFFER_PACKETS;
 use cs_codec::Codebook;
 use cs_dsp::Real;
 use cs_recovery::SpectralCache;
+use cs_telemetry::{Stage, TelemetryRegistry};
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -244,7 +245,47 @@ where
         ));
     }
     let feeds: Vec<Feed<'_>> = streams.iter().map(Feed::Raw).collect();
-    fleet_engine(config, codebook, feeds, policy, fleet, on_packet)
+    fleet_engine(
+        config,
+        codebook,
+        feeds,
+        policy,
+        fleet,
+        &TelemetryRegistry::disabled(),
+        on_packet,
+    )
+}
+
+/// [`run_fleet`] recording live telemetry: every producer encode stage,
+/// worker decode stage, FISTA solve, and collector reassembly lands in
+/// `telemetry`'s histograms while the fleet runs, per-worker packet
+/// counts accumulate, and each solve journals a trace labelled with its
+/// `(stream, channel, seq)`. Pass [`TelemetryRegistry::disabled`] to get
+/// exactly [`run_fleet`] (one atomic load per span).
+///
+/// # Errors
+///
+/// Same contract as [`run_fleet`].
+pub fn run_fleet_observed<T, F>(
+    config: &SystemConfig,
+    codebook: Arc<Codebook>,
+    streams: &[FleetStream<'_>],
+    policy: SolverPolicy<T>,
+    fleet: &FleetConfig,
+    telemetry: &TelemetryRegistry,
+    on_packet: F,
+) -> Result<FleetReport, PipelineError>
+where
+    T: Real,
+    F: FnMut(&FleetPacket<T>) + Send,
+{
+    if streams.iter().any(|s| s.leads.is_empty()) {
+        return Err(PipelineError::InvalidConfig(
+            "fleet stream with zero leads".into(),
+        ));
+    }
+    let feeds: Vec<Feed<'_>> = streams.iter().map(Feed::Raw).collect();
+    fleet_engine(config, codebook, feeds, policy, fleet, telemetry, on_packet)
 }
 
 /// Like [`run_fleet`], but replays pre-encoded wire traffic instead of
@@ -268,7 +309,15 @@ where
     F: FnMut(&FleetPacket<T>) + Send,
 {
     let feeds: Vec<Feed<'_>> = streams.iter().map(|s| Feed::Encoded(s)).collect();
-    fleet_engine(config, codebook, feeds, policy, fleet, on_packet)
+    fleet_engine(
+        config,
+        codebook,
+        feeds,
+        policy,
+        fleet,
+        &TelemetryRegistry::disabled(),
+        on_packet,
+    )
 }
 
 fn fleet_engine<T, F>(
@@ -277,6 +326,7 @@ fn fleet_engine<T, F>(
     feeds: Vec<Feed<'_>>,
     policy: SolverPolicy<T>,
     fleet: &FleetConfig,
+    telemetry: &TelemetryRegistry,
     mut on_packet: F,
 ) -> Result<FleetReport, PipelineError>
 where
@@ -324,6 +374,7 @@ where
             let results = res_tx.clone();
             let codebook = Arc::clone(&codebook);
             let cache = &cache;
+            let telemetry = telemetry.clone();
             worker_handles.push(scope.spawn(move || {
                 let mut lanes: HashMap<(usize, u8), Decoder<T>> = HashMap::new();
                 for Job { stream, seq, packet } in jobs.iter() {
@@ -351,6 +402,11 @@ where
                             ) {
                                 Ok(mut d) => {
                                     d.set_warm_start(fleet.warm_start);
+                                    d.set_telemetry(telemetry.clone());
+                                    d.set_telemetry_labels(
+                                        u32::try_from(stream).unwrap_or(u32::MAX),
+                                        packet.channel,
+                                    );
                                     v.insert(d)
                                 }
                                 Err(e) => {
@@ -368,6 +424,7 @@ where
                     }
                     match decoder.decode_packet(&packet.packet) {
                         Ok(decoded) => {
+                            telemetry.record_worker_packet(worker_id);
                             let msg = FleetMsg::Decoded {
                                 stream,
                                 seq,
@@ -397,6 +454,7 @@ where
             let results = res_tx.clone();
             let codebook = Arc::clone(&codebook);
             let stalls = &stalls;
+            let telemetry = telemetry.clone();
             scope.spawn(move || {
                 let send = |seq: u64, packet: ChannelPacket| -> bool {
                     let mut job = Job { stream, seq, packet };
@@ -422,7 +480,10 @@ where
                         let channels = input.leads.len();
                         let mut encoder =
                             match MultiChannelEncoder::new(config, codebook, channels) {
-                                Ok(enc) => enc,
+                                Ok(mut enc) => {
+                                    enc.set_telemetry(telemetry.clone());
+                                    enc
+                                }
                                 Err(e) => {
                                     let _ = results.send(FleetMsg::Failed {
                                         stream: Some(stream),
@@ -476,6 +537,7 @@ where
         for msg in res_rx.iter() {
             match msg {
                 FleetMsg::Decoded { stream, seq, channel, worker, packet } => {
+                    let _span = telemetry.span(Stage::Reassembly);
                     worker_packets[worker] += 1;
                     pending[stream].insert(seq, (channel, packet));
                     while let Some((channel, packet)) =

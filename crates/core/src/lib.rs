@@ -22,6 +22,10 @@
 //! * [`run_fleet`] — the multi-patient generalization: N multi-lead
 //!   streams fanned over M decode workers with per-stream in-order
 //!   delivery, shared spectral setup and optional warm-started FISTA.
+//! * `*_observed` variants ([`evaluate_stream_observed`],
+//!   [`run_streaming_observed`], [`run_fleet_observed`]) — the same
+//!   pipelines recording per-stage latency histograms, worker counters
+//!   and solve traces into a `cs_telemetry::TelemetryRegistry`.
 //!
 //! ## Quickstart
 //!
@@ -65,12 +69,13 @@ pub use decoder::{DecodedPacket, Decoder, SolverPolicy};
 pub use encoder::Encoder;
 pub use error::PipelineError;
 pub use fleet::{
-    run_fleet, run_fleet_encoded, FleetConfig, FleetPacket, FleetReport, FleetStream,
-    StreamSummary,
+    run_fleet, run_fleet_encoded, run_fleet_observed, FleetConfig, FleetPacket, FleetReport,
+    FleetStream, StreamSummary,
 };
 pub use multichannel::{ChannelPacket, MultiChannelDecoder, MultiChannelEncoder};
 pub use packet::{EncodedPacket, PacketKind, HEADER_BYTES};
 pub use pipeline::{
-    evaluate_stream, packetize, train_and_evaluate, PacketReport, StreamReport,
+    evaluate_stream, evaluate_stream_observed, packetize, train_and_evaluate, PacketReport,
+    StreamReport,
 };
-pub use stream::{run_streaming, StreamingReport, SHARED_BUFFER_PACKETS};
+pub use stream::{run_streaming, run_streaming_observed, StreamingReport, SHARED_BUFFER_PACKETS};

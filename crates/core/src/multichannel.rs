@@ -100,6 +100,14 @@ impl MultiChannelEncoder {
         self.lanes.len()
     }
 
+    /// Installs a telemetry registry on every lane (see
+    /// [`Encoder::set_telemetry`]).
+    pub fn set_telemetry(&mut self, telemetry: cs_telemetry::TelemetryRegistry) {
+        for lane in &mut self.lanes {
+            lane.set_telemetry(telemetry.clone());
+        }
+    }
+
     /// Encodes one synchronized frame (one packet per lead).
     ///
     /// # Errors

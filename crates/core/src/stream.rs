@@ -53,6 +53,38 @@ pub fn run_streaming<T, F>(
     codebook: Arc<cs_codec::Codebook>,
     samples: &[i16],
     policy: SolverPolicy<T>,
+    on_packet: F,
+) -> Result<StreamingReport, PipelineError>
+where
+    T: Real,
+    F: FnMut(&DecodedPacket<T>) + Send,
+{
+    run_streaming_observed(
+        config,
+        codebook,
+        samples,
+        policy,
+        &cs_telemetry::TelemetryRegistry::disabled(),
+        on_packet,
+    )
+}
+
+/// [`run_streaming`] recording live telemetry: producer encode stages and
+/// consumer decode stages land in `telemetry`'s histograms while the
+/// stream runs. Pass [`TelemetryRegistry::disabled`] to get exactly
+/// [`run_streaming`] (one atomic load per span).
+///
+/// [`TelemetryRegistry::disabled`]: cs_telemetry::TelemetryRegistry::disabled
+///
+/// # Errors
+///
+/// Same contract as [`run_streaming`].
+pub fn run_streaming_observed<T, F>(
+    config: &SystemConfig,
+    codebook: Arc<cs_codec::Codebook>,
+    samples: &[i16],
+    policy: SolverPolicy<T>,
+    telemetry: &cs_telemetry::TelemetryRegistry,
     mut on_packet: F,
 ) -> Result<StreamingReport, PipelineError>
 where
@@ -61,6 +93,8 @@ where
 {
     let mut encoder = Encoder::new(config, Arc::clone(&codebook))?;
     let mut decoder: Decoder<T> = Decoder::new(config, codebook, policy)?;
+    encoder.set_telemetry(telemetry.clone());
+    decoder.set_telemetry(telemetry.clone());
     let n = config.packet_len();
     let packet_period = Duration::from_secs_f64(n as f64 / 256.0);
 

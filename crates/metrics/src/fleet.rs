@@ -7,6 +7,9 @@
 //! figures.
 
 use crate::aggregate::Summary;
+use cs_telemetry::HistogramSnapshot;
+
+const NS_PER_SEC: f64 = 1e9;
 
 /// Solver statistics for one decoded stream.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -16,6 +19,9 @@ pub struct StreamStats {
     pub iterations: Summary,
     /// Distribution of per-packet solve times, in seconds.
     pub solve_time: Summary,
+    /// Log2 histogram of solve times in nanoseconds — what the quantile
+    /// accessors read.
+    pub solve_hist: HistogramSnapshot,
     /// Packets whose solve was seeded from the previous estimate.
     pub warm_started: u64,
 }
@@ -30,12 +36,29 @@ impl StreamStats {
     pub fn record(&mut self, iterations: usize, solve_time_secs: f64, warm_started: bool) {
         self.iterations.push(iterations as f64);
         self.solve_time.push(solve_time_secs);
+        self.solve_hist
+            .record_ns((solve_time_secs * NS_PER_SEC) as u64);
         self.warm_started += u64::from(warm_started);
     }
 
     /// Packets observed.
     pub fn packets(&self) -> u64 {
         self.iterations.count()
+    }
+
+    /// Median solve time in seconds (log2-bucket resolution).
+    pub fn solve_time_p50(&self) -> f64 {
+        self.solve_hist.quantile(0.50) as f64 / NS_PER_SEC
+    }
+
+    /// 95th-percentile solve time in seconds (log2-bucket resolution).
+    pub fn solve_time_p95(&self) -> f64 {
+        self.solve_hist.quantile(0.95) as f64 / NS_PER_SEC
+    }
+
+    /// 99th-percentile solve time in seconds (log2-bucket resolution).
+    pub fn solve_time_p99(&self) -> f64 {
+        self.solve_hist.quantile(0.99) as f64 / NS_PER_SEC
     }
 }
 
@@ -66,6 +89,8 @@ pub struct FleetStats {
     pub iterations: Summary,
     /// Merged solve-time distribution, in seconds.
     pub solve_time: Summary,
+    /// Merged log2 histogram of solve times in nanoseconds.
+    pub solve_hist: HistogramSnapshot,
     /// Warm-started packets across the fleet.
     pub warm_started: u64,
 }
@@ -80,6 +105,7 @@ impl FleetStats {
         for s in streams {
             fleet.iterations.merge(&s.iterations);
             fleet.solve_time.merge(&s.solve_time);
+            fleet.solve_hist.merge(&s.solve_hist);
             fleet.warm_started += s.warm_started;
         }
         fleet
@@ -88,6 +114,21 @@ impl FleetStats {
     /// Total packets across the fleet.
     pub fn packets(&self) -> u64 {
         self.iterations.count()
+    }
+
+    /// Median solve time in seconds (log2-bucket resolution).
+    pub fn solve_time_p50(&self) -> f64 {
+        self.solve_hist.quantile(0.50) as f64 / NS_PER_SEC
+    }
+
+    /// 95th-percentile solve time in seconds (log2-bucket resolution).
+    pub fn solve_time_p95(&self) -> f64 {
+        self.solve_hist.quantile(0.95) as f64 / NS_PER_SEC
+    }
+
+    /// 99th-percentile solve time in seconds (log2-bucket resolution).
+    pub fn solve_time_p99(&self) -> f64 {
+        self.solve_hist.quantile(0.99) as f64 / NS_PER_SEC
     }
 
     /// The relative iteration saving of this (warm-started) fleet against
@@ -127,6 +168,28 @@ mod tests {
         assert_eq!(s.warm_started, 1);
         assert_eq!(s.iterations.mean(), 20.0);
         assert!((s.solve_time.max() - 0.003).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_time_quantiles_track_the_histogram() {
+        let mut s = StreamStats::new();
+        for _ in 0..95 {
+            s.record(10, 0.001, false);
+        }
+        for _ in 0..5 {
+            s.record(10, 0.100, false);
+        }
+        assert_eq!(s.solve_hist.count(), 100);
+        // p50 sits in the 1 ms cohort, p99 in the 100 ms tail; log2
+        // buckets admit up to 2x on each.
+        assert!(s.solve_time_p50() < 0.003, "p50 {}", s.solve_time_p50());
+        assert!(s.solve_time_p99() > 0.05, "p99 {}", s.solve_time_p99());
+        assert!(s.solve_time_p50() <= s.solve_time_p95());
+        assert!(s.solve_time_p95() <= s.solve_time_p99());
+        // Fleet aggregation merges the histograms too.
+        let fleet = FleetStats::from_streams(&[s, StreamStats::new()]);
+        assert_eq!(fleet.solve_hist.count(), 100);
+        assert!(fleet.solve_time_p99() >= fleet.solve_time_p50());
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub use kernels::{axpy, dot, momentum_combine, soft_threshold, soft_threshold_we
 pub use lipschitz::{lipschitz_constant, operator_norm, top_singular_pair};
 pub use operator::{DeflatedOperator, DenseOperator, LinearOperator, SynthesisOperator};
 pub use solvers::{
-    amp, debias, fista, fista_backtracking, fista_warm, fista_weighted, fista_weighted_warm, ista,
-    ista_warm, lambda_max, omp, DebiasConfig, OmpConfig, OmpResult, ShrinkageConfig, SolverResult,
-    AmpConfig, AmpResult,
+    amp, debias, fista, fista_backtracking, fista_warm, fista_warm_observed, fista_weighted,
+    fista_weighted_warm, fista_weighted_warm_observed, ista, ista_warm, lambda_max, omp,
+    DebiasConfig, OmpConfig, OmpResult, ShrinkageConfig, SolverResult, AmpConfig, AmpResult,
 };

@@ -10,6 +10,7 @@ pub use amp::{amp, AmpConfig, AmpResult};
 pub use debias::{debias, DebiasConfig};
 pub use omp::{omp, OmpConfig, OmpResult};
 pub use shrinkage::{
-    fista, fista_backtracking, fista_warm, fista_weighted, fista_weighted_warm, ista, ista_warm,
-    lambda_max, ShrinkageConfig, SolverResult,
+    fista, fista_backtracking, fista_warm, fista_warm_observed, fista_weighted,
+    fista_weighted_warm, fista_weighted_warm_observed, ista, ista_warm, lambda_max,
+    ShrinkageConfig, SolverResult,
 };

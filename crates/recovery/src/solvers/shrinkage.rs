@@ -16,6 +16,7 @@ use crate::kernels::{momentum_combine, soft_threshold, soft_threshold_weighted, 
 use crate::lipschitz::lipschitz_constant;
 use crate::operator::LinearOperator;
 use cs_dsp::{l1_norm, l2_norm, Real};
+use cs_telemetry::{Stage, TelemetryRegistry};
 use std::time::{Duration, Instant};
 
 /// Configuration shared by the shrinkage solvers.
@@ -193,6 +194,30 @@ pub fn fista_warm<T: Real, A: LinearOperator<T>>(
     shrinkage_loop(op, y, config, lipschitz, true, None, warm_start)
 }
 
+/// [`fista_warm`] timed into a telemetry registry: the whole solve runs
+/// under a [`Stage::FistaSolve`] span, so its wall-clock latency lands in
+/// the registry's per-stage histogram. With the disabled registry this is
+/// [`fista_warm`] plus one atomic load.
+///
+/// The caller still owns journal publication (iteration count, residual,
+/// stream/channel labels) — only the caller knows the labels; see
+/// `cs_core::Decoder`.
+///
+/// # Panics
+///
+/// Same conditions as [`fista_warm`].
+pub fn fista_warm_observed<T: Real, A: LinearOperator<T>>(
+    op: &A,
+    y: &[T],
+    config: &ShrinkageConfig<T>,
+    lipschitz: Option<T>,
+    warm_start: Option<&[T]>,
+    telemetry: &TelemetryRegistry,
+) -> SolverResult<T> {
+    let _span = telemetry.span(Stage::FistaSolve);
+    shrinkage_loop(op, y, config, lipschitz, true, None, warm_start)
+}
+
 /// FISTA with per-coefficient penalty weights: solves
 /// `min_α ‖Aα − y‖² + λ·Σ wᵢ|αᵢ|`.
 ///
@@ -235,6 +260,25 @@ pub fn fista_weighted_warm<T: Real, A: LinearOperator<T>>(
         "fista_weighted: negative weight"
     );
     shrinkage_loop(op, y, config, lipschitz, true, Some(weights), warm_start)
+}
+
+/// [`fista_weighted_warm`] timed into a telemetry registry; see
+/// [`fista_warm_observed`].
+///
+/// # Panics
+///
+/// Same conditions as [`fista_weighted_warm`].
+pub fn fista_weighted_warm_observed<T: Real, A: LinearOperator<T>>(
+    op: &A,
+    y: &[T],
+    config: &ShrinkageConfig<T>,
+    lipschitz: Option<T>,
+    weights: &[T],
+    warm_start: Option<&[T]>,
+    telemetry: &TelemetryRegistry,
+) -> SolverResult<T> {
+    let _span = telemetry.span(Stage::FistaSolve);
+    fista_weighted_warm(op, y, config, lipschitz, weights, warm_start)
 }
 
 /// Solves Eq. (3) with FISTA and **backtracking** line search (the other

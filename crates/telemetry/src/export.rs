@@ -1,0 +1,264 @@
+//! Exporters: Prometheus text exposition and JSON-Lines snapshots.
+//!
+//! Both render a [`TelemetrySnapshot`], so an export never holds any lock
+//! the recording paths contend on. The formats are hand-rolled — stage
+//! names are a closed set of snake_case identifiers and every value is a
+//! finite number, so no escaping machinery is needed and the crate stays
+//! dependency-free.
+
+use crate::histogram::{bucket_upper, HistogramSnapshot};
+use crate::registry::{TelemetryRegistry, TelemetrySnapshot};
+use std::fmt::Write as _;
+
+/// The quantiles every exporter and report surface.
+pub const REPORT_QUANTILES: [(f64, &str); 3] = [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")];
+
+/// Renders a snapshot in the Prometheus text exposition format.
+///
+/// Per stage with at least one observation: a classic `histogram` family
+/// (`cs_stage_latency_ns_bucket{stage=...,le=...}` with cumulative counts
+/// at each occupied bucket's upper bound plus `+Inf`, `_sum`, `_count`)
+/// and p50/p95/p99 gauges. Plus per-worker packet counters and journal
+/// accounting gauges.
+pub fn prometheus(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("# HELP cs_stage_latency_ns Per-stage pipeline latency in nanoseconds\n");
+    out.push_str("# TYPE cs_stage_latency_ns histogram\n");
+    for (stage, hist) in &snap.stages {
+        if hist.count() == 0 {
+            continue;
+        }
+        let mut cumulative = 0u64;
+        for (i, &c) in hist.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cumulative += c;
+            let _ = writeln!(
+                out,
+                "cs_stage_latency_ns_bucket{{stage=\"{}\",le=\"{}\"}} {}",
+                stage.name(),
+                bucket_upper(i),
+                cumulative
+            );
+        }
+        let _ = writeln!(
+            out,
+            "cs_stage_latency_ns_bucket{{stage=\"{}\",le=\"+Inf\"}} {}",
+            stage.name(),
+            hist.count()
+        );
+        let _ = writeln!(
+            out,
+            "cs_stage_latency_ns_sum{{stage=\"{}\"}} {}",
+            stage.name(),
+            hist.sum_ns()
+        );
+        let _ = writeln!(
+            out,
+            "cs_stage_latency_ns_count{{stage=\"{}\"}} {}",
+            stage.name(),
+            hist.count()
+        );
+    }
+    out.push_str("# HELP cs_stage_latency_quantile_ns Per-stage latency quantiles (log2-bucket resolution)\n");
+    out.push_str("# TYPE cs_stage_latency_quantile_ns gauge\n");
+    for (stage, hist) in &snap.stages {
+        if hist.count() == 0 {
+            continue;
+        }
+        for (p, label) in REPORT_QUANTILES {
+            let _ = writeln!(
+                out,
+                "cs_stage_latency_quantile_ns{{stage=\"{}\",quantile=\"{}\"}} {}",
+                stage.name(),
+                label,
+                hist.quantile(p)
+            );
+        }
+    }
+    out.push_str("# HELP cs_worker_packets_total Packets decoded per fleet worker\n");
+    out.push_str("# TYPE cs_worker_packets_total counter\n");
+    for (worker, &packets) in snap.worker_packets.iter().enumerate() {
+        if packets > 0 {
+            let _ = writeln!(
+                out,
+                "cs_worker_packets_total{{worker=\"{worker}\"}} {packets}"
+            );
+        }
+    }
+    out.push_str("# HELP cs_journal_traces Event-journal accounting\n");
+    out.push_str("# TYPE cs_journal_traces gauge\n");
+    let _ = writeln!(out, "cs_journal_traces{{state=\"buffered\"}} {}", snap.journal_len);
+    let _ = writeln!(out, "cs_journal_traces{{state=\"pushed\"}} {}", snap.journal_pushed);
+    let _ = writeln!(out, "cs_journal_traces{{state=\"dropped\"}} {}", snap.journal_dropped);
+    out
+}
+
+fn stage_json(name: &str, hist: &HistogramSnapshot, out: &mut String) {
+    let _ = write!(
+        out,
+        "{{\"stage\":\"{}\",\"count\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"min_ns\":{},\"max_ns\":{},\"mean_ns\":{:.1}}}",
+        name,
+        hist.count(),
+        hist.quantile(0.50),
+        hist.quantile(0.95),
+        hist.quantile(0.99),
+        hist.min_ns(),
+        hist.max_ns(),
+        hist.mean_ns()
+    );
+}
+
+/// Renders a snapshot as one JSON-Lines record (a single line, no
+/// trailing newline). Stages with zero observations and trailing
+/// zero-count workers are elided to keep lines scannable.
+pub fn json_line(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"uptime_s\":{:.3},\"stages\":[", snap.uptime.as_secs_f64());
+    let mut first = true;
+    for (stage, hist) in &snap.stages {
+        if hist.count() == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        stage_json(stage.name(), hist, &mut out);
+    }
+    out.push_str("],\"worker_packets\":[");
+    let last_active = snap
+        .worker_packets
+        .iter()
+        .rposition(|&p| p > 0)
+        .map_or(0, |i| i + 1);
+    for (i, &p) in snap.worker_packets[..last_active].iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{p}");
+    }
+    let _ = write!(
+        out,
+        "],\"journal\":{{\"buffered\":{},\"pushed\":{},\"dropped\":{}}}}}",
+        snap.journal_len, snap.journal_pushed, snap.journal_dropped
+    );
+    out
+}
+
+impl TelemetryRegistry {
+    /// Snapshots the registry and renders it in Prometheus text format.
+    pub fn prometheus(&self) -> String {
+        prometheus(&self.snapshot())
+    }
+
+    /// Snapshots the registry and renders one JSON-Lines record.
+    pub fn json_line(&self) -> String {
+        json_line(&self.snapshot())
+    }
+}
+
+/// A count-based cadence: `tick()` returns `true` on every `n`-th call.
+/// Drives "emit a snapshot every N packets" loops without any clock.
+///
+/// # Examples
+///
+/// ```
+/// use cs_telemetry::Every;
+///
+/// let mut every = Every::new(3);
+/// let fires: Vec<bool> = (0..7).map(|_| every.tick()).collect();
+/// assert_eq!(fires, [false, false, true, false, false, true, false]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Every {
+    n: u64,
+    seen: u64,
+}
+
+impl Every {
+    /// Fires on every `n`-th tick (`n` clamped to ≥ 1).
+    pub fn new(n: u64) -> Self {
+        Every { n: n.max(1), seen: 0 }
+    }
+
+    /// Counts one event; `true` when the cadence fires.
+    pub fn tick(&mut self) -> bool {
+        self.seen += 1;
+        if self.seen >= self.n {
+            self.seen = 0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::Stage;
+
+    fn sample_registry() -> TelemetryRegistry {
+        let reg = TelemetryRegistry::new();
+        for ns in [100, 200, 400, 800_000] {
+            reg.record_stage_ns(Stage::FistaSolve, ns);
+        }
+        reg.record_stage_ns(Stage::HuffmanDecode, 50);
+        reg.record_worker_packet(0);
+        reg.record_worker_packet(0);
+        reg.record_worker_packet(2);
+        reg
+    }
+
+    #[test]
+    fn prometheus_emits_histogram_family_and_quantiles() {
+        let text = sample_registry().prometheus();
+        assert!(text.contains("# TYPE cs_stage_latency_ns histogram"));
+        assert!(text.contains("cs_stage_latency_ns_bucket{stage=\"fista_solve\",le=\"+Inf\"} 4"));
+        assert!(text.contains("cs_stage_latency_ns_count{stage=\"fista_solve\"} 4"));
+        assert!(text.contains("cs_stage_latency_ns_sum{stage=\"fista_solve\"} 800700"));
+        assert!(text.contains("cs_stage_latency_quantile_ns{stage=\"fista_solve\",quantile=\"0.99\"}"));
+        assert!(text.contains("cs_worker_packets_total{worker=\"0\"} 2"));
+        assert!(text.contains("cs_worker_packets_total{worker=\"2\"} 1"));
+        // Stages never recorded are elided entirely.
+        assert!(!text.contains("stage=\"packetize\""));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_monotone() {
+        let text = sample_registry().prometheus();
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("cs_stage_latency_ns_bucket{stage=\"fista_solve\""))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        assert_eq!(*counts.last().unwrap(), 4);
+    }
+
+    #[test]
+    fn json_line_is_single_line_with_expected_fields() {
+        let line = sample_registry().json_line();
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"stage\":\"fista_solve\",\"count\":4"));
+        assert!(line.contains("\"worker_packets\":[2,0,1]"));
+        assert!(line.contains("\"journal\":{\"buffered\":0,\"pushed\":0,\"dropped\":0}"));
+        // Balanced braces — a cheap well-formedness check without a parser.
+        let open = line.matches('{').count();
+        let close = line.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn empty_registry_exports_cleanly() {
+        let reg = TelemetryRegistry::new();
+        let line = reg.json_line();
+        assert!(line.contains("\"stages\":[]"));
+        assert!(line.contains("\"worker_packets\":[]"));
+        let text = reg.prometheus();
+        assert!(text.contains("cs_journal_traces{state=\"buffered\"} 0"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # cs-telemetry — zero-dependency observability for the CS-ECG pipeline
+//!
+//! Lock-free counters, fixed-bucket log2 latency histograms, RAII span
+//! guards over every pipeline stage, a bounded convergence-trace journal,
+//! and Prometheus/JSON-Lines exporters — with **no dependencies outside
+//! `std`**, so the crate sits below every other workspace crate without
+//! widening the build surface.
+//!
+//! The design center is "default-on but cheap": instrumented code paths
+//! hold a [`TelemetryRegistry`] unconditionally, and the shared
+//! [`TelemetryRegistry::disabled`] handle reduces every span to a single
+//! relaxed atomic load. The `telemetry_overhead` bench in `cs-bench`
+//! holds the *enabled* registry to < 2 % of fleet decode throughput.
+//!
+//! ```
+//! use cs_telemetry::{Stage, TelemetryRegistry};
+//!
+//! let telemetry = TelemetryRegistry::new();
+//! {
+//!     let _span = telemetry.span(Stage::FistaSolve);
+//!     // ... solve ...
+//! }
+//! let p50 = telemetry.stage(Stage::FistaSolve).quantile(0.5);
+//! assert!(p50 >= 1);
+//! println!("{}", telemetry.prometheus());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod histogram;
+pub mod journal;
+pub mod registry;
+pub mod stage;
+
+pub use export::{json_line, prometheus, Every, REPORT_QUANTILES};
+pub use histogram::{bucket_upper, Histogram, HistogramSnapshot, BUCKETS};
+pub use journal::{Journal, SolveTrace};
+pub use registry::{
+    Span, TelemetryRegistry, TelemetrySnapshot, DEFAULT_JOURNAL_CAPACITY, MAX_WORKERS,
+};
+pub use stage::Stage;

@@ -1,0 +1,126 @@
+//! Property tests for the log2 histogram invariants promised by
+//! `HistogramSnapshot::quantile` and `merge`, plus adversarial
+//! ring-buffer overflow checks on the journal.
+
+use cs_telemetry::{Histogram, HistogramSnapshot, Journal, SolveTrace};
+use proptest::prelude::*;
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let mut s = HistogramSnapshot::new();
+    for &v in values {
+        s.record_ns(v);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_preserves_total_count(
+        a in proptest::collection::vec(0u64..=u64::MAX, 0..200),
+        b in proptest::collection::vec(0u64..=u64::MAX, 0..200),
+    ) {
+        let mut left = snapshot_of(&a);
+        let right = snapshot_of(&b);
+        left.merge(&right);
+        prop_assert_eq!(left.count(), (a.len() + b.len()) as u64);
+        prop_assert_eq!(left.buckets.iter().sum::<u64>(), left.count());
+        // Extrema survive the merge too.
+        let all: Vec<u64> = a.iter().chain(&b).copied().collect();
+        if !all.is_empty() {
+            prop_assert_eq!(left.min_ns(), *all.iter().min().unwrap());
+            prop_assert_eq!(left.max_ns(), *all.iter().max().unwrap());
+        }
+    }
+
+    #[test]
+    fn atomic_merge_preserves_total_count(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..100),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..100),
+    ) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        for &v in &a {
+            ha.record_ns(v);
+        }
+        for &v in &b {
+            hb.record_ns(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), (a.len() + b.len()) as u64);
+        prop_assert_eq!(ha.snapshot().buckets.iter().sum::<u64>(), ha.count());
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_p(
+        values in proptest::collection::vec(0u64..=u64::MAX, 1..200),
+        p1 in 0.0f64..=1.0,
+        p2 in 0.0f64..=1.0,
+    ) {
+        let s = snapshot_of(&values);
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(
+            s.quantile(lo) <= s.quantile(hi),
+            "quantile({}) = {} > quantile({}) = {}",
+            lo, s.quantile(lo), hi, s.quantile(hi)
+        );
+    }
+
+    #[test]
+    fn quantile_is_bounded_by_recorded_extrema(
+        values in proptest::collection::vec(0u64..=u64::MAX, 1..200),
+        p in 0.0f64..=1.0,
+    ) {
+        let s = snapshot_of(&values);
+        let q = s.quantile(p);
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        prop_assert!(
+            (min..=max).contains(&q),
+            "quantile({p}) = {q} outside [{min}, {max}]"
+        );
+        prop_assert_eq!(s.min_ns(), min);
+        prop_assert_eq!(s.max_ns(), max);
+    }
+
+    #[test]
+    fn quantile_has_log2_bucket_accuracy(
+        values in proptest::collection::vec(1u64..1_000_000_000, 1..100),
+        p in 0.0f64..=1.0,
+    ) {
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let s = snapshot_of(&values);
+        let q = s.quantile(p);
+        let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        // The reported quantile shares the true quantile's log2 bucket
+        // (up to extrema clamping), i.e. relative error below 2x.
+        prop_assert!(
+            q >= exact / 2 && (q / 2 <= exact || q <= s.max_ns()),
+            "quantile({p}) = {q} not within a log2 bucket of exact {exact}"
+        );
+    }
+
+    #[test]
+    fn journal_never_exceeds_capacity_and_accounts_for_drops(
+        capacity in 1usize..32,
+        pushes in 0u64..200,
+    ) {
+        let j = Journal::new(capacity);
+        for seq in 0..pushes {
+            j.push(SolveTrace { seq, ..SolveTrace::default() });
+        }
+        prop_assert!(j.len() <= capacity);
+        prop_assert_eq!(j.pushed(), pushes);
+        prop_assert_eq!(j.dropped() + j.len() as u64, pushes);
+        // Single-threaded pushes drop only to overflow, keeping the
+        // newest `capacity` traces in order.
+        let kept = j.drain();
+        let expected_start = pushes.saturating_sub(capacity as u64);
+        let seqs: Vec<u64> = kept.iter().map(|t| t.seq).collect();
+        let expected: Vec<u64> = (expected_start..pushes).collect();
+        prop_assert_eq!(seqs, expected);
+    }
+}

@@ -4,7 +4,10 @@
 //!
 //! Runs the same traffic twice, cold and warm-started, and reports
 //! per-patient quality, worker balance, the shared spectral cache, and
-//! the warm-start iteration saving.
+//! the warm-start iteration saving. Both passes decode against a live
+//! telemetry registry; a JSON-Lines snapshot of it is emitted every
+//! `SNAPSHOT_EVERY` packets. Exits non-zero if any stream comes up
+//! short of its expected packets (a decode error upstream).
 //!
 //! ```text
 //! cargo run --release --example fleet_monitor
@@ -12,6 +15,9 @@
 
 use cs_ecg_monitor::prelude::*;
 use std::sync::Arc;
+
+/// Emit one telemetry JSONL snapshot per this many delivered packets.
+const SNAPSHOT_EVERY: u64 = 16;
 
 fn prepare(record: &Record) -> Vec<i16> {
     let at256 = resample_360_to_256(&record.signal_mv(0));
@@ -41,17 +47,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|l| FleetStream { leads: vec![l, l] })
         .collect();
 
+    // Every packet of both passes records into this live registry; the
+    // JSONL lines below are its rolling state, not a post-hoc summary.
+    let registry = TelemetryRegistry::new();
+    let mut every = Every::new(SNAPSHOT_EVERY);
+    let mut short_streams = Vec::new();
     let mut results = Vec::new();
     for warm_start in [false, true] {
         let fleet = FleetConfig { warm_start, ..FleetConfig::default() };
         let mut stats = vec![StreamStats::new(); patients];
         let mut worst_prd = vec![0.0_f64; patients];
-        let report = run_fleet::<f32, _>(
+        let report = run_fleet_observed::<f32, _>(
             &config,
             Arc::clone(&codebook),
             &streams,
             SolverPolicy::default(),
             &fleet,
+            &registry,
             |p| {
                 stats[p.stream].record(
                     p.packet.iterations,
@@ -65,8 +77,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .collect();
                 let recon: Vec<f64> = p.packet.samples.iter().map(|&v| v as f64).collect();
                 worst_prd[p.stream] = worst_prd[p.stream].max(prd(&truth, &recon));
+                if every.tick() {
+                    println!("{}", registry.json_line());
+                }
             },
         )?;
+
+        // Each patient stream is two leads of `frames` packets; anything
+        // less means a packet was lost to a decode error.
+        let frames = leads[0].len() / n;
+        for (i, s) in report.streams.iter().enumerate() {
+            if s.packets < 2 * frames {
+                short_streams.push((warm_start, i, s.packets, 2 * frames));
+            }
+        }
 
         println!(
             "== {} fleet: {} patients × 2 leads on {} workers ==",
@@ -103,5 +127,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         results[0].iterations.mean(),
         results[1].iterations.mean()
     );
+    println!("final telemetry: {}", registry.json_line());
+
+    if !short_streams.is_empty() {
+        for (warm, stream, got, expected) in &short_streams {
+            eprintln!(
+                "decode errors: {} fleet stream {stream} delivered {got} of {expected} packets",
+                if *warm { "warm" } else { "cold" }
+            );
+        }
+        std::process::exit(1);
+    }
     Ok(())
 }

@@ -4,10 +4,17 @@
 #   scripts/tier1.sh
 #
 # Release build (the benches and report binaries only make sense
-# optimized), the full test suite, and clippy with warnings denied.
+# optimized), the full test suite, clippy with warnings denied, and a
+# short live-telemetry smoke run of the fleet report.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+
+# Telemetry smoke: one tiny fleet (~2 s of signal) with the live
+# registry and both exporters; fails if the scrape comes out empty.
+# (Captured first: grep -q on a pipe would SIGPIPE the report binary.)
+smoke="$(target/release/fleet_report --records 1 --seconds 2 --telemetry)"
+grep -q 'cs_stage_latency_ns_bucket{stage="fista_solve"' <<<"$smoke"

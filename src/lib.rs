@@ -19,6 +19,8 @@
 //! * [`ecg`] — synthetic ECG data substrate ([`cs_ecg_data`])
 //! * [`system`] — the end-to-end encoder/decoder pipeline ([`cs_core`])
 //! * [`platform`] — mote / coordinator / energy models ([`cs_platform`])
+//! * [`telemetry`] — zero-dependency tracing, latency histograms and
+//!   Prometheus / JSON-Lines exporters ([`cs_telemetry`])
 //!
 //! ## Quickstart
 //!
@@ -57,14 +59,15 @@ pub use cs_metrics as metrics;
 pub use cs_platform as platform;
 pub use cs_recovery as recovery;
 pub use cs_sensing as sensing;
+pub use cs_telemetry as telemetry;
 
 /// The most common imports for applications built on this system.
 pub mod prelude {
     pub use cs_codec::Codebook;
     pub use cs_core::{
-        evaluate_stream, packetize, run_fleet, run_streaming, train_and_evaluate,
-        train_codebook, uniform_codebook, Decoder, Encoder, FleetConfig, FleetStream,
-        SolverPolicy, SystemConfig,
+        evaluate_stream, packetize, run_fleet, run_fleet_observed, run_streaming,
+        run_streaming_observed, train_and_evaluate, train_codebook, uniform_codebook, Decoder,
+        Encoder, FleetConfig, FleetStream, SolverPolicy, SystemConfig,
     };
     pub use cs_dsp::wavelet::{Dwt, Wavelet, WaveletFamily};
     pub use cs_ecg_data::{
@@ -83,4 +86,5 @@ pub mod prelude {
     pub use cs_recovery::{fista, ista, omp, KernelMode, ShrinkageConfig, SynthesisOperator};
     pub use cs_sensing::{measurements_for_cr, DenseSensing, Sensing, SparseBinarySensing};
     pub use cs_core::DwtThresholdCodec;
+    pub use cs_telemetry::{Every, SolveTrace, Stage, TelemetryRegistry};
 }
