@@ -5,7 +5,8 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use cs_dsp::wavelet::{Dwt, Wavelet};
 use cs_recovery::{
-    fista, lambda_max, DenseOperator, KernelMode, ShrinkageConfig, SynthesisOperator,
+    fista, fista_warm_ws, lambda_max, DenseOperator, FistaWorkspace, KernelMode, ShrinkageConfig,
+    SynthesisOperator,
 };
 use cs_sensing::{measurements_for_cr, Sensing, SparseBinarySensing};
 
@@ -60,6 +61,24 @@ fn bench_solver(c: &mut Criterion) {
     });
     group.bench_function("matrix_free_f64", |b| {
         b.iter(|| fista(&op64, black_box(&y64), &cfg64, Some(60.0)))
+    });
+    // Fully pooled path: one FistaWorkspace reused across every solve, the
+    // retired solution recycled — the fleet decoder's steady state.
+    let mut ws32 = FistaWorkspace::for_operator(&op32);
+    group.bench_function("matrix_free_f32_ws", |b| {
+        b.iter(|| {
+            let r = fista_warm_ws(&op32, black_box(&y32), &cfg32, Some(60.0), None, &mut ws32);
+            ws32.recycle_solution(r.solution);
+            r.residual_norm
+        })
+    });
+    let mut ws64 = FistaWorkspace::for_operator(&op64);
+    group.bench_function("matrix_free_f64_ws", |b| {
+        b.iter(|| {
+            let r = fista_warm_ws(&op64, black_box(&y64), &cfg64, Some(60.0), None, &mut ws64);
+            ws64.recycle_solution(r.solution);
+            r.residual_norm
+        })
     });
     group.bench_function("dense_f32", |b| {
         b.iter(|| fista(&dense32, black_box(&y32), &cfg32, Some(60.0)))

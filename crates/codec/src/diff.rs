@@ -260,27 +260,58 @@ impl DiffDecoder {
     /// * [`CodecError::MissingReference`] for a delta packet before any
     ///   reference has been received.
     pub fn decode(&mut self, packet: &DiffPacket) -> Result<Vec<i32>, CodecError> {
-        if packet.len() != self.config.vector_len {
+        match packet {
+            DiffPacket::Reference(y) => self.decode_reference(y).map(<[i32]>::to_vec),
+            DiffPacket::Delta(block) => {
+                self.decode_delta(block.shift, &block.values).map(<[i32]>::to_vec)
+            }
+        }
+    }
+
+    /// Accepts a reference payload and returns a borrow of the updated
+    /// state — the non-allocating form of [`DiffDecoder::decode`] for
+    /// callers that copy (or transform) the vector themselves.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::LengthMismatch`] for a wrong-size payload.
+    pub fn decode_reference<'s>(&'s mut self, y: &[i32]) -> Result<&'s [i32], CodecError> {
+        if y.len() != self.config.vector_len {
             return Err(CodecError::LengthMismatch {
                 expected: self.config.vector_len,
-                actual: packet.len(),
+                actual: y.len(),
             });
         }
-        match packet {
-            DiffPacket::Reference(y) => {
-                self.state.copy_from_slice(y);
-                self.synchronized = true;
-            }
-            DiffPacket::Delta(block) => {
-                if !self.synchronized {
-                    return Err(CodecError::MissingReference);
-                }
-                for (s, &di) in self.state.iter_mut().zip(&block.values) {
-                    *s += (di as i32) << block.shift;
-                }
-            }
+        self.state.copy_from_slice(y);
+        self.synchronized = true;
+        Ok(&self.state)
+    }
+
+    /// Accumulates a delta payload and returns a borrow of the updated
+    /// state — the non-allocating form of [`DiffDecoder::decode`].
+    ///
+    /// # Errors
+    ///
+    /// * [`CodecError::LengthMismatch`] for a wrong-size payload.
+    /// * [`CodecError::MissingReference`] before any reference.
+    pub fn decode_delta<'s>(
+        &'s mut self,
+        shift: u8,
+        values: &[i16],
+    ) -> Result<&'s [i32], CodecError> {
+        if values.len() != self.config.vector_len {
+            return Err(CodecError::LengthMismatch {
+                expected: self.config.vector_len,
+                actual: values.len(),
+            });
         }
-        Ok(self.state.clone())
+        if !self.synchronized {
+            return Err(CodecError::MissingReference);
+        }
+        for (s, &di) in self.state.iter_mut().zip(values) {
+            *s += (di as i32) << shift;
+        }
+        Ok(&self.state)
     }
 
     /// Drops synchronization (e.g. after detected packet loss); the next

@@ -240,10 +240,30 @@ impl Codebook {
     ///   longest codeword without matching (corrupt stream).
     pub fn decode(&self, r: &mut BitReader<'_>, count: usize) -> Result<Vec<u16>, CodecError> {
         let mut out = Vec::with_capacity(count);
+        self.decode_into(r, count, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decodes exactly `count` symbols into `out` (cleared first). The
+    /// buffer's capacity is reused, so a caller that decodes packets in a
+    /// loop allocates at most once.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Codebook::decode`]; on error `out` holds the
+    /// symbols decoded so far.
+    pub fn decode_into(
+        &self,
+        r: &mut BitReader<'_>,
+        count: usize,
+        out: &mut Vec<u16>,
+    ) -> Result<(), CodecError> {
+        out.clear();
+        out.reserve(count);
         for _ in 0..count {
             out.push(self.decode_symbol(r)?);
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Decodes a single symbol.

@@ -10,13 +10,13 @@
 use crate::config::SystemConfig;
 use crate::error::PipelineError;
 use crate::packet::{EncodedPacket, PacketKind};
-use cs_codec::{symbol_to_value, BitReader, Codebook, DeltaBlock, DiffConfig, DiffDecoder, DiffPacket};
+use cs_codec::{symbol_to_value, BitReader, Codebook, DiffConfig, DiffDecoder};
 use cs_dsp::wavelet::{Dwt, Wavelet};
 use cs_dsp::Real;
 use cs_recovery::{
-    fista_warm_observed, fista_weighted_warm_observed, lambda_max, lipschitz_constant,
-    top_singular_pair, DeflatedOperator, KernelMode, LinearOperator, ShrinkageConfig,
-    SpectralCache, SpectralEstimate, SynthesisOperator,
+    fista_warm_ws_observed, fista_weighted_warm_ws_observed, lambda_max_with, lipschitz_constant,
+    top_singular_pair, DeflatedOperator, FistaWorkspace, KernelMode, LinearOperator,
+    ShrinkageConfig, SpectralCache, SpectralEstimate, SynthesisOperator,
 };
 use cs_sensing::SparseBinarySensing;
 use cs_telemetry::{SolveTrace, Stage, TelemetryRegistry};
@@ -89,6 +89,77 @@ pub struct DecodedPacket<T: Real> {
     pub residual_norm: T,
 }
 
+impl<T: Real> Default for DecodedPacket<T> {
+    /// An empty packet shell for use with
+    /// [`Decoder::decode_packet_with`], which fills every field
+    /// (reusing `samples`' storage).
+    fn default() -> Self {
+        DecodedPacket {
+            index: 0,
+            samples: Vec::new(),
+            iterations: 0,
+            converged: false,
+            solve_time: Duration::ZERO,
+            warm_started: false,
+            residual_norm: T::ZERO,
+        }
+    }
+}
+
+/// Reusable buffers for the whole packet→signal decode path.
+///
+/// One workspace serves any number of consecutive
+/// [`Decoder::decode_packet_with`] calls — across packets *and* across
+/// decoders of the same geometry (the fleet engine keeps one per worker,
+/// shared by all of the worker's stream lanes). After the first packet has
+/// warmed the buffers, a decode performs **zero heap allocations**; the
+/// `tests/zero_alloc.rs` suite asserts this with a counting allocator.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeWorkspace<T: Real> {
+    /// Huffman symbol buffer (delta packets).
+    symbols: Vec<u16>,
+    /// Dequantized delta values.
+    delta: Vec<i16>,
+    /// Reference payload values.
+    refvals: Vec<i32>,
+    /// Scaled measurement vector `y`.
+    y: Vec<T>,
+    /// Deflated measurements `P·y`.
+    yd: Vec<T>,
+    /// `A·w` for the warm-start safeguard.
+    aw: Vec<T>,
+    /// The β-rescaled warm-start seed.
+    seed: Vec<T>,
+    /// λ_max gradient buffer, doubling as the synthesis scratch.
+    grad: Vec<T>,
+    /// The FISTA solve buffers + operator workspace.
+    solve: FistaWorkspace<T>,
+}
+
+impl<T: Real> DecodeWorkspace<T> {
+    /// An empty workspace; buffers grow on the first decoded packet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A workspace pre-sized for `config`'s geometry, so even the first
+    /// packet decodes without growing the buffers.
+    pub fn for_config(config: &SystemConfig) -> Self {
+        let (m, n) = (config.measurements(), config.packet_len());
+        DecodeWorkspace {
+            symbols: Vec::with_capacity(m),
+            delta: Vec::with_capacity(m),
+            refvals: Vec::with_capacity(m),
+            y: Vec::with_capacity(m),
+            yd: vec![T::ZERO; m],
+            aw: vec![T::ZERO; m],
+            seed: Vec::with_capacity(n),
+            grad: vec![T::ZERO; n],
+            solve: FistaWorkspace::with_dims(m, n),
+        }
+    }
+}
+
 /// The CS-ECG decoder.
 ///
 /// # Examples
@@ -129,6 +200,10 @@ pub struct Decoder<T: Real> {
     /// seeding FISTA here cuts iterations without moving the fixed point.
     warm: Option<Vec<T>>,
     warm_start: bool,
+    /// Lazily created workspace backing [`Decoder::decode_packet`]; stays
+    /// `None` when the owner supplies its own (the fleet's per-worker
+    /// workspace) via [`Decoder::decode_packet_with`].
+    scratch: Option<Box<DecodeWorkspace<T>>>,
     /// Where stage spans and solve traces land; the shared disabled
     /// registry (one atomic load per span) unless the owner installs a
     /// live one via [`Decoder::set_telemetry`].
@@ -261,6 +336,7 @@ impl<T: Real> Decoder<T> {
             policy,
             warm: None,
             warm_start: false,
+            scratch: None,
             telemetry: TelemetryRegistry::disabled(),
             telemetry_labels: (0, 0),
         })
@@ -322,7 +398,11 @@ impl<T: Real> Decoder<T> {
             "warm-start seed length mismatch"
         );
         if self.warm_start {
-            self.warm = Some(estimate.to_vec());
+            // Reuse the retained vector's storage when shapes line up.
+            match &mut self.warm {
+                Some(w) if w.len() == estimate.len() => w.copy_from_slice(estimate),
+                w => *w = Some(estimate.to_vec()),
+            }
         }
     }
 
@@ -341,33 +421,11 @@ impl<T: Real> Decoder<T> {
         self.lipschitz
     }
 
-    /// Parses the payload back into the raw (unscaled) measurement vector.
-    fn parse_measurements(&self, packet: &EncodedPacket) -> Result<DiffPacket, PipelineError> {
-        let m = self.config.measurements();
-        let mut reader = BitReader::new(&packet.payload);
-        match packet.kind {
-            PacketKind::Reference => {
-                let mut values = Vec::with_capacity(m);
-                for _ in 0..m {
-                    let raw = reader.read_bits(16)?;
-                    values.push(raw as u16 as i16 as i32);
-                }
-                Ok(DiffPacket::Reference(values))
-            }
-            PacketKind::Delta => {
-                let shift = reader.read_bits(4)? as u8;
-                let symbols = self.codebook.decode(&mut reader, m)?;
-                let alphabet = self.config.alphabet();
-                let values: Vec<i16> = symbols
-                    .into_iter()
-                    .map(|s| symbol_to_value(s, alphabet) as i16)
-                    .collect();
-                Ok(DiffPacket::Delta(DeltaBlock { shift, values }))
-            }
-        }
-    }
-
     /// Decodes one wire packet into reconstructed ECG samples.
+    ///
+    /// Equivalent to [`Decoder::decode_packet_with`] over a
+    /// decoder-owned workspace (created on the first call, reused after),
+    /// returning a freshly shaped [`DecodedPacket`].
     ///
     /// # Errors
     ///
@@ -377,31 +435,87 @@ impl<T: Real> Decoder<T> {
         &mut self,
         packet: &EncodedPacket,
     ) -> Result<DecodedPacket<T>, PipelineError> {
-        // Stages 1–2: entropy decode and redundancy reinsertion.
-        let diff_packet = {
-            let _span = self.telemetry.span(Stage::HuffmanDecode);
-            self.parse_measurements(packet)?
-        };
-        let y_int = {
-            let _span = self.telemetry.span(Stage::DiffDecode);
-            self.diff.decode(&diff_packet)?
-        };
+        let mut ws = self
+            .scratch
+            .take()
+            .unwrap_or_else(|| Box::new(DecodeWorkspace::for_config(&self.config)));
+        let mut out = DecodedPacket::default();
+        let result = self.decode_packet_with(packet, &mut ws, &mut out);
+        self.scratch = Some(ws);
+        result.map(|()| out)
+    }
 
-        // Scale by the 1/√d the mote never applied.
+    /// Decodes one wire packet, drawing every transient buffer from `ws`
+    /// and writing the reconstruction into `out` (whose `samples` storage
+    /// is reused). Once `ws` has decoded one packet of this geometry, a
+    /// call performs zero heap allocations — the fleet engine relies on
+    /// this with one workspace per worker.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Decoder::decode_packet`]; on error `out` is
+    /// untouched.
+    pub fn decode_packet_with(
+        &mut self,
+        packet: &EncodedPacket,
+        ws: &mut DecodeWorkspace<T>,
+        out: &mut DecodedPacket<T>,
+    ) -> Result<(), PipelineError> {
+        let m = self.config.measurements();
+        let n = self.config.packet_len();
+
+        // Stages 1–2: entropy decode and redundancy reinsertion. The
+        // diff decoder's state vector is the measurement vector; borrow
+        // it in place and scale by the 1/√d the mote never applied.
+        let mut reader = BitReader::new(&packet.payload);
+        let y_int: &[i32] = match packet.kind {
+            PacketKind::Reference => {
+                {
+                    let _span = self.telemetry.span(Stage::HuffmanDecode);
+                    ws.refvals.clear();
+                    for _ in 0..m {
+                        let raw = reader.read_bits(16)?;
+                        ws.refvals.push(raw as u16 as i16 as i32);
+                    }
+                }
+                let _span = self.telemetry.span(Stage::DiffDecode);
+                self.diff.decode_reference(&ws.refvals)?
+            }
+            PacketKind::Delta => {
+                let shift = {
+                    let _span = self.telemetry.span(Stage::HuffmanDecode);
+                    let shift = reader.read_bits(4)? as u8;
+                    self.codebook.decode_into(&mut reader, m, &mut ws.symbols)?;
+                    let alphabet = self.config.alphabet();
+                    ws.delta.clear();
+                    ws.delta.extend(
+                        ws.symbols.iter().map(|&s| symbol_to_value(s, alphabet) as i16),
+                    );
+                    shift
+                };
+                let _span = self.telemetry.span(Stage::DiffDecode);
+                self.diff.decode_delta(shift, &ws.delta)?
+            }
+        };
         let scale = T::from_f64(self.phi.nonzero_value());
-        let y: Vec<T> = y_int.iter().map(|&v| T::from_f64(v as f64) * scale).collect();
+        ws.y.clear();
+        ws.y.extend(y_int.iter().map(|&v| T::from_f64(v as f64) * scale));
 
         // Stage 3: FISTA reconstruction over the matrix-free operator,
         // spectrally deflated so sparse binary sensing converges at
-        // Gaussian parity.
+        // Gaussian parity. The direction is borrowed — never cloned per
+        // packet.
         let op = SynthesisOperator::new(&self.phi, &self.dwt);
-        let deflated = DeflatedOperator::with_direction(
+        let deflated = DeflatedOperator::with_direction_borrowed(
             &op,
-            self.deflation_u.clone(),
+            &self.deflation_u,
             self.policy.deflation_factor,
         );
-        let yd = deflated.transform_measurements(&y);
-        let lam = self.policy.lambda_relative * lambda_max(&deflated, &yd);
+        ws.yd.resize(m, T::ZERO);
+        deflated.transform_measurements_into(&ws.y, &mut ws.yd);
+        ws.grad.resize(n, T::ZERO);
+        let lam = self.policy.lambda_relative
+            * lambda_max_with(&deflated, &ws.yd, &mut ws.grad, ws.solve.operator_workspace());
         let cfg = ShrinkageConfig {
             lambda: lam,
             max_iterations: self.policy.max_iterations,
@@ -420,48 +534,55 @@ impl<T: Real> Decoder<T> {
         //     drives β (and the seed) toward the cold start;
         //  2. use the result only if its Eq. (3) objective beats the
         //     cold start's ‖y‖².
-        let seed: Option<Vec<T>> = if self.warm_start {
-            self.warm.as_deref().and_then(|w| {
-                let aw = deflated.apply(w);
+        let mut warm_started = false;
+        if self.warm_start {
+            if let Some(w) = self.warm.as_deref() {
+                ws.aw.resize(m, T::ZERO);
+                deflated.apply_into_ws(w, &mut ws.aw, ws.solve.operator_workspace());
                 let mut aw_y = T::ZERO;
                 let mut aw_aw = T::ZERO;
-                for (&a, &y) in aw.iter().zip(&yd) {
+                for (&a, &y) in ws.aw.iter().zip(&ws.yd) {
                     aw_y += a * y;
                     aw_aw += a * a;
                 }
-                if aw_aw == T::ZERO {
-                    return None;
+                if aw_aw != T::ZERO {
+                    let beta = aw_y / aw_aw;
+                    // ‖βAw − y‖² = ‖y‖² − β²‖Aw‖² at the least-squares β.
+                    let cold_objective = ws.yd.iter().fold(T::ZERO, |acc, &y| acc + y * y);
+                    let residual = cold_objective - beta * beta * aw_aw;
+                    let mut l1 = T::ZERO;
+                    for (i, &wi) in w.iter().enumerate() {
+                        let weight = self.penalty_weights.get(i).copied().unwrap_or(T::ONE);
+                        l1 += weight * (beta * wi).abs();
+                    }
+                    if residual + lam * l1 < T::from_f64(0.5) * cold_objective {
+                        ws.seed.clear();
+                        ws.seed.extend(w.iter().map(|&wi| beta * wi));
+                        warm_started = true;
+                    }
                 }
-                let beta = aw_y / aw_aw;
-                // ‖βAw − y‖² = ‖y‖² − β²‖Aw‖² at the least-squares β.
-                let cold_objective = yd.iter().fold(T::ZERO, |acc, &y| acc + y * y);
-                let residual = cold_objective - beta * beta * aw_aw;
-                let mut l1 = T::ZERO;
-                for (i, &wi) in w.iter().enumerate() {
-                    let weight = self.penalty_weights.get(i).copied().unwrap_or(T::ONE);
-                    l1 += weight * (beta * wi).abs();
-                }
-                if residual + lam * l1 < T::from_f64(0.5) * cold_objective {
-                    Some(w.iter().map(|&wi| beta * wi).collect())
-                } else {
-                    None
-                }
-            })
-        } else {
-            None
-        };
-        let warm = seed.as_deref();
-        let warm_started = warm.is_some();
+            }
+        }
+        let warm = if warm_started { Some(ws.seed.as_slice()) } else { None };
         let result = if self.penalty_weights.is_empty() {
-            fista_warm_observed(&deflated, &yd, &cfg, Some(self.lipschitz), warm, &self.telemetry)
-        } else {
-            fista_weighted_warm_observed(
+            fista_warm_ws_observed(
                 &deflated,
-                &yd,
+                &ws.yd,
+                &cfg,
+                Some(self.lipschitz),
+                warm,
+                &mut ws.solve,
+                &self.telemetry,
+            )
+        } else {
+            fista_weighted_warm_ws_observed(
+                &deflated,
+                &ws.yd,
                 &cfg,
                 Some(self.lipschitz),
                 &self.penalty_weights,
                 warm,
+                &mut ws.solve,
                 &self.telemetry,
             )
         };
@@ -476,23 +597,35 @@ impl<T: Real> Decoder<T> {
             warm_started,
             converged: result.converged,
         });
-        let samples = {
+        {
             let _span = self.telemetry.span(Stage::WaveletSynthesis);
-            self.dwt.synthesize(&result.solution)
-        };
-        if self.warm_start {
-            self.warm = Some(result.solution);
+            out.samples.clear();
+            out.samples.resize(n, T::ZERO);
+            self.dwt.synthesize_scratch(&result.solution, &mut out.samples, &mut ws.grad);
         }
+        out.index = packet.index;
+        out.iterations = result.iterations;
+        out.converged = result.converged;
+        out.solve_time = result.elapsed;
+        out.warm_started = warm_started;
+        out.residual_norm = result.residual_norm;
 
-        Ok(DecodedPacket {
-            index: packet.index,
-            samples,
-            iterations: result.iterations,
-            converged: result.converged,
-            solve_time: result.elapsed,
-            warm_started,
-            residual_norm: result.residual_norm,
-        })
+        // Ping-pong the solution vectors: the new estimate replaces the
+        // warm seed and the retired seed's storage returns to the solver
+        // pool — a closed loop with no allocation.
+        if self.warm_start {
+            match self.warm.replace(result.solution) {
+                Some(old) => ws.solve.recycle_solution(old),
+                // First packet of a warm stream: the cycle needs two
+                // solution buffers in flight (one retained as the seed,
+                // one in the pool), so mint the second now — the last
+                // setup-time allocation.
+                None => ws.solve.recycle_solution(vec![T::ZERO; n]),
+            }
+        } else {
+            ws.solve.recycle_solution(result.solution);
+        }
+        Ok(())
     }
 
     /// Signals packet loss: decoding resumes at the next reference packet.

@@ -39,7 +39,7 @@
 //!   With warm starts off the fleet is bit-exact with `run_streaming`.
 
 use crate::config::SystemConfig;
-use crate::decoder::{DecodedPacket, Decoder, SolverPolicy};
+use crate::decoder::{DecodeWorkspace, DecodedPacket, Decoder, SolverPolicy};
 use crate::error::PipelineError;
 use crate::multichannel::{ChannelPacket, MultiChannelEncoder};
 use crate::stream::SHARED_BUFFER_PACKETS;
@@ -377,6 +377,13 @@ where
             let telemetry = telemetry.clone();
             worker_handles.push(scope.spawn(move || {
                 let mut lanes: HashMap<(usize, u8), Decoder<T>> = HashMap::new();
+                // One decode workspace per worker, shared by every lane
+                // this worker serves: after the first packet, the steady
+                // state decodes without heap allocation (the outgoing
+                // DecodedPacket is the one per-packet allocation left —
+                // it crosses the channel by ownership).
+                let mut scratch = DecodeWorkspace::for_config(config);
+                let mut sibling_buf: Vec<T> = Vec::new();
                 for Job { stream, seq, packet } in jobs.iter() {
                     // Cross-lead warm start: sibling leads observe the
                     // same heart over the same window, so lead 0's
@@ -384,13 +391,16 @@ where
                     // for the other leads (stream affinity guarantees it
                     // was decoded just before). The decoder's safeguard
                     // still rejects it if it does not beat a cold start.
-                    let sibling: Option<Vec<T>> = if fleet.warm_start && packet.channel > 0 {
-                        lanes
+                    let sibling = fleet.warm_start
+                        && packet.channel > 0
+                        && lanes
                             .get(&(stream, 0))
-                            .and_then(|d| d.last_estimate().map(<[T]>::to_vec))
-                    } else {
-                        None
-                    };
+                            .and_then(|d| d.last_estimate())
+                            .map(|est| {
+                                sibling_buf.clear();
+                                sibling_buf.extend_from_slice(est);
+                            })
+                            .is_some();
                     let decoder = match lanes.entry((stream, packet.channel)) {
                         Entry::Occupied(e) => e.into_mut(),
                         Entry::Vacant(v) => {
@@ -419,11 +429,12 @@ where
                             }
                         }
                     };
-                    if let Some(estimate) = sibling {
-                        decoder.seed(&estimate);
+                    if sibling {
+                        decoder.seed(&sibling_buf);
                     }
-                    match decoder.decode_packet(&packet.packet) {
-                        Ok(decoded) => {
+                    let mut decoded = DecodedPacket::default();
+                    match decoder.decode_packet_with(&packet.packet, &mut scratch, &mut decoded) {
+                        Ok(()) => {
                             telemetry.record_worker_packet(worker_id);
                             let msg = FleetMsg::Decoded {
                                 stream,

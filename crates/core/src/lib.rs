@@ -65,7 +65,7 @@ mod stream;
 pub use baseline::{BaselinePacket, DwtThresholdCodec};
 pub use codebook::{train_codebook, uniform_codebook};
 pub use config::{SystemConfig, SystemConfigBuilder};
-pub use decoder::{DecodedPacket, Decoder, SolverPolicy};
+pub use decoder::{DecodeWorkspace, DecodedPacket, Decoder, SolverPolicy};
 pub use encoder::Encoder;
 pub use error::PipelineError;
 pub use fleet::{

@@ -1,0 +1,89 @@
+//! Steady-state decode must be allocation-free.
+//!
+//! A counting global allocator wraps the system allocator; after the first
+//! packet has warmed a worker's [`DecodeWorkspace`], every further
+//! `decode_packet_with` into a reused output must perform **zero** heap
+//! allocations — the acceptance criterion of the workspace migration.
+//!
+//! This lives in its own integration-test binary with a single `#[test]`
+//! so no concurrent test can pollute the allocation counter.
+
+use cs_codec::Codebook;
+use cs_core::{DecodeWorkspace, DecodedPacket, Decoder, Encoder, SolverPolicy, SystemConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counts allocations (not deallocations: retiring a buffer is benign,
+/// taking a fresh one is the defect being guarded against).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn synthetic_packet(n: usize, phase: f64) -> Vec<i16> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64;
+            let spike = (-((t - 0.3 + phase) * 40.0).powi(2)).exp()
+                + (-((t - 0.8 + phase) * 40.0).powi(2)).exp();
+            (900.0 * spike + 60.0 * (t * 12.0).sin()) as i16
+        })
+        .collect()
+}
+
+#[test]
+fn steady_state_decode_allocates_nothing() {
+    let config = SystemConfig::paper_default();
+    let codebook = Arc::new(
+        Codebook::from_counts(&vec![1; config.alphabet()], config.alphabet()).unwrap(),
+    );
+    let mut encoder = Encoder::new(&config, Arc::clone(&codebook)).unwrap();
+    let mut decoder: Decoder<f32> =
+        Decoder::new(&config, codebook, SolverPolicy::default()).unwrap();
+    decoder.set_warm_start(true);
+
+    // Pre-encode the whole stream (reference packet first, then deltas)
+    // so the measurement loop below runs nothing but decodes.
+    let wires: Vec<_> = (0..6)
+        .map(|k| encoder.encode_packet(&synthetic_packet(512, k as f64 * 0.002)).unwrap())
+        .collect();
+
+    let mut ws = DecodeWorkspace::for_config(&config);
+    let mut out = DecodedPacket::default();
+
+    // Packet 0 warms every buffer (allocations allowed here).
+    decoder.decode_packet_with(&wires[0], &mut ws, &mut out).unwrap();
+
+    for wire in &wires[1..] {
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        decoder.decode_packet_with(wire, &mut ws, &mut out).unwrap();
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state decode of packet {} allocated {} times",
+            out.index,
+            after - before
+        );
+        assert_eq!(out.samples.len(), 512);
+    }
+}

@@ -127,25 +127,44 @@ impl<T: Real> Dwt<T> {
         out
     }
 
+    /// Analysis transform `α = Ψᴴ x` into a caller-provided buffer, using
+    /// caller-provided scratch — the allocation-free hot-path variant.
+    /// `scratch` must be at least `self.len()` long; its contents on entry
+    /// are irrelevant and on exit are unspecified. One scratch buffer can
+    /// serve every analysis and synthesis of a whole solve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `coeffs` is not exactly `self.len()` long, or
+    /// `scratch` is shorter.
+    pub fn analyze_scratch(&self, x: &[T], coeffs: &mut [T], scratch: &mut [T]) {
+        assert_eq!(x.len(), self.n, "analyze_scratch: input length mismatch");
+        assert_eq!(coeffs.len(), self.n, "analyze_scratch: output length mismatch");
+        assert!(scratch.len() >= self.n, "analyze_scratch: scratch too short");
+        let mut m = self.n;
+        scratch[..m].copy_from_slice(x);
+        for level in 0..self.levels {
+            // Detail lands at its final position in `coeffs`; the approx
+            // half cascades back through `scratch`.
+            forward_level(&scratch[..m], &mut coeffs[..m], &self.dec_lo, &self.dec_hi);
+            m /= 2;
+            if level + 1 < self.levels {
+                scratch[..m].copy_from_slice(&coeffs[..m]);
+            }
+        }
+    }
+
     /// Analysis transform `α = Ψᴴ x` into a caller-provided buffer.
+    ///
+    /// Allocates one internal scratch buffer; use
+    /// [`Dwt::analyze_scratch`] to reuse scratch across calls.
     ///
     /// # Panics
     ///
     /// Panics if `x` or `coeffs` is not exactly `self.len()` long.
     pub fn analyze_into(&self, x: &[T], coeffs: &mut [T]) {
-        assert_eq!(x.len(), self.n, "analyze_into: input length mismatch");
-        assert_eq!(coeffs.len(), self.n, "analyze_into: output length mismatch");
-        let mut buf = x.to_vec();
         let mut scratch = vec![T::ZERO; self.n];
-        let mut m = self.n;
-        for _ in 0..self.levels {
-            forward_level(&buf[..m], &mut scratch[..m], &self.dec_lo, &self.dec_hi);
-            // Detail lands at its final position; approx continues cascading.
-            coeffs[m / 2..m].copy_from_slice(&scratch[m / 2..m]);
-            buf[..m / 2].copy_from_slice(&scratch[..m / 2]);
-            m /= 2;
-        }
-        coeffs[..m].copy_from_slice(&buf[..m]);
+        self.analyze_scratch(x, coeffs, &mut scratch);
     }
 
     /// Analysis transform `α = Ψᴴ x`, allocating the output.
@@ -155,35 +174,53 @@ impl<T: Real> Dwt<T> {
         out
     }
 
-    /// Synthesis transform `x = Ψ α` into a caller-provided buffer. Because
-    /// Ψ is orthonormal this is simultaneously the inverse and the adjoint
-    /// of [`Dwt::analyze_into`].
+    /// Synthesis transform `x = Ψ α` into a caller-provided buffer, using
+    /// caller-provided scratch — the allocation-free hot-path variant.
+    /// `scratch` must be at least `self.len()` long; its contents on entry
+    /// are irrelevant and on exit are unspecified.
     ///
     /// # Panics
     ///
-    /// Panics if `coeffs` or `x` is not exactly `self.len()` long.
-    pub fn synthesize_into(&self, coeffs: &[T], x: &mut [T]) {
-        assert_eq!(coeffs.len(), self.n, "synthesize_into: input length mismatch");
-        assert_eq!(x.len(), self.n, "synthesize_into: output length mismatch");
+    /// Panics if `coeffs` or `x` is not exactly `self.len()` long, or
+    /// `scratch` is shorter.
+    pub fn synthesize_scratch(&self, coeffs: &[T], x: &mut [T], scratch: &mut [T]) {
+        assert_eq!(coeffs.len(), self.n, "synthesize_scratch: input length mismatch");
+        assert_eq!(x.len(), self.n, "synthesize_scratch: output length mismatch");
+        assert!(scratch.len() >= self.n, "synthesize_scratch: scratch too short");
         let coarsest = self.n >> self.levels;
-        let mut buf = vec![T::ZERO; self.n];
-        buf[..coarsest].copy_from_slice(&coeffs[..coarsest]);
-        let mut scratch = vec![T::ZERO; self.n];
+        // The output buffer doubles as the cascade buffer: the growing
+        // approximation lives in `x[..m/2]` and each level expands it
+        // through `scratch` back into `x[..m]`.
+        x[..coarsest].copy_from_slice(&coeffs[..coarsest]);
         let mut m = coarsest * 2;
         while m <= self.n {
             // The inverse of an orthonormal analysis step is its transpose,
             // which scatters with the same (decomposition) filters.
             inverse_level(
-                &buf[..m / 2],
+                &x[..m / 2],
                 &coeffs[m / 2..m],
                 &mut scratch[..m],
                 &self.dec_lo,
                 &self.dec_hi,
             );
-            buf[..m].copy_from_slice(&scratch[..m]);
+            x[..m].copy_from_slice(&scratch[..m]);
             m *= 2;
         }
-        x.copy_from_slice(&buf);
+    }
+
+    /// Synthesis transform `x = Ψ α` into a caller-provided buffer. Because
+    /// Ψ is orthonormal this is simultaneously the inverse and the adjoint
+    /// of [`Dwt::analyze_into`].
+    ///
+    /// Allocates one internal scratch buffer; use
+    /// [`Dwt::synthesize_scratch`] to reuse scratch across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` or `x` is not exactly `self.len()` long.
+    pub fn synthesize_into(&self, coeffs: &[T], x: &mut [T]) {
+        let mut scratch = vec![T::ZERO; self.n];
+        self.synthesize_scratch(coeffs, x, &mut scratch);
     }
 
     /// Synthesis transform `x = Ψ α`, allocating the output.
@@ -199,6 +236,51 @@ impl<T: Real> Dwt<T> {
 /// `a[k] = Σ_j lo[j] · x[(2k + j) mod m]`, and likewise with `hi` for the
 /// detail channel. The circular index keeps the transform square.
 fn forward_level<T: Real>(x: &[T], out: &mut [T], lo: &[T], hi: &[T]) {
+    // Dispatch on the filter length so the inner loops run over a
+    // compile-time bound: the common Daubechies lengths fully unroll and
+    // vectorize, where the dynamic-length loop stays scalar. Operation
+    // order is identical, so results are bitwise-equal to the fallback.
+    match lo.len() {
+        2 => forward_level_fixed::<T, 2>(x, out, lo, hi),
+        4 => forward_level_fixed::<T, 4>(x, out, lo, hi),
+        6 => forward_level_fixed::<T, 6>(x, out, lo, hi),
+        8 => forward_level_fixed::<T, 8>(x, out, lo, hi),
+        10 => forward_level_fixed::<T, 10>(x, out, lo, hi),
+        _ => forward_level_dyn(x, out, lo, hi),
+    }
+}
+
+#[inline]
+fn forward_level_fixed<T: Real, const L: usize>(x: &[T], out: &mut [T], lo: &[T], hi: &[T]) {
+    let m = x.len();
+    debug_assert!(m.is_multiple_of(2));
+    let half = m / 2;
+    let lo: &[T; L] = lo.try_into().expect("filter length mismatch");
+    let hi: &[T; L] = hi.try_into().expect("filter length mismatch");
+    for k in 0..half {
+        let mut a = T::ZERO;
+        let mut d = T::ZERO;
+        let base = 2 * k;
+        if base + L <= m {
+            // Fast path: no wraparound.
+            for (j, &xv) in x[base..base + L].iter().enumerate() {
+                a += lo[j] * xv;
+                d += hi[j] * xv;
+            }
+        } else {
+            for j in 0..L {
+                let idx = (base + j) % m;
+                let xv = x[idx];
+                a += lo[j] * xv;
+                d += hi[j] * xv;
+            }
+        }
+        out[k] = a;
+        out[half + k] = d;
+    }
+}
+
+fn forward_level_dyn<T: Real>(x: &[T], out: &mut [T], lo: &[T], hi: &[T]) {
     let m = x.len();
     debug_assert!(m.is_multiple_of(2));
     let half = m / 2;
@@ -230,6 +312,80 @@ fn forward_level<T: Real>(x: &[T], out: &mut [T], lo: &[T], hi: &[T]) {
 /// One synthesis level — the exact transpose of [`forward_level`]:
 /// `x[(2k + j) mod m] += a[k]·lo[j] + d[k]·hi[j]`.
 fn inverse_level<T: Real>(approx: &[T], detail: &[T], out: &mut [T], lo: &[T], hi: &[T]) {
+    // Even-length filters (every Daubechies family member) take the
+    // polyphase gather path with a compile-time tap count; anything else
+    // falls back to the direct scatter form.
+    match lo.len() {
+        2 => inverse_level_fixed::<T, 1>(approx, detail, out, lo, hi),
+        4 => inverse_level_fixed::<T, 2>(approx, detail, out, lo, hi),
+        6 => inverse_level_fixed::<T, 3>(approx, detail, out, lo, hi),
+        8 => inverse_level_fixed::<T, 4>(approx, detail, out, lo, hi),
+        10 => inverse_level_fixed::<T, 5>(approx, detail, out, lo, hi),
+        _ => inverse_level_dyn(approx, detail, out, lo, hi),
+    }
+}
+
+/// Polyphase synthesis with `P = L/2` taps per output phase.
+///
+/// The scatter form (`out[(2k+j) mod m] += a[k]·lo[j] + d[k]·hi[j]`)
+/// makes every iteration read-modify-write a window overlapping the
+/// previous store, which serializes on store-to-load forwarding. Grouping
+/// by output parity instead — `out[2t]` gathers the even taps,
+/// `out[2t+1]` the odd taps, both from `a[t-p]`/`d[t-p]` — writes each
+/// output exactly once and needs no zeroing pass:
+/// with `j = 2p + (i mod 2)`, `(2k + j) mod m = i  ⇔  k = (t − p) mod h`.
+#[inline]
+fn inverse_level_fixed<T: Real, const P: usize>(
+    approx: &[T],
+    detail: &[T],
+    out: &mut [T],
+    lo: &[T],
+    hi: &[T],
+) {
+    let half = approx.len();
+    debug_assert_eq!(detail.len(), half);
+    debug_assert_eq!(out.len(), half * 2);
+    debug_assert_eq!(lo.len(), 2 * P);
+    debug_assert_eq!(hi.len(), 2 * P);
+    let mut even = [T::ZERO; P];
+    let mut odd = [T::ZERO; P];
+    for p in 0..P {
+        even[p] = lo[2 * p];
+        odd[p] = lo[2 * p + 1];
+    }
+    let mut heven = [T::ZERO; P];
+    let mut hodd = [T::ZERO; P];
+    for p in 0..P {
+        heven[p] = hi[2 * p];
+        hodd[p] = hi[2 * p + 1];
+    }
+    for (t, pair) in out.chunks_exact_mut(2).enumerate() {
+        let mut e = T::ZERO;
+        let mut o = T::ZERO;
+        if t + 1 >= P {
+            // Interior: k = t − p stays in range; a/d reads are contiguous.
+            for p in 0..P {
+                let k = t - p;
+                let a = approx[k];
+                let d = detail[k];
+                e += a * even[p] + d * heven[p];
+                o += a * odd[p] + d * hodd[p];
+            }
+        } else {
+            for p in 0..P {
+                let k = (t + half - p) % half;
+                let a = approx[k];
+                let d = detail[k];
+                e += a * even[p] + d * heven[p];
+                o += a * odd[p] + d * hodd[p];
+            }
+        }
+        pair[0] = e;
+        pair[1] = o;
+    }
+}
+
+fn inverse_level_dyn<T: Real>(approx: &[T], detail: &[T], out: &mut [T], lo: &[T], hi: &[T]) {
     let half = approx.len();
     let m = half * 2;
     debug_assert_eq!(detail.len(), half);
@@ -358,6 +514,31 @@ mod tests {
         let detail = &c[256..];
         let small = detail.iter().filter(|v| v.abs() < 1e-8).count();
         assert!(small > 240, "only {small}/256 detail coeffs are ~0");
+    }
+
+    #[test]
+    fn scratch_variants_bitwise_match_allocating() {
+        let dwt = plan(512, 5);
+        let x: Vec<f64> = (0..512)
+            .map(|i| (i as f64 * 0.07).sin() + 0.2 * ((i * i) as f64 * 0.003).cos())
+            .collect();
+        let mut scratch = vec![7.5_f64; 512]; // garbage on entry is fine
+        let mut coeffs = vec![0.0; 512];
+        dwt.analyze_scratch(&x, &mut coeffs, &mut scratch);
+        assert_eq!(coeffs, dwt.analyze(&x), "analyze_scratch diverged");
+        let mut back = vec![0.0; 512];
+        dwt.synthesize_scratch(&coeffs, &mut back, &mut scratch);
+        assert_eq!(back, dwt.synthesize(&coeffs), "synthesize_scratch diverged");
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch too short")]
+    fn short_scratch_panics() {
+        let dwt = plan(64, 2);
+        let x = vec![0.0_f64; 64];
+        let mut coeffs = vec![0.0; 64];
+        let mut scratch = vec![0.0; 63];
+        dwt.analyze_scratch(&x, &mut coeffs, &mut scratch);
     }
 
     #[test]

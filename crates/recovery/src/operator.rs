@@ -8,9 +8,11 @@
 //! matrix so benches can quantify what the matrix-free structure buys.
 
 use crate::kernels::{dot, KernelMode};
+use crate::workspace::Workspace;
 use cs_dsp::wavelet::Dwt;
 use cs_dsp::Real;
 use cs_sensing::Sensing;
+use std::borrow::Cow;
 
 /// A real linear map `ℝᴺ → ℝᴹ` with an exact adjoint.
 pub trait LinearOperator<T: Real> {
@@ -33,6 +35,34 @@ pub trait LinearOperator<T: Real> {
     ///
     /// Panics on dimension mismatch.
     fn adjoint_into(&self, y: &[T], out: &mut [T]);
+
+    /// `out = A·x`, drawing any transient buffers from `ws` instead of the
+    /// heap.
+    ///
+    /// The default falls back to [`LinearOperator::apply_into`]; operators
+    /// whose application needs intermediates (e.g. [`SynthesisOperator`])
+    /// override it to stay allocation-free. `ws` grows on first use and is
+    /// then reused verbatim, so a workspace that has seen the operator's
+    /// geometry once never allocates again.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    fn apply_into_ws(&self, x: &[T], out: &mut [T], ws: &mut Workspace<T>) {
+        let _ = ws;
+        self.apply_into(x, out);
+    }
+
+    /// `out = Aᴴ·y`, drawing any transient buffers from `ws` instead of
+    /// the heap. See [`LinearOperator::apply_into_ws`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    fn adjoint_into_ws(&self, y: &[T], out: &mut [T], ws: &mut Workspace<T>) {
+        let _ = ws;
+        self.adjoint_into(y, out);
+    }
 
     /// Allocating wrapper around [`LinearOperator::apply_into`].
     fn apply(&self, x: &[T]) -> Vec<T> {
@@ -64,6 +94,14 @@ impl<T: Real, A: LinearOperator<T> + ?Sized> LinearOperator<T> for &A {
 
     fn adjoint_into(&self, y: &[T], out: &mut [T]) {
         (**self).adjoint_into(y, out)
+    }
+
+    fn apply_into_ws(&self, x: &[T], out: &mut [T], ws: &mut Workspace<T>) {
+        (**self).apply_into_ws(x, out, ws)
+    }
+
+    fn adjoint_into_ws(&self, y: &[T], out: &mut [T], ws: &mut Workspace<T>) {
+        (**self).adjoint_into_ws(y, out, ws)
     }
 }
 
@@ -141,6 +179,20 @@ impl<T: Real, S: Sensing<T>> LinearOperator<T> for SynthesisOperator<'_, T, S> {
         self.phi.adjoint_into(y, &mut signal);
         self.dwt.analyze_into(&signal, out);
     }
+
+    fn apply_into_ws(&self, x: &[T], out: &mut [T], ws: &mut Workspace<T>) {
+        let n = self.dwt.len();
+        ws.ensure_cols(n);
+        self.dwt.synthesize_scratch(x, &mut ws.signal[..n], &mut ws.scratch[..n]);
+        self.phi.apply_into(&ws.signal[..n], out);
+    }
+
+    fn adjoint_into_ws(&self, y: &[T], out: &mut [T], ws: &mut Workspace<T>) {
+        let n = self.dwt.len();
+        ws.ensure_cols(n);
+        self.phi.adjoint_into(y, &mut ws.signal[..n]);
+        self.dwt.analyze_scratch(&ws.signal[..n], out, &mut ws.scratch[..n]);
+    }
 }
 
 /// A rank-one spectral deflation preconditioner in measurement space.
@@ -175,7 +227,9 @@ impl<T: Real, S: Sensing<T>> LinearOperator<T> for SynthesisOperator<'_, T, S> {
 pub struct DeflatedOperator<'a, T: Real, A: LinearOperator<T>> {
     inner: &'a A,
     /// Unit measurement-space direction to scale (empty ⇒ identity P).
-    u: Vec<T>,
+    /// Borrowed when the caller already owns the direction (the decoder
+    /// keeps it across packets), owned when computed here.
+    u: Cow<'a, [T]>,
     c: T,
 }
 
@@ -200,6 +254,22 @@ impl<'a, T: Real, A: LinearOperator<T>> DeflatedOperator<'a, T, A> {
     /// Panics if `c` is not in `(0, 1]`, or `u` is neither empty nor of
     /// length `inner.rows()`.
     pub fn with_direction(inner: &'a A, u: Vec<T>, c: T) -> Self {
+        Self::with_direction_cow(inner, Cow::Owned(u), c)
+    }
+
+    /// Like [`DeflatedOperator::with_direction`], but borrows the
+    /// direction instead of taking ownership — the decoder holds `u` for
+    /// the stream's lifetime and must not clone it per packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not in `(0, 1]`, or `u` is neither empty nor of
+    /// length `inner.rows()`.
+    pub fn with_direction_borrowed(inner: &'a A, u: &'a [T], c: T) -> Self {
+        Self::with_direction_cow(inner, Cow::Borrowed(u), c)
+    }
+
+    fn with_direction_cow(inner: &'a A, u: Cow<'a, [T]>, c: T) -> Self {
         assert!(
             c > T::ZERO && c <= T::ONE,
             "DeflatedOperator: c must be in (0, 1]"
@@ -228,10 +298,22 @@ impl<'a, T: Real, A: LinearOperator<T>> DeflatedOperator<'a, T, A> {
     ///
     /// Panics if `y.len() != self.rows()`.
     pub fn transform_measurements(&self, y: &[T]) -> Vec<T> {
-        assert_eq!(y.len(), self.inner.rows(), "transform_measurements: length mismatch");
-        let mut out = y.to_vec();
-        self.deflect(&mut out);
+        let mut out = vec![T::ZERO; y.len()];
+        self.transform_measurements_into(y, &mut out);
         out
+    }
+
+    /// Non-allocating [`DeflatedOperator::transform_measurements`]:
+    /// `out ← P·y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != self.rows()` or `out.len() != y.len()`.
+    pub fn transform_measurements_into(&self, y: &[T], out: &mut [T]) {
+        assert_eq!(y.len(), self.inner.rows(), "transform_measurements: length mismatch");
+        assert_eq!(out.len(), y.len(), "transform_measurements: output length mismatch");
+        out.copy_from_slice(y);
+        self.deflect(out);
     }
 
     /// In-place `z ← P z`.
@@ -239,9 +321,9 @@ impl<'a, T: Real, A: LinearOperator<T>> DeflatedOperator<'a, T, A> {
         if self.u.is_empty() {
             return;
         }
-        let proj: T = z.iter().zip(&self.u).map(|(&a, &b)| a * b).sum();
+        let proj: T = z.iter().zip(self.u.iter()).map(|(&a, &b)| a * b).sum();
         let gain = (self.c - T::ONE) * proj;
-        for (zi, &ui) in z.iter_mut().zip(&self.u) {
+        for (zi, &ui) in z.iter_mut().zip(self.u.iter()) {
             *zi += gain * ui;
         }
     }
@@ -271,6 +353,27 @@ impl<T: Real, A: LinearOperator<T>> LinearOperator<T> for DeflatedOperator<'_, T
         self.deflect(&mut yp);
         self.inner.adjoint_into(&yp, out);
     }
+
+    fn apply_into_ws(&self, x: &[T], out: &mut [T], ws: &mut Workspace<T>) {
+        self.inner.apply_into_ws(x, out, ws);
+        self.deflect(out);
+    }
+
+    fn adjoint_into_ws(&self, y: &[T], out: &mut [T], ws: &mut Workspace<T>) {
+        if self.u.is_empty() {
+            self.inner.adjoint_into_ws(y, out, ws);
+            return;
+        }
+        // The deflected copy of y lives in the workspace's measurement
+        // buffer; take it out so `ws` can still be lent to the inner
+        // operator, then hand it back.
+        let mut yp = std::mem::take(&mut ws.measure);
+        yp.clear();
+        yp.extend_from_slice(y);
+        self.deflect(&mut yp);
+        self.inner.adjoint_into_ws(&yp, out, ws);
+        ws.measure = yp;
+    }
 }
 
 /// A dense, explicitly stored operator (row-major), used as the baseline
@@ -280,7 +383,11 @@ impl<T: Real, A: LinearOperator<T>> LinearOperator<T> for DeflatedOperator<'_, T
 pub struct DenseOperator<T: Real> {
     m: usize,
     n: usize,
+    /// Row-major storage: the apply/adjoint kernels walk rows contiguously.
     data: Vec<T>,
+    /// Column-major mirror: OMP's selection loop reads whole columns, so
+    /// `column_into` must not stride the row-major layout.
+    col_data: Vec<T>,
     kernel: KernelMode,
 }
 
@@ -293,27 +400,38 @@ impl<T: Real> DenseOperator<T> {
     pub fn from_row_major(m: usize, n: usize, data: Vec<T>, kernel: KernelMode) -> Self {
         assert!(m > 0 && n > 0, "DenseOperator: zero dimension");
         assert_eq!(data.len(), m * n, "DenseOperator: data length mismatch");
-        DenseOperator { m, n, data, kernel }
+        let mut col_data = vec![T::ZERO; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                col_data[j * m + i] = data[i * n + j];
+            }
+        }
+        DenseOperator { m, n, data, col_data, kernel }
     }
 
     /// Materializes any operator into dense form (one `apply` per column).
     pub fn materialize<A: LinearOperator<T>>(op: &A, kernel: KernelMode) -> Self {
         let (m, n) = (op.rows(), op.cols());
-        let mut data = vec![T::ZERO; m * n];
+        // Each unit-vector apply lands contiguously in the column-major
+        // store; the row-major mirror is transposed out in a single pass.
+        let mut col_data = vec![T::ZERO; m * n];
         let mut e = vec![T::ZERO; n];
-        let mut col = vec![T::ZERO; m];
-        for j in 0..n {
+        for (j, col) in col_data.chunks_exact_mut(m).enumerate() {
             e[j] = T::ONE;
-            op.apply_into(&e, &mut col);
+            op.apply_into(&e, col);
             e[j] = T::ZERO;
+        }
+        let mut data = vec![T::ZERO; m * n];
+        for j in 0..n {
             for i in 0..m {
-                data[i * n + j] = col[i];
+                data[i * n + j] = col_data[j * m + i];
             }
         }
-        DenseOperator { m, n, data, kernel }
+        DenseOperator { m, n, data, col_data, kernel }
     }
 
-    /// Copies column `j` into `out`.
+    /// Copies column `j` into `out` — a contiguous copy from the
+    /// column-major mirror, not an `m`-stride walk of the row-major data.
     ///
     /// # Panics
     ///
@@ -321,9 +439,7 @@ impl<T: Real> DenseOperator<T> {
     pub fn column_into(&self, j: usize, out: &mut [T]) {
         assert!(j < self.n, "column_into: column out of range");
         assert_eq!(out.len(), self.m, "column_into: output length mismatch");
-        for (i, o) in out.iter_mut().enumerate() {
-            *o = self.data[i * self.n + j];
-        }
+        out.copy_from_slice(&self.col_data[j * self.m..(j + 1) * self.m]);
     }
 
     /// The kernel mode the apply paths use.
@@ -433,6 +549,52 @@ mod tests {
         let signal = dwt.synthesize(&alpha);
         let direct: Vec<f64> = phi.apply(signal.as_slice());
         assert_eq!(via_op, direct);
+    }
+
+    #[test]
+    fn workspace_paths_bitwise_match_allocating() {
+        let (phi, dwt) = setup();
+        let a = SynthesisOperator::new(&phi, &dwt);
+        let u: Vec<f64> = {
+            let raw: Vec<f64> = (0..64).map(|i| ((i as f64) * 0.31).sin() + 0.2).collect();
+            let norm = raw.iter().map(|v| v * v).sum::<f64>().sqrt();
+            raw.iter().map(|v| v / norm).collect()
+        };
+        let deflated = DeflatedOperator::with_direction_borrowed(&a, &u, 0.15);
+        let x: Vec<f64> = (0..128).map(|i| (i as f64 * 0.11).cos()).collect();
+        let y: Vec<f64> = (0..64).map(|i| (i as f64 * 0.53).sin()).collect();
+
+        let mut ws = Workspace::for_operator(&deflated);
+        let mut out_m = vec![0.0; 64];
+        let mut out_n = vec![0.0; 128];
+
+        // Exercise each path twice: the second pass reuses warmed buffers.
+        for _ in 0..2 {
+            deflated.apply_into_ws(&x, &mut out_m, &mut ws);
+            assert_eq!(out_m, deflated.apply(&x), "deflated apply differs");
+            deflated.adjoint_into_ws(&y, &mut out_n, &mut ws);
+            assert_eq!(out_n, deflated.adjoint(&y), "deflated adjoint differs");
+            a.apply_into_ws(&x, &mut out_m, &mut ws);
+            assert_eq!(out_m, a.apply(&x), "synthesis apply differs");
+            a.adjoint_into_ws(&y, &mut out_n, &mut ws);
+            assert_eq!(out_n, a.adjoint(&y), "synthesis adjoint differs");
+        }
+
+        let mut yp = vec![0.0; 64];
+        deflated.transform_measurements_into(&y, &mut yp);
+        assert_eq!(yp, deflated.transform_measurements(&y));
+    }
+
+    #[test]
+    fn borrowed_and_owned_directions_agree() {
+        let (phi, dwt) = setup();
+        let a = SynthesisOperator::new(&phi, &dwt);
+        let u = vec![1.0 / 8.0; 64];
+        let owned = DeflatedOperator::with_direction(&a, u.clone(), 0.2);
+        let borrowed = DeflatedOperator::with_direction_borrowed(&a, &u, 0.2);
+        let y: Vec<f64> = (0..64).map(|i| (i as f64 * 0.29).cos()).collect();
+        assert_eq!(owned.adjoint(&y), borrowed.adjoint(&y));
+        assert_eq!(owned.direction(), borrowed.direction());
     }
 
     #[test]

@@ -10,7 +10,8 @@ pub use amp::{amp, AmpConfig, AmpResult};
 pub use debias::{debias, DebiasConfig};
 pub use omp::{omp, OmpConfig, OmpResult};
 pub use shrinkage::{
-    fista, fista_backtracking, fista_warm, fista_warm_observed, fista_weighted,
-    fista_weighted_warm, fista_weighted_warm_observed, ista, ista_warm, lambda_max,
-    ShrinkageConfig, SolverResult,
+    fista, fista_backtracking, fista_warm, fista_warm_observed, fista_warm_ws,
+    fista_warm_ws_observed, fista_weighted, fista_weighted_warm, fista_weighted_warm_observed,
+    fista_weighted_warm_ws, fista_weighted_warm_ws_observed, ista, ista_warm, lambda_max,
+    lambda_max_with, ShrinkageConfig, SolverResult,
 };

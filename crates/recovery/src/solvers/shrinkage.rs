@@ -15,6 +15,7 @@
 use crate::kernels::{momentum_combine, soft_threshold, soft_threshold_weighted, squared_distance, KernelMode};
 use crate::lipschitz::lipschitz_constant;
 use crate::operator::LinearOperator;
+use crate::workspace::{FistaWorkspace, Workspace};
 use cs_dsp::{l1_norm, l2_norm, Real};
 use cs_telemetry::{Stage, TelemetryRegistry};
 use std::time::{Duration, Instant};
@@ -92,6 +93,25 @@ pub fn lambda_max<T: Real, A: LinearOperator<T>>(op: &A, y: &[T]) -> T {
     T::TWO * inf
 }
 
+/// Non-allocating [`lambda_max`]: the gradient lands in the caller's
+/// `grad` buffer and operator transients come from `ws`. The decoder
+/// calls this once per packet, so the allocating form would defeat its
+/// zero-allocation steady state.
+///
+/// # Panics
+///
+/// Panics if `grad.len() != op.cols()` or `y.len() != op.rows()`.
+pub fn lambda_max_with<T: Real, A: LinearOperator<T>>(
+    op: &A,
+    y: &[T],
+    grad: &mut [T],
+    ws: &mut Workspace<T>,
+) -> T {
+    op.adjoint_into_ws(y, grad, ws);
+    let inf = grad.iter().fold(T::ZERO, |m, &v| m.max(v.abs()));
+    T::TWO * inf
+}
+
 /// Solves Eq. (3) with plain ISTA (the `O(1/k)` baseline the paper cites
 /// as "notoriously slow").
 ///
@@ -108,7 +128,7 @@ pub fn ista<T: Real, A: LinearOperator<T>>(
     config: &ShrinkageConfig<T>,
     lipschitz: Option<T>,
 ) -> SolverResult<T> {
-    shrinkage_loop(op, y, config, lipschitz, false, None, None)
+    shrinkage_loop(op, y, config, lipschitz, false, None, None, None)
 }
 
 /// [`ista`] with an explicit starting point.
@@ -131,7 +151,7 @@ pub fn ista_warm<T: Real, A: LinearOperator<T>>(
     lipschitz: Option<T>,
     warm_start: Option<&[T]>,
 ) -> SolverResult<T> {
-    shrinkage_loop(op, y, config, lipschitz, false, None, warm_start)
+    shrinkage_loop(op, y, config, lipschitz, false, None, warm_start, None)
 }
 
 /// Solves Eq. (3) with FISTA (constant step size), the paper's decoder.
@@ -168,7 +188,7 @@ pub fn fista<T: Real, A: LinearOperator<T>>(
     config: &ShrinkageConfig<T>,
     lipschitz: Option<T>,
 ) -> SolverResult<T> {
-    shrinkage_loop(op, y, config, lipschitz, true, None, None)
+    shrinkage_loop(op, y, config, lipschitz, true, None, None, None)
 }
 
 /// [`fista`] with an explicit starting point.
@@ -191,7 +211,49 @@ pub fn fista_warm<T: Real, A: LinearOperator<T>>(
     lipschitz: Option<T>,
     warm_start: Option<&[T]>,
 ) -> SolverResult<T> {
-    shrinkage_loop(op, y, config, lipschitz, true, None, warm_start)
+    shrinkage_loop(op, y, config, lipschitz, true, None, warm_start, None)
+}
+
+/// [`fista_warm`] drawing every solve buffer from a caller-owned
+/// [`FistaWorkspace`], so a solve that has seen its geometry before
+/// performs **zero heap allocations** (the solution vector is carved from
+/// the workspace's recycled slot and moves out in the result).
+///
+/// Produces a bitwise-identical [`SolverResult::solution`] to
+/// [`fista_warm`]: the buffers start from the same values and the
+/// floating-point operation sequence is unchanged.
+///
+/// # Panics
+///
+/// Same conditions as [`fista_warm`].
+pub fn fista_warm_ws<T: Real, A: LinearOperator<T>>(
+    op: &A,
+    y: &[T],
+    config: &ShrinkageConfig<T>,
+    lipschitz: Option<T>,
+    warm_start: Option<&[T]>,
+    ws: &mut FistaWorkspace<T>,
+) -> SolverResult<T> {
+    shrinkage_loop(op, y, config, lipschitz, true, None, warm_start, Some(ws))
+}
+
+/// [`fista_warm_ws`] timed into a telemetry registry; see
+/// [`fista_warm_observed`].
+///
+/// # Panics
+///
+/// Same conditions as [`fista_warm`].
+pub fn fista_warm_ws_observed<T: Real, A: LinearOperator<T>>(
+    op: &A,
+    y: &[T],
+    config: &ShrinkageConfig<T>,
+    lipschitz: Option<T>,
+    warm_start: Option<&[T]>,
+    ws: &mut FistaWorkspace<T>,
+    telemetry: &TelemetryRegistry,
+) -> SolverResult<T> {
+    let _span = telemetry.span(Stage::FistaSolve);
+    shrinkage_loop(op, y, config, lipschitz, true, None, warm_start, Some(ws))
 }
 
 /// [`fista_warm`] timed into a telemetry registry: the whole solve runs
@@ -215,7 +277,7 @@ pub fn fista_warm_observed<T: Real, A: LinearOperator<T>>(
     telemetry: &TelemetryRegistry,
 ) -> SolverResult<T> {
     let _span = telemetry.span(Stage::FistaSolve);
-    shrinkage_loop(op, y, config, lipschitz, true, None, warm_start)
+    shrinkage_loop(op, y, config, lipschitz, true, None, warm_start, None)
 }
 
 /// FISTA with per-coefficient penalty weights: solves
@@ -259,7 +321,51 @@ pub fn fista_weighted_warm<T: Real, A: LinearOperator<T>>(
         weights.iter().all(|&w| w >= T::ZERO),
         "fista_weighted: negative weight"
     );
-    shrinkage_loop(op, y, config, lipschitz, true, Some(weights), warm_start)
+    shrinkage_loop(op, y, config, lipschitz, true, Some(weights), warm_start, None)
+}
+
+/// [`fista_weighted_warm`] drawing every solve buffer from a caller-owned
+/// [`FistaWorkspace`]; see [`fista_warm_ws`].
+///
+/// # Panics
+///
+/// Same conditions as [`fista_weighted_warm`].
+pub fn fista_weighted_warm_ws<T: Real, A: LinearOperator<T>>(
+    op: &A,
+    y: &[T],
+    config: &ShrinkageConfig<T>,
+    lipschitz: Option<T>,
+    weights: &[T],
+    warm_start: Option<&[T]>,
+    ws: &mut FistaWorkspace<T>,
+) -> SolverResult<T> {
+    assert_eq!(weights.len(), op.cols(), "fista_weighted: weight length mismatch");
+    assert!(
+        weights.iter().all(|&w| w >= T::ZERO),
+        "fista_weighted: negative weight"
+    );
+    shrinkage_loop(op, y, config, lipschitz, true, Some(weights), warm_start, Some(ws))
+}
+
+/// [`fista_weighted_warm_ws`] timed into a telemetry registry; see
+/// [`fista_warm_observed`].
+///
+/// # Panics
+///
+/// Same conditions as [`fista_weighted_warm`].
+#[allow(clippy::too_many_arguments)]
+pub fn fista_weighted_warm_ws_observed<T: Real, A: LinearOperator<T>>(
+    op: &A,
+    y: &[T],
+    config: &ShrinkageConfig<T>,
+    lipschitz: Option<T>,
+    weights: &[T],
+    warm_start: Option<&[T]>,
+    ws: &mut FistaWorkspace<T>,
+    telemetry: &TelemetryRegistry,
+) -> SolverResult<T> {
+    let _span = telemetry.span(Stage::FistaSolve);
+    fista_weighted_warm_ws(op, y, config, lipschitz, weights, warm_start, ws)
 }
 
 /// [`fista_weighted_warm`] timed into a telemetry registry; see
@@ -421,6 +527,7 @@ pub fn fista_backtracking<T: Real, A: LinearOperator<T>>(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn shrinkage_loop<T: Real, A: LinearOperator<T>>(
     op: &A,
     y: &[T],
@@ -429,6 +536,7 @@ fn shrinkage_loop<T: Real, A: LinearOperator<T>>(
     accelerate: bool,
     weights: Option<&[T]>,
     warm_start: Option<&[T]>,
+    ws: Option<&mut FistaWorkspace<T>>,
 ) -> SolverResult<T> {
     assert_eq!(y.len(), op.rows(), "shrinkage solver: y length mismatch");
     assert!(config.lambda >= T::ZERO, "shrinkage solver: negative lambda");
@@ -457,14 +565,40 @@ fn shrinkage_loop<T: Real, A: LinearOperator<T>>(
 
     let n = op.cols();
     let m = op.rows();
+    // Every solve runs through a workspace: the caller's (reused across
+    // solves — zero allocations once warmed) or a solve-local one (still
+    // eliminating the ~4 transient allocations per iteration the plain
+    // apply/adjoint paths would make).
+    let mut local_ws;
+    let ws = match ws {
+        Some(ws) => ws,
+        None => {
+            local_ws = FistaWorkspace::new();
+            &mut local_ws
+        }
+    };
+    // The iteration buffers are taken out of the workspace so it can still
+    // be lent to the operator inside the loop; all but the solution go
+    // back at the end. `clear` + `resize` preserves capacity, so a warmed
+    // workspace allocates nothing here.
+    let take = |buf: &mut Vec<T>, len: usize| {
+        let mut v = std::mem::take(buf);
+        v.clear();
+        v.resize(len, T::ZERO);
+        v
+    };
     // Seed iterate and extrapolation point at the warm start (momentum
     // restarts at t₁ = 1 — FISTA's convergence bound holds from any
     // starting point, so this is safe and only the iteration count moves).
-    let mut alpha = warm_start.map_or_else(|| vec![T::ZERO; n], <[T]>::to_vec); // α_{k}
-    let mut alpha_prev = vec![T::ZERO; n]; // α_{k-1}
-    let mut point = alpha.clone(); // y_k (extrapolation point)
-    let mut grad_point = vec![T::ZERO; n];
-    let mut residual = vec![T::ZERO; m];
+    let mut alpha = take(&mut ws.alpha, n); // α_{k}
+    if let Some(w) = warm_start {
+        alpha.copy_from_slice(w);
+    }
+    let mut alpha_prev = take(&mut ws.alpha_prev, n); // α_{k-1}
+    let mut point = take(&mut ws.point, n); // y_k (extrapolation point)
+    point.copy_from_slice(&alpha);
+    let mut grad_point = take(&mut ws.grad, n);
+    let mut residual = take(&mut ws.residual, m);
     let mut t = T::ONE;
     let mut iterations = 0;
     let mut converged = false;
@@ -473,12 +607,12 @@ fn shrinkage_loop<T: Real, A: LinearOperator<T>>(
     for k in 1..=config.max_iterations {
         iterations = k;
         // residual = A·point − y
-        op.apply_into(&point, &mut residual);
+        op.apply_into_ws(&point, &mut residual, &mut ws.op_ws);
         for (r, &yi) in residual.iter_mut().zip(y) {
             *r -= yi;
         }
         // grad = 2·Aᴴ·residual; fold the 2 into the step: point − grad/L.
-        op.adjoint_into(&residual, &mut grad_point);
+        op.adjoint_into_ws(&residual, &mut grad_point, &mut ws.op_ws);
         for (p, &g) in point.iter_mut().zip(&grad_point) {
             *p -= T::TWO * inv_l * g;
         }
@@ -510,7 +644,7 @@ fn shrinkage_loop<T: Real, A: LinearOperator<T>>(
         }
         // Stopping: residual target (the paper's Eq. 2 criterion).
         if !converged && config.residual_tolerance > T::ZERO {
-            op.apply_into(&alpha, &mut residual);
+            op.apply_into_ws(&alpha, &mut residual, &mut ws.op_ws);
             for (r, &yi) in residual.iter_mut().zip(y) {
                 *r -= yi;
             }
@@ -534,12 +668,19 @@ fn shrinkage_loop<T: Real, A: LinearOperator<T>>(
         }
     }
 
-    op.apply_into(&alpha, &mut residual);
+    op.apply_into_ws(&alpha, &mut residual, &mut ws.op_ws);
     for (r, &yi) in residual.iter_mut().zip(y) {
         *r -= yi;
     }
+    let residual_norm = l2_norm(&residual);
+    // Everything except the solution returns to the pool; the caller can
+    // recycle a retired solution to close the last allocation.
+    ws.alpha_prev = alpha_prev;
+    ws.point = point;
+    ws.grad = grad_point;
+    ws.residual = residual;
     SolverResult {
-        residual_norm: l2_norm(&residual),
+        residual_norm,
         solution: alpha,
         iterations,
         converged,
@@ -707,6 +848,54 @@ mod tests {
     }
 
     #[test]
+    fn workspace_solve_bitwise_matches_allocating() {
+        let (op, _, y) = instance(64, 128, 6, 31);
+        let cfg = ShrinkageConfig {
+            lambda: 1e-3,
+            max_iterations: 800,
+            tolerance: 1e-6,
+            residual_tolerance: 0.0,
+            kernel: KernelMode::Unrolled4,
+            record_objective: false,
+        };
+        let mut ws = FistaWorkspace::for_operator(&op);
+        // Three consecutive solves reusing the workspace, each checked
+        // bitwise against the allocating path (incl. warm-started ones).
+        let mut warm: Option<Vec<f64>> = None;
+        for _ in 0..3 {
+            let plain = fista_warm(&op, &y, &cfg, None, warm.as_deref());
+            let with_ws = fista_warm_ws(&op, &y, &cfg, None, warm.as_deref(), &mut ws);
+            assert_eq!(plain.solution, with_ws.solution, "solutions not bitwise equal");
+            assert_eq!(plain.iterations, with_ws.iterations);
+            assert_eq!(plain.converged, with_ws.converged);
+            assert_eq!(plain.residual_norm, with_ws.residual_norm);
+            if let Some(old) = warm.replace(with_ws.solution) {
+                ws.recycle_solution(old);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_workspace_solve_bitwise_matches_allocating() {
+        let (op, _, y) = instance(48, 96, 5, 37);
+        let cfg = ShrinkageConfig::new(1e-3);
+        let weights: Vec<f64> = (0..96).map(|i| if i < 12 { 0.0 } else { 1.0 }).collect();
+        let mut ws = FistaWorkspace::new(); // grows on first use
+        let plain = fista_weighted_warm(&op, &y, &cfg, None, &weights, None);
+        let with_ws = fista_weighted_warm_ws(&op, &y, &cfg, None, &weights, None, &mut ws);
+        assert_eq!(plain.solution, with_ws.solution);
+        assert_eq!(plain.iterations, with_ws.iterations);
+    }
+
+    #[test]
+    fn lambda_max_with_matches_allocating() {
+        let (op, _, y) = instance(32, 64, 4, 41);
+        let mut grad = vec![0.0; 64];
+        let mut ws = Workspace::for_operator(&op);
+        assert_eq!(lambda_max(&op, &y), lambda_max_with(&op, &y, &mut grad, &mut ws));
+    }
+
+    #[test]
     fn residual_norm_reported() {
         let (op, _, y) = instance(32, 64, 4, 17);
         let cfg = ShrinkageConfig::new(1e-3);
@@ -850,6 +1039,24 @@ mod warm_start_tests {
                 "solutions diverge: {} (seed {seed}, drift {drift})",
                 dist / scale
             );
+        }
+
+        /// The workspace-reusing solver is bit-for-bit the allocating
+        /// path, cold and warm, across consecutive reuses of one
+        /// workspace.
+        #[test]
+        fn prop_workspace_fista_bitwise_identical(seed in 1_u64..10_000) {
+            let (op, x1, x2) = correlated_pair(seed, 0.01);
+            let y1 = op.apply(&x1);
+            let y2 = op.apply(&x2);
+            let cfg = config();
+            let mut ws = FistaWorkspace::for_operator(&op);
+            let a1 = fista_warm(&op, &y1, &cfg, None, None);
+            let b1 = fista_warm_ws(&op, &y1, &cfg, None, None, &mut ws);
+            prop_assert_eq!(&a1.solution, &b1.solution);
+            let a2 = fista_warm(&op, &y2, &cfg, None, Some(&a1.solution));
+            let b2 = fista_warm_ws(&op, &y2, &cfg, None, Some(&b1.solution), &mut ws);
+            prop_assert_eq!(a2.solution, b2.solution);
         }
     }
 }

@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# Hot-path benchmark snapshot → BENCH_decode.json.
+#
+#   scripts/bench_snapshot.sh            # full run, writes ./BENCH_decode.json
+#   scripts/bench_snapshot.sh --quick    # reduced samples, writes target/BENCH_decode_quick.json
+#
+# Runs the three decode hot-path Criterion benches (solver_iteration,
+# sensing_apply, fleet_throughput) plus a seeded fleet_report pass, parses
+# the vendored-criterion `time: [min median mean max]` lines and the
+# report's throughput/latency summary, and emits one JSON document. The
+# `min` statistic is the one to compare across commits: these benches run
+# on small shared hosts where median and mean absorb scheduler steal.
+#
+# All inputs are deterministic (fixed RNG seeds in the benches, synthetic
+# database in fleet_report), so run-to-run differences are machine noise,
+# not workload drift.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+if [[ "${1:-}" == "--quick" ]]; then
+  QUICK=1
+fi
+
+if [[ $QUICK -eq 1 ]]; then
+  MEASURE_MS=200
+  RECORDS=1
+  SECONDS_PER_RECORD=4
+  OUT=target/BENCH_decode_quick.json
+  mkdir -p target
+else
+  MEASURE_MS=2000
+  RECORDS=4
+  SECONDS_PER_RECORD=16
+  OUT=BENCH_decode.json
+fi
+
+cargo build --release >/dev/null
+export CRITERION_MEASUREMENT_MS="$MEASURE_MS"
+
+bench_lines="$(
+  cargo bench -p cs-bench --bench solver_iteration 2>/dev/null
+  cargo bench -p cs-bench --bench sensing_apply 2>/dev/null
+  cargo bench -p cs-bench --bench fleet_throughput 2>/dev/null
+)"
+
+report="$(target/release/fleet_report --records "$RECORDS" --seconds "$SECONDS_PER_RECORD")"
+
+# ── Parse criterion lines: "<name>  time: [min median mean max] (N samples)"
+bench_json="$(awk '
+  function to_ns(v, u) {
+    if (u == "ns") return v
+    if (u == "µs" || u == "us") return v * 1e3
+    if (u == "ms") return v * 1e6
+    return v * 1e9  # "s"
+  }
+  /time: \[/ {
+    name = $1
+    match($0, /\[[^]]*\]/)
+    nf = split(substr($0, RSTART + 1, RLENGTH - 2), f, " ")
+    samples = 0
+    if (match($0, /\([0-9]+ samples\)/)) {
+      samples = substr($0, RSTART + 1, RLENGTH - 2) + 0
+    }
+    printf "%s    \"%s\": {\"min_ns\": %.1f, \"median_ns\": %.1f, \"mean_ns\": %.1f, \"max_ns\": %.1f, \"samples\": %d}",
+      (n++ ? ",\n" : ""), name,
+      to_ns(f[1], f[2]), to_ns(f[3], f[4]), to_ns(f[5], f[6]), to_ns(f[7], f[8]), samples
+  }
+' <<<"$bench_lines")"
+
+# ── Parse fleet_report summary lines.
+fleet_json="$(awk '
+  /sequential \(1 stream\)/   { seq = $5 }
+  /fleet \([0-9]+ workers\)/  {
+    match($0, /\([0-9]+ workers\)/)
+    workers = substr($0, RSTART + 1, RLENGTH - 2) + 0
+    fleet = $5
+  }
+  /cold solve p50\/p95\/p99/  { p50 = $5; p95 = $7; p99 = $9 }
+  /cold mean iterations/      { cold_it = $5 }
+  /warm mean iterations/      { warm_it = $5 }
+  END {
+    printf "\"workers\": %d, \"sequential_packets_per_s\": %s, \"fleet_packets_per_s\": %s, ",
+      workers, seq, fleet
+    printf "\"cold_solve_p50_ms\": %s, \"cold_solve_p95_ms\": %s, \"cold_solve_p99_ms\": %s, ",
+      p50, p95, p99
+    printf "\"cold_mean_iterations\": %s, \"warm_mean_iterations\": %s", cold_it, warm_it
+  }
+' <<<"$report")"
+
+cat >"$OUT" <<EOF
+{
+  "snapshot": "decode hot path",
+  "date": "$(date +%F)",
+  "quick": $([[ $QUICK -eq 1 ]] && echo true || echo false),
+  "statistic_note": "compare min_ns across commits; median/mean absorb scheduler steal on shared hosts",
+  "geometry": {"n": 512, "m": 256, "d": 12, "cr_percent": 50.0},
+  "criterion_measurement_ms": $MEASURE_MS,
+  "benches": {
+$bench_json
+  },
+  "fleet_report": {
+    "records": $RECORDS,
+    "seconds_per_record": $SECONDS_PER_RECORD,
+    $fleet_json
+  }
+}
+EOF
+
+echo "wrote $OUT"

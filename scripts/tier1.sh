@@ -4,14 +4,23 @@
 #   scripts/tier1.sh
 #
 # Release build (the benches and report binaries only make sense
-# optimized), the full test suite, clippy with warnings denied, and a
-# short live-telemetry smoke run of the fleet report.
+# optimized), the full test suite, clippy with warnings denied, the
+# steady-state zero-allocation guarantee under the optimizer, a quick
+# benchmark snapshot (exercises the parse + report plumbing, not the
+# committed numbers), and a short live-telemetry smoke run of the fleet
+# report.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+
+# The zero-alloc test runs in the debug suite above too, but the claim
+# that matters is about the optimized decoder, so pin it in release.
+cargo test -q --release -p cs-core --test zero_alloc
+
+scripts/bench_snapshot.sh --quick
 
 # Telemetry smoke: one tiny fleet (~2 s of signal) with the live
 # registry and both exporters; fails if the scrape comes out empty.

@@ -5,8 +5,10 @@
 //! `BenchmarkId::from_parameter`, `black_box` and the
 //! `criterion_group!` / `criterion_main!` macros — with a plain
 //! wall-clock runner: a short warm-up, a timed measurement window, and a
-//! one-line `name ... time: [median mean max]` report. No statistics
-//! engine, plots or HTML reports.
+//! one-line `name ... time: [min median mean max]` report. No statistics
+//! engine, plots or HTML reports. `min` leads because on small shared
+//! hosts it is the statistic least distorted by scheduler steal; compare
+//! builds on `min`, read `median`/`mean` as a noise gauge.
 
 #![forbid(unsafe_code)]
 
@@ -227,11 +229,13 @@ fn run_one(criterion: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) 
         return;
     }
     samples.sort_unstable();
+    let min = samples[0];
     let median = samples[samples.len() / 2];
     let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
     let max = *samples.last().expect("non-empty samples");
     println!(
-        "{label:<48} time: [{} {} {}] ({} samples)",
+        "{label:<48} time: [{} {} {} {}] ({} samples)",
+        fmt_duration(min),
         fmt_duration(median),
         fmt_duration(mean),
         fmt_duration(max),
