@@ -57,7 +57,8 @@ fn main() {
                     .values
                     .iter()
                     .map(|&d| value_to_symbol(d as i32, config.alphabet()))
-                    .collect();
+                    .collect::<Result<_, _>>()
+                    .expect("deltas are clamped into the alphabet");
                 let mut w = BitWriter::new();
                 w.write_bits(block.shift as u32, 4);
                 codebook.encode(&symbols, &mut w).expect("huffman");

@@ -19,12 +19,14 @@
 
 use cs_bench::{banner, RunSettings};
 use cs_core::{
-    packetize, run_fleet_observed, run_streaming, train_codebook, FleetConfig, FleetReport,
-    FleetStream, SolverPolicy, SystemConfig,
+    packetize, run_fleet_observed, run_fleet_wire, run_streaming, train_codebook, FleetConfig,
+    FleetReport, FleetStream, MultiChannelEncoder, SolverPolicy, SystemConfig,
 };
 use cs_ecg_data::{resample_360_to_256, DatabaseConfig, Record, SyntheticDatabase};
 use cs_metrics::{worker_imbalance, FleetStats, StreamStats};
-use cs_platform::{analyze_fleet, CoordinatorSpec, SolveSample};
+use cs_platform::{
+    analyze_fleet, CoordinatorSpec, FaultSpec, GilbertElliottParams, LossyLink, SolveSample,
+};
 use cs_telemetry::TelemetryRegistry;
 use std::sync::Arc;
 use std::time::Instant;
@@ -200,6 +202,84 @@ fn main() {
         "warm wall-clock         : {:>8.2?} (vs cold {:.2?})",
         warm_report.wall_time, cold_report.wall_time
     );
+
+    // Robustness picture: the same patients serialized to wire frames and
+    // pushed through a hostile link (burst bit errors at mean BER 1e-3,
+    // 5 % drops, light reordering/duplication), then decoded by the
+    // supervised wire-feed engine. Records into the same live registry,
+    // so `--telemetry` shows `cs_fault_total` alongside the stage table.
+    let spec = FaultSpec {
+        drop: 0.05,
+        duplicate: 0.01,
+        reorder: 0.02,
+        truncate: 0.01,
+        gilbert_elliott: Some(GilbertElliottParams::for_mean_ber(1e-3)),
+    };
+    let traffic: Vec<Vec<Vec<u8>>> = patients
+        .iter()
+        .enumerate()
+        .map(|(i, (lead0, lead1))| {
+            let mut enc = MultiChannelEncoder::new(&config, Arc::clone(&codebook), 2)
+                .expect("wire encoder");
+            let mut link = LossyLink::new(spec, 0xC5EC + i as u64);
+            let mut deliveries = Vec::new();
+            let windows = lead0.len().min(lead1.len()) / n;
+            for w in 0..windows {
+                let leads = [&lead0[w * n..(w + 1) * n], &lead1[w * n..(w + 1) * n]];
+                for packet in enc.encode_frame(&leads).expect("wire encode") {
+                    link.offer(&packet.to_bytes(), &mut deliveries);
+                }
+            }
+            link.flush(&mut deliveries);
+            deliveries.into_iter().map(|d| d.bytes).collect()
+        })
+        .collect();
+    let wire_report = run_fleet_wire::<f32, _>(
+        &config,
+        Arc::clone(&codebook),
+        &traffic,
+        SolverPolicy::default(),
+        &FleetConfig { warm_start: true, ..fleet_cfg },
+        &registry,
+        |_| {},
+    )
+    .expect("wire fleet run");
+    let faults = &wire_report.faults;
+    let frame_pct = |part: u64| 100.0 * part as f64 / faults.frames.max(1) as f64;
+    let emit_pct = |part: u64| 100.0 * part as f64 / faults.delivered().max(1) as f64;
+    println!("== Fault tolerance (lossy wire: burst BER 1e-3, 5 % drop) ==");
+    println!("frames ingested         : {:>6}", faults.frames);
+    println!(
+        "rejected at ingest      : {:>6}  ({:.2} % of frames; CRC/framing)",
+        faults.frame_rejects,
+        frame_pct(faults.frame_rejects)
+    );
+    println!(
+        "duplicates / late       : {:>6} / {}",
+        faults.duplicates, faults.late
+    );
+    println!(
+        "windows decoded         : {:>6}  ({:.2} % of emitted)",
+        faults.decoded,
+        emit_pct(faults.decoded)
+    );
+    println!(
+        "windows concealed       : {:>6}  ({:.2} %; {} loss, {} desync)",
+        faults.concealed(),
+        emit_pct(faults.concealed()),
+        faults.concealed_loss,
+        faults.concealed_desync
+    );
+    println!(
+        "windows quarantined     : {:>6}  (ring holds {} frames for postmortem)",
+        faults.quarantined,
+        wire_report.quarantine.len()
+    );
+    println!(
+        "resyncs / restarts      : {:>6} / {}",
+        faults.resyncs, faults.worker_restarts
+    );
+    println!("deadline-degraded       : {:>6}", faults.deadline_degraded);
 
     let capacity = analyze_fleet(&CoordinatorSpec::iphone_3gs(), cold_report.workers, &solves);
     println!("== Pool capacity (iPhone-3GS budget model) ==");

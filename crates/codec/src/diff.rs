@@ -308,8 +308,13 @@ impl DiffDecoder {
         if !self.synchronized {
             return Err(CodecError::MissingReference);
         }
+        // Saturating accumulation: the payload is attacker-controlled wire
+        // data, and a crafted run of maximal deltas would otherwise
+        // overflow the i32 state (a debug-build panic). Honest encoders
+        // track bounded ADC counts and never come near saturation, so the
+        // closed loop is unaffected.
         for (s, &di) in self.state.iter_mut().zip(values) {
-            *s += (di as i32) << shift;
+            *s = s.saturating_add((di as i32) << shift);
         }
         Ok(&self.state)
     }

@@ -21,6 +21,13 @@ pub enum CodecError {
         /// Alphabet size of the codebook.
         alphabet: usize,
     },
+    /// A difference value fell outside the representable alphabet range.
+    ValueOutOfRange {
+        /// The offending difference value.
+        value: i32,
+        /// Alphabet size of the code.
+        alphabet: usize,
+    },
     /// Codebook construction was given unusable inputs.
     InvalidCodebook(String),
     /// A delta packet arrived before any reference packet established the
@@ -44,6 +51,14 @@ impl fmt::Display for CodecError {
             CodecError::InvalidCodeword => write!(f, "bit pattern matches no codeword"),
             CodecError::SymbolOutOfRange { symbol, alphabet } => {
                 write!(f, "symbol {symbol} outside alphabet of {alphabet}")
+            }
+            CodecError::ValueOutOfRange { value, alphabet } => {
+                let half = (*alphabet / 2) as i32;
+                write!(
+                    f,
+                    "value {value} outside [{}, {}) for alphabet of {alphabet}",
+                    -half, half
+                )
             }
             CodecError::InvalidCodebook(msg) => write!(f, "invalid codebook: {msg}"),
             CodecError::MissingReference => {

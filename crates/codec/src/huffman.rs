@@ -348,38 +348,45 @@ fn package_merge(weights: &[u64], max_len: u8) -> Vec<u8> {
 /// `0..A` (two's-complement style offset binary). `A` is the alphabet size,
 /// 512 in the paper's system.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the value is outside the representable range.
+/// Returns [`CodecError::ValueOutOfRange`] if the value is outside the
+/// representable range — wire bytes are attacker-controlled, so the
+/// mapping must reject rather than panic.
 ///
 /// # Examples
 ///
 /// ```
 /// use cs_codec::{symbol_to_value, value_to_symbol};
-/// assert_eq!(value_to_symbol(-256, 512), 0);
-/// assert_eq!(value_to_symbol(0, 512), 256);
-/// assert_eq!(value_to_symbol(255, 512), 511);
-/// assert_eq!(symbol_to_value(value_to_symbol(-100, 512), 512), -100);
+/// assert_eq!(value_to_symbol(-256, 512)?, 0);
+/// assert_eq!(value_to_symbol(0, 512)?, 256);
+/// assert_eq!(value_to_symbol(255, 512)?, 511);
+/// assert_eq!(symbol_to_value(value_to_symbol(-100, 512)?, 512)?, -100);
+/// assert!(value_to_symbol(256, 512).is_err());
+/// # Ok::<(), cs_codec::CodecError>(())
 /// ```
-pub fn value_to_symbol(value: i32, alphabet: usize) -> u16 {
+pub fn value_to_symbol(value: i32, alphabet: usize) -> Result<u16, CodecError> {
     let half = (alphabet / 2) as i32;
-    assert!(
-        value >= -half && value < half,
-        "value {value} outside [{}, {})",
-        -half,
-        half
-    );
-    (value + half) as u16
+    if value < -half || value >= half {
+        return Err(CodecError::ValueOutOfRange { value, alphabet });
+    }
+    Ok((value + half) as u16)
 }
 
 /// Inverse of [`value_to_symbol`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the symbol is outside the alphabet.
-pub fn symbol_to_value(symbol: u16, alphabet: usize) -> i32 {
-    assert!((symbol as usize) < alphabet, "symbol outside alphabet");
-    symbol as i32 - (alphabet / 2) as i32
+/// Returns [`CodecError::SymbolOutOfRange`] if the symbol is outside the
+/// alphabet.
+pub fn symbol_to_value(symbol: u16, alphabet: usize) -> Result<i32, CodecError> {
+    if symbol as usize >= alphabet {
+        return Err(CodecError::SymbolOutOfRange {
+            symbol: symbol as i32,
+            alphabet,
+        });
+    }
+    Ok(symbol as i32 - (alphabet / 2) as i32)
 }
 
 #[cfg(test)]
@@ -475,14 +482,27 @@ mod tests {
     #[test]
     fn symbol_value_mapping() {
         for v in -256..256 {
-            assert_eq!(symbol_to_value(value_to_symbol(v, 512), 512), v);
+            assert_eq!(
+                symbol_to_value(value_to_symbol(v, 512).unwrap(), 512).unwrap(),
+                v
+            );
         }
     }
 
     #[test]
-    #[should_panic(expected = "outside")]
-    fn value_out_of_range_panics() {
-        let _ = value_to_symbol(256, 512);
+    fn out_of_range_mappings_error_cleanly() {
+        assert!(matches!(
+            value_to_symbol(256, 512),
+            Err(CodecError::ValueOutOfRange { value: 256, alphabet: 512 })
+        ));
+        assert!(matches!(
+            value_to_symbol(-257, 512),
+            Err(CodecError::ValueOutOfRange { .. })
+        ));
+        assert!(matches!(
+            symbol_to_value(512, 512),
+            Err(CodecError::SymbolOutOfRange { symbol: 512, alphabet: 512 })
+        ));
     }
 
     proptest! {

@@ -27,8 +27,11 @@
 //! let counts = vec![1_u64; 512];
 //! let codebook = Codebook::from_counts(&counts, 512)?;
 //! if let DiffPacket::Delta(block) = &delta {
-//!     let symbols: Vec<u16> =
-//!         block.values.iter().map(|&v| value_to_symbol(v as i32, 512)).collect();
+//!     let symbols: Vec<u16> = block
+//!         .values
+//!         .iter()
+//!         .map(|&v| value_to_symbol(v as i32, 512))
+//!         .collect::<Result<_, _>>()?;
 //!     let mut w = BitWriter::new();
 //!     codebook.encode(&symbols, &mut w)?;
 //!     let bytes = w.finish();

@@ -1,0 +1,75 @@
+//! Adversarial decode properties: every codec decode path must terminate
+//! with `Ok` or a structured [`CodecError`] on *arbitrary* input bytes —
+//! no panics, no unbounded loops. These are the paths a hostile or
+//! garbled wire can reach once framing lets a payload through.
+
+use cs_codec::{
+    rice_decode_block, symbol_to_value, BitReader, Codebook, MAX_CODE_LEN,
+};
+use proptest::prelude::*;
+
+/// A representative trained-shape codebook: skewed counts over the
+/// paper's 512-symbol alphabet, like real DPCM residuals.
+fn skewed_codebook() -> Codebook {
+    let counts: Vec<u64> = (0..512)
+        .map(|s| {
+            let d = (s as i64 - 256).unsigned_abs();
+            1 + 100_000 / (1 + d * d)
+        })
+        .collect();
+    Codebook::from_counts(&counts, 512).expect("valid counts")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Huffman decode of arbitrary bytes terminates without panicking,
+    /// and every symbol it does produce maps back into the alphabet.
+    #[test]
+    fn huffman_decode_arbitrary_bytes_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        count in 0_usize..2048,
+    ) {
+        let cb = skewed_codebook();
+        let mut r = BitReader::new(&bytes);
+        if let Ok(symbols) = cb.decode(&mut r, count) {
+            prop_assert_eq!(symbols.len(), count);
+            for s in symbols {
+                prop_assert!(symbol_to_value(s, cb.alphabet_size()).is_ok());
+            }
+        }
+    }
+
+    /// Rice block decode of arbitrary bytes terminates without panicking.
+    /// All-ones input is the worst case (one long unary run); the reader
+    /// must bound it at end-of-stream instead of spinning.
+    #[test]
+    fn rice_decode_arbitrary_bytes_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        count in 0_usize..2048,
+    ) {
+        let mut r = BitReader::new(&bytes);
+        let _ = rice_decode_block(count, &mut r);
+    }
+
+    /// Building a codebook from arbitrary length tables either succeeds
+    /// (lengths satisfy Kraft and the cap) or errors — never panics.
+    #[test]
+    fn from_lengths_arbitrary_tables_never_panic(
+        lengths in proptest::collection::vec(0_u8..=MAX_CODE_LEN + 2, 0..600),
+    ) {
+        if let Ok(cb) = Codebook::from_lengths(&lengths) {
+            prop_assert_eq!(cb.alphabet_size(), lengths.len());
+        }
+    }
+
+    /// Symbol/value mapping is total over the u16 range: in-alphabet
+    /// symbols round-trip, out-of-alphabet symbols error.
+    #[test]
+    fn symbol_mapping_is_total(symbol in any::<u16>()) {
+        match symbol_to_value(symbol, 512) {
+            Ok(v) => prop_assert_eq!(cs_codec::value_to_symbol(v, 512).unwrap(), symbol),
+            Err(_) => prop_assert!(symbol >= 512),
+        }
+    }
+}

@@ -261,7 +261,7 @@ mod tests {
     #[test]
     fn wrong_length_rejected() {
         let c = codec();
-        assert!(c.encode(&vec![0; 100], 50.0).is_err());
+        assert!(c.encode(&[0; 100], 50.0).is_err());
     }
 
     #[test]

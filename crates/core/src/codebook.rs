@@ -60,7 +60,7 @@ where
         let y = phi.apply_unscaled_i32(&packet);
         if let DiffPacket::Delta(block) = diff.encode(&y)? {
             for &d in &block.values {
-                counts[value_to_symbol(d as i32, config.alphabet()) as usize] += 1;
+                counts[value_to_symbol(d as i32, config.alphabet())? as usize] += 1;
             }
         }
     }
@@ -127,7 +127,7 @@ mod tests {
             let y = phi.apply_unscaled_i32(p);
             if let DiffPacket::Delta(block) = diff.encode(&y).unwrap() {
                 for &d in &block.values {
-                    counts[value_to_symbol(d as i32, 512) as usize] += 1;
+                    counts[value_to_symbol(d as i32, 512).unwrap() as usize] += 1;
                 }
             }
         }

@@ -87,6 +87,12 @@ pub struct DecodedPacket<T: Real> {
     pub warm_started: bool,
     /// Final solver residual norm `‖Aα − y‖₂` (measurement-space fit).
     pub residual_norm: T,
+    /// Whether `samples` were re-synthesized from a previous window
+    /// instead of decoded from wire bytes (see
+    /// [`Decoder::conceal_packet_with`]). Concealed samples must be
+    /// excluded from PRD accounting — they measure the concealment
+    /// heuristic, not the reconstruction.
+    pub concealed: bool,
 }
 
 impl<T: Real> Default for DecodedPacket<T> {
@@ -102,6 +108,7 @@ impl<T: Real> Default for DecodedPacket<T> {
             solve_time: Duration::ZERO,
             warm_started: false,
             residual_norm: T::ZERO,
+            concealed: false,
         }
     }
 }
@@ -200,6 +207,12 @@ pub struct Decoder<T: Real> {
     /// seeding FISTA here cuts iterations without moving the fixed point.
     warm: Option<Vec<T>>,
     warm_start: bool,
+    /// Last successfully decoded coefficient estimate, retained for loss
+    /// concealment. Unlike `warm`, this survives a desync — it *is* the
+    /// last good window, which is exactly what a concealed gap should
+    /// replay.
+    conceal: Option<Vec<T>>,
+    concealment: bool,
     /// Lazily created workspace backing [`Decoder::decode_packet`]; stays
     /// `None` when the owner supplies its own (the fleet's per-worker
     /// workspace) via [`Decoder::decode_packet_with`].
@@ -336,6 +349,8 @@ impl<T: Real> Decoder<T> {
             policy,
             warm: None,
             warm_start: false,
+            conceal: None,
+            concealment: false,
             scratch: None,
             telemetry: TelemetryRegistry::disabled(),
             telemetry_labels: (0, 0),
@@ -374,6 +389,22 @@ impl<T: Real> Decoder<T> {
     /// Whether warm starts are enabled.
     pub fn warm_start_enabled(&self) -> bool {
         self.warm_start
+    }
+
+    /// Enables or disables loss concealment. While enabled, each decode
+    /// retains a copy of its coefficient estimate so
+    /// [`Decoder::conceal_packet_with`] can re-synthesize a lost window.
+    /// Off by default; disabling drops the retained window.
+    pub fn set_concealment(&mut self, enabled: bool) {
+        self.concealment = enabled;
+        if !enabled {
+            self.conceal = None;
+        }
+    }
+
+    /// Whether loss concealment is enabled.
+    pub fn concealment_enabled(&self) -> bool {
+        self.concealment
     }
 
     /// The retained coefficient estimate, if any (present only while warm
@@ -488,9 +519,9 @@ impl<T: Real> Decoder<T> {
                     self.codebook.decode_into(&mut reader, m, &mut ws.symbols)?;
                     let alphabet = self.config.alphabet();
                     ws.delta.clear();
-                    ws.delta.extend(
-                        ws.symbols.iter().map(|&s| symbol_to_value(s, alphabet) as i16),
-                    );
+                    for &s in &ws.symbols {
+                        ws.delta.push(symbol_to_value(s, alphabet)? as i16);
+                    }
                     shift
                 };
                 let _span = self.telemetry.span(Stage::DiffDecode);
@@ -609,6 +640,20 @@ impl<T: Real> Decoder<T> {
         out.solve_time = result.elapsed;
         out.warm_started = warm_started;
         out.residual_norm = result.residual_norm;
+        out.concealed = false;
+
+        // Retain the estimate for loss concealment. Copied, not moved:
+        // the solution vector continues into the warm-start ping-pong
+        // below. One allocation on the first retained window, then
+        // steady-state free.
+        if self.concealment {
+            match &mut self.conceal {
+                Some(c) if c.len() == result.solution.len() => {
+                    c.copy_from_slice(&result.solution)
+                }
+                c => *c = Some(result.solution.clone()),
+            }
+        }
 
         // Ping-pong the solution vectors: the new estimate replaces the
         // warm seed and the retired seed's storage returns to the solver
@@ -630,10 +675,53 @@ impl<T: Real> Decoder<T> {
 
     /// Signals packet loss: decoding resumes at the next reference packet.
     /// Also drops the warm-start state — the retained estimate belongs to
-    /// a packet the stream no longer continues from.
+    /// a packet the stream no longer continues from. The concealment
+    /// window is deliberately kept: it *is* the last good window, which
+    /// is exactly what a concealed gap should replay.
     pub fn desynchronize(&mut self) {
         self.diff.desynchronize();
         self.warm = None;
+    }
+
+    /// Re-synthesizes a lost window from the last retained coefficient
+    /// estimate, writing the result into `out` with `out.concealed` set.
+    ///
+    /// Returns `true` when a retained window was replayed, `false` when
+    /// no history existed (stream head or concealment disabled) and the
+    /// samples were zero-filled instead. Either way `out` is a fully
+    /// formed packet so downstream accounting stays uniform. Does **not**
+    /// touch the DPCM state — the caller decides whether the loss also
+    /// desynchronizes the lane (it does for real losses; call
+    /// [`Decoder::desynchronize`] first).
+    ///
+    /// Steady-state (after one decode of this geometry) this performs
+    /// zero heap allocations, like the decode path itself.
+    pub fn conceal_packet_with(
+        &mut self,
+        index: u64,
+        ws: &mut DecodeWorkspace<T>,
+        out: &mut DecodedPacket<T>,
+    ) -> bool {
+        let n = self.config.packet_len();
+        let _span = self.telemetry.span(Stage::Concealment);
+        out.samples.clear();
+        out.samples.resize(n, T::ZERO);
+        let replayed = match self.conceal.as_deref() {
+            Some(coeffs) => {
+                ws.grad.resize(n, T::ZERO);
+                self.dwt.synthesize_scratch(coeffs, &mut out.samples, &mut ws.grad);
+                true
+            }
+            None => false,
+        };
+        out.index = index;
+        out.iterations = 0;
+        out.converged = false;
+        out.solve_time = Duration::ZERO;
+        out.warm_started = false;
+        out.residual_norm = T::ZERO;
+        out.concealed = true;
+        replayed
     }
 }
 
@@ -763,5 +851,45 @@ mod tests {
         let config = SystemConfig::paper_default();
         let (_, dec) = pair(&config);
         assert!(dec.lipschitz() > 0.0);
+    }
+
+    #[test]
+    fn concealment_replays_last_window() {
+        let config = SystemConfig::paper_default();
+        let (mut enc, mut dec) = pair(&config);
+        dec.set_concealment(true);
+        let x = synthetic_packet(512, 0.0);
+        let wire = enc.encode_packet(&x).unwrap();
+        let decoded = dec.decode_packet(&wire).unwrap();
+        assert!(!decoded.concealed);
+
+        // A lost packet: desync the DPCM loop, then conceal the slot.
+        dec.desynchronize();
+        let mut ws = DecodeWorkspace::for_config(&config);
+        let mut out = DecodedPacket::default();
+        assert!(dec.conceal_packet_with(1, &mut ws, &mut out));
+        assert!(out.concealed);
+        assert_eq!(out.index, 1);
+        assert_eq!(out.samples.len(), 512);
+        // The replayed window is the previous reconstruction, not silence.
+        let diff: f64 = decoded
+            .samples
+            .iter()
+            .zip(&out.samples)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff < 1e-9, "concealed window should replay the last good one");
+    }
+
+    #[test]
+    fn concealment_without_history_zero_fills() {
+        let config = SystemConfig::paper_default();
+        let (_, mut dec) = pair(&config);
+        dec.set_concealment(true);
+        let mut ws = DecodeWorkspace::for_config(&config);
+        let mut out = DecodedPacket::default();
+        assert!(!dec.conceal_packet_with(0, &mut ws, &mut out));
+        assert!(out.concealed);
+        assert!(out.samples.iter().all(|&s| s == 0.0));
     }
 }

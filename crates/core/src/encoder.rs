@@ -168,7 +168,7 @@ impl Encoder {
                     .values
                     .iter()
                     .map(|&d| value_to_symbol(d as i32, alphabet))
-                    .collect();
+                    .collect::<Result<_, _>>()?;
                 self.codebook.encode(&symbols, &mut writer)?;
                 PacketKind::Delta
             }
@@ -235,7 +235,7 @@ mod tests {
         let config = SystemConfig::paper_default();
         let mut enc = encoder_with_uniform_codebook(&config);
         assert!(matches!(
-            enc.encode_packet(&vec![0; 100]),
+            enc.encode_packet(&[0; 100]),
             Err(PipelineError::PacketLength { expected: 512, actual: 100 })
         ));
     }

@@ -41,16 +41,22 @@
 use crate::config::SystemConfig;
 use crate::decoder::{DecodeWorkspace, DecodedPacket, Decoder, SolverPolicy};
 use crate::error::PipelineError;
+use crate::ingest::{
+    ConcealmentReason, FaultCounters, FaultStats, PacketOutcome, PushReject, QuarantineRecord,
+    QuarantineRing, Reassembler, SequencedEvent, DEFAULT_REORDER_WINDOW,
+};
 use crate::multichannel::{ChannelPacket, MultiChannelEncoder};
+use crate::packet::{parse_frame, EncodedPacket};
 use crate::stream::SHARED_BUFFER_PACKETS;
-use cs_codec::Codebook;
+use cs_codec::{Codebook, CodecError};
 use cs_dsp::Real;
 use cs_recovery::SpectralCache;
-use cs_telemetry::{Stage, TelemetryRegistry};
+use cs_telemetry::{FaultKind, Stage, TelemetryRegistry};
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Shape of the worker pool.
@@ -65,6 +71,17 @@ pub struct FleetConfig {
     /// `false` (the default) keeps per-stream output bit-exact with
     /// [`run_streaming`](crate::stream::run_streaming).
     pub warm_start: bool,
+    /// Reorder window per (stream, lane) for the wire-feed path: how many
+    /// out-of-order frames to buffer before declaring the gap lost.
+    pub reorder_window: usize,
+    /// Per-solve FISTA iteration deadline for the wire-feed path. A solve
+    /// that hits the budget is emitted best-effort (and counted as
+    /// deadline-degraded) instead of stalling its lane. `None` leaves the
+    /// solver policy's own cap in force.
+    pub solve_budget: Option<usize>,
+    /// Test hook: panic inside the decode of `(stream, wire seq)` once,
+    /// to exercise the supervisor. `None` in production.
+    pub chaos_panic: Option<(usize, u64)>,
 }
 
 impl Default for FleetConfig {
@@ -73,6 +90,9 @@ impl Default for FleetConfig {
             workers: 0,
             channel_capacity: SHARED_BUFFER_PACKETS,
             warm_start: false,
+            reorder_window: DEFAULT_REORDER_WINDOW,
+            solve_budget: None,
+            chaos_panic: None,
         }
     }
 }
@@ -111,6 +131,10 @@ pub struct FleetPacket<T: Real> {
     pub stream: usize,
     /// Lead index within the stream.
     pub channel: u8,
+    /// How this window was produced. Always
+    /// [`PacketOutcome::Decoded`] on the raw/encoded paths; the wire-feed
+    /// path additionally emits concealed and quarantined windows.
+    pub outcome: PacketOutcome,
     /// The reconstruction and its solver statistics.
     pub packet: DecodedPacket<T>,
 }
@@ -155,6 +179,12 @@ pub struct FleetReport {
     pub total_decode_time: Duration,
     /// Longest single solve anywhere in the fleet.
     pub max_decode_time: Duration,
+    /// Ingest/supervision accounting. All zeros on the raw/encoded paths
+    /// (they see no wire); populated by [`run_fleet_wire`].
+    pub faults: FaultStats,
+    /// Quarantined frames held for postmortem, oldest first (bounded;
+    /// see [`QuarantineRing`]).
+    pub quarantine: Vec<QuarantineRecord>,
 }
 
 impl FleetReport {
@@ -564,7 +594,12 @@ where
                         packets_decoded += 1;
                         total_decode += packet.solve_time;
                         max_decode = max_decode.max(packet.solve_time);
-                        let delivered = FleetPacket { stream, channel, packet };
+                        let delivered = FleetPacket {
+                            stream,
+                            channel,
+                            outcome: PacketOutcome::Decoded,
+                            packet,
+                        };
                         on_packet(&delivered);
                     }
                 }
@@ -605,6 +640,537 @@ where
         wall_time: started.elapsed(),
         total_decode_time: total_decode,
         max_decode_time: max_decode,
+        faults: FaultStats::default(),
+        quarantine: Vec::new(),
+    })
+}
+
+/// A unit of wire-feed work: one frame exactly as it came off the link.
+struct WireJob {
+    stream: usize,
+    bytes: Vec<u8>,
+}
+
+/// What wire-feed workers send the collector. Unlike [`FleetMsg`], every
+/// window reaches the collector as an `Emit` — faults are absorbed into
+/// outcomes, not run-ending failures. `Failed` remains only for
+/// construction errors (bad configuration), which no amount of
+/// concealment can paper over.
+enum WireMsg<T: Real> {
+    Emit {
+        stream: usize,
+        /// Dense per-stream emission sequence assigned by the worker (wire
+        /// sequence numbers have gaps where frames were lost).
+        emit_seq: u64,
+        channel: u8,
+        worker: usize,
+        outcome: PacketOutcome,
+        packet: DecodedPacket<T>,
+    },
+    Failed {
+        stream: Option<usize>,
+        cause: String,
+    },
+}
+
+/// Per-worker state for the supervised wire-feed path. Streams keep
+/// worker affinity, so every structure here is only ever touched by its
+/// owning worker thread; the cross-thread surfaces are the shared
+/// [`FaultCounters`] (atomics) and the quarantine ring (mutex, cold
+/// path).
+struct WireWorker<'e, T: Real> {
+    worker_id: usize,
+    config: &'e SystemConfig,
+    codebook: Arc<Codebook>,
+    policy: SolverPolicy<T>,
+    fleet: FleetConfig,
+    cache: &'e SpectralCache<T>,
+    telemetry: TelemetryRegistry,
+    counters: &'e FaultCounters,
+    quarantine: &'e Mutex<QuarantineRing>,
+    chaos_fired: &'e AtomicBool,
+    lanes: HashMap<(usize, u8), Decoder<T>>,
+    seqs: HashMap<(usize, u8), Reassembler<EncodedPacket>>,
+    emit_seq: HashMap<usize, u64>,
+    scratch: DecodeWorkspace<T>,
+    results: crossbeam::channel::Sender<WireMsg<T>>,
+}
+
+impl<T: Real> WireWorker<'_, T> {
+    /// Validates one arrived frame and advances its lane. Returns `false`
+    /// when the collector hung up (shutdown).
+    fn ingest(&mut self, stream: usize, bytes: &[u8]) -> bool {
+        self.counters.add_frame();
+        let parsed = {
+            let _span = self.telemetry.span(Stage::IngestValidate);
+            parse_frame(bytes)
+        };
+        let (info, payload) = match parsed {
+            Ok(p) => p,
+            Err(e) => {
+                self.counters.add_frame_reject();
+                self.telemetry.record_fault(FaultKind::FrameRejected);
+                self.quarantine.lock().expect("quarantine lock").push(QuarantineRecord {
+                    stream,
+                    channel: None,
+                    seq: None,
+                    bytes: bytes.to_vec(),
+                    cause: e.to_string(),
+                });
+                return true;
+            }
+        };
+        let packet = EncodedPacket {
+            index: info.index,
+            kind: info.kind,
+            payload: payload.to_vec(),
+            payload_bits: info.payload_bits,
+        };
+        let lane = self
+            .seqs
+            .entry((stream, info.lane))
+            .or_insert_with(|| Reassembler::new(self.fleet.reorder_window));
+        let mut events = Vec::new();
+        if let Err(reject) = lane.push(info.index, packet, &mut events) {
+            match reject {
+                PushReject::Duplicate => {
+                    self.counters.add_duplicate();
+                    self.telemetry.record_fault(FaultKind::Duplicate);
+                }
+                PushReject::Late => {
+                    self.counters.add_late();
+                    self.telemetry.record_fault(FaultKind::Late);
+                }
+            }
+            return true;
+        }
+        self.handle_events(stream, info.lane, events)
+    }
+
+    /// Emits every sequenced event for one lane.
+    fn handle_events(
+        &mut self,
+        stream: usize,
+        channel: u8,
+        events: Vec<SequencedEvent<EncodedPacket>>,
+    ) -> bool {
+        for event in events {
+            let alive = match event {
+                SequencedEvent::Deliver(seq, packet) => {
+                    self.decode_supervised(stream, channel, seq, packet)
+                }
+                SequencedEvent::Lost(seq) => {
+                    self.counters.add_concealed_loss();
+                    self.telemetry.record_fault(FaultKind::ConcealedLoss);
+                    self.conceal_slot(stream, channel, seq, ConcealmentReason::Loss.into())
+                }
+                SequencedEvent::Resync { .. } => {
+                    self.counters.add_resync();
+                    self.telemetry.record_fault(FaultKind::Resync);
+                    if let Some(d) = self.lanes.get_mut(&(stream, channel)) {
+                        d.desynchronize();
+                    }
+                    true
+                }
+            };
+            if !alive {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Decodes one in-order packet under panic supervision.
+    fn decode_supervised(
+        &mut self,
+        stream: usize,
+        channel: u8,
+        wire_seq: u64,
+        packet: EncodedPacket,
+    ) -> bool {
+        if self.lane(stream, channel).is_err() {
+            return false; // construction failure already reported
+        }
+        let chaos = self.fleet.chaos_panic == Some((stream, wire_seq))
+            && !self.chaos_fired.swap(true, Ordering::Relaxed);
+        let mut decoded = DecodedPacket::default();
+        let attempt = {
+            let decoder = self.lanes.get_mut(&(stream, channel)).expect("lane exists");
+            let scratch = &mut self.scratch;
+            catch_unwind(AssertUnwindSafe(|| {
+                if chaos {
+                    panic!("chaos: injected decode panic");
+                }
+                decoder.decode_packet_with(&packet, scratch, &mut decoded)
+            }))
+        };
+        match attempt {
+            Ok(Ok(())) => {
+                self.counters.add_decoded();
+                self.telemetry.record_worker_packet(self.worker_id);
+                if let Some(budget) = self.fleet.solve_budget {
+                    if !decoded.converged && decoded.iterations >= budget {
+                        self.counters.add_deadline_degraded();
+                        self.telemetry.record_fault(FaultKind::DeadlineDegraded);
+                    }
+                }
+                self.emit(stream, channel, PacketOutcome::Decoded, decoded)
+            }
+            Ok(Err(PipelineError::Codec(CodecError::MissingReference))) => {
+                // The lane is desynchronized (an upstream loss ate its
+                // reference); the frame itself is healthy. Conceal until
+                // the next reference resynchronizes the DPCM loop.
+                self.counters.add_concealed_desync();
+                self.telemetry.record_fault(FaultKind::ConcealedDesync);
+                self.conceal_slot(stream, channel, wire_seq, ConcealmentReason::Desync.into())
+            }
+            Ok(Err(e)) => {
+                // The frame passed the CRC but poisoned its decoder — a
+                // truncation the bit count happened to cover, or a CRC
+                // collision. Quarantine the bytes, desync the lane, and
+                // emit a flagged placeholder to keep emission contiguous.
+                self.counters.add_quarantined();
+                self.telemetry.record_fault(FaultKind::Quarantined);
+                self.quarantine.lock().expect("quarantine lock").push(QuarantineRecord {
+                    stream,
+                    channel: Some(channel),
+                    seq: Some(wire_seq),
+                    bytes: packet.to_bytes_tagged(channel),
+                    cause: e.to_string(),
+                });
+                if let Some(d) = self.lanes.get_mut(&(stream, channel)) {
+                    d.desynchronize();
+                }
+                self.conceal_slot(stream, channel, wire_seq, PacketOutcome::Quarantined)
+            }
+            Err(panic) => {
+                // Supervisor: quarantine the offender, then restart the
+                // worker — every lane decoder and the shared workspace are
+                // replaced, since a panic mid-decode can leave either in a
+                // torn state. Streams on this worker rebuild lazily and
+                // conceal until their next reference packet.
+                let cause = panic_message(&panic);
+                self.counters.add_worker_restart();
+                self.telemetry.record_fault(FaultKind::WorkerRestart);
+                self.counters.add_quarantined();
+                self.telemetry.record_fault(FaultKind::Quarantined);
+                self.quarantine.lock().expect("quarantine lock").push(QuarantineRecord {
+                    stream,
+                    channel: Some(channel),
+                    seq: Some(wire_seq),
+                    bytes: packet.to_bytes_tagged(channel),
+                    cause: format!("panic: {cause}"),
+                });
+                self.lanes.clear();
+                self.scratch = DecodeWorkspace::for_config(self.config);
+                self.conceal_slot(stream, channel, wire_seq, PacketOutcome::Quarantined)
+            }
+        }
+    }
+
+    /// Emits a concealed placeholder window for one sequence slot.
+    fn conceal_slot(
+        &mut self,
+        stream: usize,
+        channel: u8,
+        wire_seq: u64,
+        outcome: PacketOutcome,
+    ) -> bool {
+        if self.lane(stream, channel).is_err() {
+            return false;
+        }
+        let mut out = DecodedPacket::default();
+        {
+            let decoder = self.lanes.get_mut(&(stream, channel)).expect("lane exists");
+            if matches!(outcome, PacketOutcome::Concealed(ConcealmentReason::Loss)) {
+                // A real loss always desynchronizes the DPCM loop.
+                decoder.desynchronize();
+            }
+            decoder.conceal_packet_with(wire_seq, &mut self.scratch, &mut out);
+        }
+        self.emit(stream, channel, outcome, out)
+    }
+
+    /// Ensures the lane decoder exists; reports construction errors.
+    fn lane(&mut self, stream: usize, channel: u8) -> Result<(), ()> {
+        if let Entry::Vacant(v) = self.lanes.entry((stream, channel)) {
+            match Decoder::with_cache(self.config, Arc::clone(&self.codebook), self.policy, self.cache)
+            {
+                Ok(mut d) => {
+                    d.set_warm_start(self.fleet.warm_start);
+                    d.set_concealment(true);
+                    d.set_telemetry(self.telemetry.clone());
+                    d.set_telemetry_labels(u32::try_from(stream).unwrap_or(u32::MAX), channel);
+                    v.insert(d);
+                }
+                Err(e) => {
+                    let _ = self.results.send(WireMsg::Failed {
+                        stream: Some(stream),
+                        cause: e.to_string(),
+                    });
+                    return Err(());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sends one window to the collector under the stream's dense
+    /// emission sequence. Returns `false` when the collector hung up.
+    fn emit(
+        &mut self,
+        stream: usize,
+        channel: u8,
+        outcome: PacketOutcome,
+        packet: DecodedPacket<T>,
+    ) -> bool {
+        let seq = self.emit_seq.entry(stream).or_insert(0);
+        let emit_seq = *seq;
+        *seq += 1;
+        self.results
+            .send(WireMsg::Emit {
+                stream,
+                emit_seq,
+                channel,
+                worker: self.worker_id,
+                outcome,
+                packet,
+            })
+            .is_ok()
+    }
+
+    /// End of input: emits everything still buffered, concealing interior
+    /// gaps. Tail losses (frames after the last arrival) are undetectable
+    /// without an end-of-stream marker and stay unemitted.
+    fn flush(&mut self) -> bool {
+        let keys: Vec<(usize, u8)> = self.seqs.keys().copied().collect();
+        for (stream, channel) in keys {
+            let mut events = Vec::new();
+            if let Some(lane) = self.seqs.get_mut(&(stream, channel)) {
+                lane.flush(&mut events);
+            }
+            if !self.handle_events(stream, channel, events) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl From<ConcealmentReason> for PacketOutcome {
+    fn from(reason: ConcealmentReason) -> Self {
+        PacketOutcome::Concealed(reason)
+    }
+}
+
+/// Renders a panic payload for the quarantine record.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".into()
+    }
+}
+
+/// Decodes wire traffic — frames exactly as a lossy link delivered them —
+/// across the fleet, surviving corruption, loss, duplication, reordering
+/// and worker panics.
+///
+/// `traffic[stream]` is that stream's arrival sequence of raw frames
+/// (see [`crate::parse_frame`] for the format). Unlike
+/// [`run_fleet_encoded`], a damaged frame does not end the run: every
+/// window that can be attributed to a (stream, lane, sequence) slot is
+/// emitted exactly once with a [`PacketOutcome`] explaining how it was
+/// produced, and per-stream emission order is preserved. Unattributable
+/// frames (framing/CRC rejects) are counted in
+/// [`FleetReport::faults`] and quarantined.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::InvalidConfig`] for an empty fleet or zero
+/// channel capacity, and [`PipelineError::Fleet`] only for construction
+/// failures — wire damage never fails the run.
+pub fn run_fleet_wire<T, F>(
+    config: &SystemConfig,
+    codebook: Arc<Codebook>,
+    traffic: &[Vec<Vec<u8>>],
+    policy: SolverPolicy<T>,
+    fleet: &FleetConfig,
+    telemetry: &TelemetryRegistry,
+    mut on_packet: F,
+) -> Result<FleetReport, PipelineError>
+where
+    T: Real,
+    F: FnMut(&FleetPacket<T>) + Send,
+{
+    if traffic.is_empty() {
+        return Err(PipelineError::InvalidConfig("empty fleet".into()));
+    }
+    if fleet.channel_capacity == 0 {
+        return Err(PipelineError::InvalidConfig(
+            "fleet channel capacity must be positive".into(),
+        ));
+    }
+    let workers = fleet.effective_workers();
+    let n = config.packet_len();
+    let packet_period = Duration::from_secs_f64(n as f64 / 256.0);
+    let nstreams = traffic.len();
+
+    // Enforce the per-solve deadline by capping FISTA's iteration budget;
+    // the solver then degrades to its best iterate instead of stalling.
+    let mut policy = policy;
+    if let Some(budget) = fleet.solve_budget {
+        policy.max_iterations = policy.max_iterations.min(budget.max(1));
+    }
+
+    let cache: SpectralCache<T> = SpectralCache::new();
+    let stalls = AtomicU64::new(0);
+    let counters = FaultCounters::default();
+    let quarantine = Mutex::new(QuarantineRing::default());
+    let chaos_fired = AtomicBool::new(false);
+
+    let (job_txs, job_rxs): (Vec<_>, Vec<_>) = (0..workers)
+        .map(|_| crossbeam::channel::bounded::<WireJob>(fleet.channel_capacity))
+        .unzip();
+    let (res_tx, res_rx) =
+        crossbeam::channel::bounded::<WireMsg<T>>(fleet.channel_capacity * nstreams);
+
+    let mut summaries = vec![StreamSummary::default(); nstreams];
+    let mut worker_packets = vec![0usize; workers];
+    let mut packets_decoded = 0usize;
+    let mut total_decode = Duration::ZERO;
+    let mut max_decode = Duration::ZERO;
+    let mut failure: Option<PipelineError> = None;
+    let started = Instant::now();
+
+    let mut worker_panicked = false;
+    std::thread::scope(|scope| {
+        // --- Supervised decode workers ---------------------------------
+        let mut worker_handles = Vec::with_capacity(workers);
+        for (worker_id, jobs) in job_rxs.into_iter().enumerate() {
+            let results = res_tx.clone();
+            let codebook = Arc::clone(&codebook);
+            let mut worker = WireWorker {
+                worker_id,
+                config,
+                codebook,
+                policy,
+                fleet: *fleet,
+                cache: &cache,
+                telemetry: telemetry.clone(),
+                counters: &counters,
+                quarantine: &quarantine,
+                chaos_fired: &chaos_fired,
+                lanes: HashMap::new(),
+                seqs: HashMap::new(),
+                emit_seq: HashMap::new(),
+                scratch: DecodeWorkspace::for_config(config),
+                results,
+            };
+            worker_handles.push(scope.spawn(move || {
+                for WireJob { stream, bytes } in jobs.iter() {
+                    if !worker.ingest(stream, &bytes) {
+                        return;
+                    }
+                }
+                worker.flush();
+            }));
+        }
+
+        // --- Producers: replay each stream's arrival order -------------
+        for (stream, frames) in traffic.iter().enumerate() {
+            let jobs = job_txs[stream % workers].clone();
+            let stalls = &stalls;
+            scope.spawn(move || {
+                for bytes in frames {
+                    let mut job = WireJob { stream, bytes: bytes.clone() };
+                    match jobs.try_send(job) {
+                        Ok(()) => continue,
+                        Err(crossbeam::channel::TrySendError::Full(back)) => {
+                            stalls.fetch_add(1, Ordering::Relaxed);
+                            job = back;
+                            if jobs.send(job).is_err() {
+                                return;
+                            }
+                        }
+                        Err(crossbeam::channel::TrySendError::Disconnected(_)) => return,
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        drop(job_txs);
+
+        // --- Collector: per-stream in-order emission --------------------
+        type Slot<T> = (u8, PacketOutcome, DecodedPacket<T>);
+        let mut pending: Vec<BTreeMap<u64, Slot<T>>> =
+            (0..nstreams).map(|_| BTreeMap::new()).collect();
+        let mut next_seq = vec![0u64; nstreams];
+        for msg in res_rx.iter() {
+            match msg {
+                WireMsg::Emit { stream, emit_seq, channel, worker, outcome, packet } => {
+                    let _span = telemetry.span(Stage::Reassembly);
+                    worker_packets[worker] += 1;
+                    pending[stream].insert(emit_seq, (channel, outcome, packet));
+                    while let Some((channel, outcome, packet)) =
+                        pending[stream].remove(&next_seq[stream])
+                    {
+                        next_seq[stream] += 1;
+                        let summary = &mut summaries[stream];
+                        summary.packets += 1;
+                        summary.total_decode_time += packet.solve_time;
+                        summary.max_decode_time = summary.max_decode_time.max(packet.solve_time);
+                        summary.total_iterations += packet.iterations as u64;
+                        summary.warm_started += usize::from(packet.warm_started);
+                        packets_decoded += 1;
+                        total_decode += packet.solve_time;
+                        max_decode = max_decode.max(packet.solve_time);
+                        let delivered = FleetPacket { stream, channel, outcome, packet };
+                        on_packet(&delivered);
+                    }
+                }
+                WireMsg::Failed { stream, cause } => {
+                    failure = Some(PipelineError::Fleet { stream, cause });
+                    break;
+                }
+            }
+        }
+        drop(res_rx);
+        for handle in worker_handles {
+            if handle.join().is_err() {
+                worker_panicked = true;
+            }
+        }
+    });
+
+    if worker_panicked {
+        return Err(PipelineError::Fleet {
+            stream: None,
+            cause: "worker panicked outside supervision".into(),
+        });
+    }
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    Ok(FleetReport {
+        streams: summaries,
+        workers,
+        worker_packets,
+        packets_decoded,
+        backpressure_stalls: stalls.into_inner(),
+        spectral_misses: cache.misses(),
+        spectral_hits: cache.hits(),
+        packet_period,
+        wall_time: started.elapsed(),
+        total_decode_time: total_decode,
+        max_decode_time: max_decode,
+        faults: counters.snapshot(),
+        quarantine: quarantine
+            .into_inner()
+            .expect("quarantine lock")
+            .into_records(),
     })
 }
 
@@ -713,5 +1279,142 @@ mod tests {
                 seen.iter().filter(|(s, _)| *s == stream).map(|&(_, i)| i).collect();
             assert_eq!(indices, vec![0, 1]);
         }
+    }
+
+    /// Encodes one single-lead stream into wire frames.
+    fn wire_frames(config: &SystemConfig, samples: &[i16]) -> Vec<Vec<u8>> {
+        let cb = Arc::new(uniform_codebook(512).unwrap());
+        let mut enc = MultiChannelEncoder::new(config, cb, 1).unwrap();
+        let n = config.packet_len();
+        (0..samples.len() / n)
+            .map(|f| {
+                let frame = enc.encode_frame(&[&samples[f * n..(f + 1) * n]]).unwrap();
+                frame[0].to_bytes()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_wire_traffic_all_decodes() {
+        let config = SystemConfig::paper_default();
+        let cb = Arc::new(uniform_codebook(512).unwrap());
+        let samples = ecg_like(3, 512, 0.0);
+        let traffic = vec![wire_frames(&config, &samples)];
+        let fleet = FleetConfig { workers: 1, ..FleetConfig::default() };
+        let mut outcomes = Vec::new();
+        let report = run_fleet_wire::<f32, _>(
+            &config,
+            cb,
+            &traffic,
+            SolverPolicy::default(),
+            &fleet,
+            &TelemetryRegistry::disabled(),
+            |p| outcomes.push(p.outcome),
+        )
+        .unwrap();
+        assert_eq!(report.packets_decoded, 3);
+        assert!(outcomes.iter().all(|&o| o == PacketOutcome::Decoded));
+        assert_eq!(report.faults.frames, 3);
+        assert_eq!(report.faults.decoded, 3);
+        assert_eq!(report.faults.delivered(), 3);
+        assert_eq!(report.faults.frame_rejects, 0);
+        assert!(report.quarantine.is_empty());
+    }
+
+    #[test]
+    fn dropped_frame_is_concealed_not_fatal() {
+        let config = SystemConfig::paper_default();
+        let cb = Arc::new(uniform_codebook(512).unwrap());
+        let samples = ecg_like(4, 512, 0.0);
+        let mut frames = wire_frames(&config, &samples);
+        frames.remove(1); // lose the second window
+        let traffic = vec![frames];
+        let fleet = FleetConfig { workers: 1, ..FleetConfig::default() };
+        let mut seen = Vec::new();
+        let report = run_fleet_wire::<f32, _>(
+            &config,
+            cb,
+            &traffic,
+            SolverPolicy::default(),
+            &fleet,
+            &TelemetryRegistry::disabled(),
+            |p| seen.push((p.packet.index, p.outcome, p.packet.concealed)),
+        )
+        .unwrap();
+        // All four slots are emitted, in wire order, with the gap flagged.
+        assert_eq!(seen.len(), 4);
+        assert_eq!(
+            seen.iter().map(|&(i, _, _)| i).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(seen[1].1, PacketOutcome::Concealed(ConcealmentReason::Loss));
+        assert!(seen[1].2, "concealed samples must be flagged");
+        assert_eq!(report.faults.concealed_loss, 1);
+        // The post-loss deltas conceal until the next reference packet;
+        // at the paper's reference interval all remaining windows in this
+        // short run are deltas, so they ride out as desync concealments.
+        assert_eq!(
+            report.faults.delivered(),
+            report.faults.decoded + report.faults.concealed()
+        );
+    }
+
+    #[test]
+    fn corrupt_frame_is_rejected_at_ingest() {
+        let config = SystemConfig::paper_default();
+        let cb = Arc::new(uniform_codebook(512).unwrap());
+        let samples = ecg_like(2, 512, 0.0);
+        let mut frames = wire_frames(&config, &samples);
+        let mid = frames[1].len() / 2;
+        frames[1][mid] ^= 0xFF; // burst damage in the payload
+        let traffic = vec![frames];
+        let fleet = FleetConfig { workers: 1, ..FleetConfig::default() };
+        let report = run_fleet_wire::<f32, _>(
+            &config,
+            cb,
+            &traffic,
+            SolverPolicy::default(),
+            &fleet,
+            &TelemetryRegistry::disabled(),
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(report.faults.frame_rejects, 1);
+        assert_eq!(report.quarantine.len(), 1);
+        assert!(report.quarantine[0].cause.contains("CRC"));
+        // The rejected frame's slot is a tail gap (undetectable), so only
+        // the first window is emitted.
+        assert_eq!(report.faults.decoded, 1);
+    }
+
+    #[test]
+    fn injected_panic_is_supervised() {
+        let config = SystemConfig::paper_default();
+        let cb = Arc::new(uniform_codebook(512).unwrap());
+        let samples = ecg_like(3, 512, 0.0);
+        let traffic = vec![wire_frames(&config, &samples)];
+        let fleet = FleetConfig {
+            workers: 1,
+            chaos_panic: Some((0, 1)),
+            ..FleetConfig::default()
+        };
+        let mut outcomes = Vec::new();
+        let report = run_fleet_wire::<f32, _>(
+            &config,
+            cb,
+            &traffic,
+            SolverPolicy::default(),
+            &fleet,
+            &TelemetryRegistry::disabled(),
+            |p| outcomes.push(p.outcome),
+        )
+        .unwrap();
+        assert_eq!(report.faults.worker_restarts, 1);
+        assert_eq!(report.faults.quarantined, 1);
+        assert_eq!(outcomes.len(), 3, "every slot still emitted");
+        assert_eq!(outcomes[1], PacketOutcome::Quarantined);
+        assert_eq!(report.quarantine.len(), 1);
+        assert!(report.quarantine[0].cause.contains("panic"));
+        assert_eq!(report.quarantine[0].seq, Some(1));
     }
 }

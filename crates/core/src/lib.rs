@@ -57,6 +57,7 @@ mod decoder;
 mod encoder;
 mod error;
 mod fleet;
+mod ingest;
 mod multichannel;
 mod packet;
 mod pipeline;
@@ -69,11 +70,19 @@ pub use decoder::{DecodeWorkspace, DecodedPacket, Decoder, SolverPolicy};
 pub use encoder::Encoder;
 pub use error::PipelineError;
 pub use fleet::{
-    run_fleet, run_fleet_encoded, run_fleet_observed, FleetConfig, FleetPacket, FleetReport,
-    FleetStream, StreamSummary,
+    run_fleet, run_fleet_encoded, run_fleet_observed, run_fleet_wire, FleetConfig, FleetPacket,
+    FleetReport, FleetStream, StreamSummary,
+};
+pub use ingest::{
+    ConcealmentReason, FaultCounters, FaultStats, PacketOutcome, PushReject, QuarantineRecord,
+    QuarantineRing, Reassembler, SequencedEvent, DEFAULT_QUARANTINE_CAPACITY,
+    DEFAULT_REORDER_WINDOW, MAX_LOSS_BURST,
 };
 pub use multichannel::{ChannelPacket, MultiChannelDecoder, MultiChannelEncoder};
-pub use packet::{EncodedPacket, PacketKind, HEADER_BYTES};
+pub use packet::{
+    crc16, parse_frame, EncodedPacket, FrameInfo, PacketKind, FRAME_MAGIC, FRAME_VERSION,
+    HEADER_BYTES, TRAILER_BYTES,
+};
 pub use pipeline::{
     evaluate_stream, evaluate_stream_observed, packetize, train_and_evaluate, PacketReport,
     StreamReport,

@@ -26,27 +26,27 @@ pub struct ChannelPacket {
 }
 
 impl ChannelPacket {
-    /// Serializes as a 1-byte lane tag followed by the framed packet.
+    /// Serializes with the lead index in the frame's lane byte (which the
+    /// frame CRC covers, so a corrupted tag cannot misroute the packet).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(1 + self.packet.framed_bytes());
-        out.push(self.channel);
-        out.extend(self.packet.to_bytes());
-        out
+        self.packet.to_bytes_tagged(self.channel)
     }
 
     /// Parses a tagged packet.
     ///
     /// # Errors
     ///
-    /// Returns [`PipelineError::MalformedPacket`] on truncation and
-    /// propagates inner framing errors.
+    /// Propagates framing errors from [`crate::parse_frame`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, PipelineError> {
-        if bytes.is_empty() {
-            return Err(PipelineError::MalformedPacket("empty channel packet".into()));
-        }
+        let (info, payload) = crate::packet::parse_frame(bytes)?;
         Ok(ChannelPacket {
-            channel: bytes[0],
-            packet: EncodedPacket::from_bytes(&bytes[1..])?,
+            channel: info.lane,
+            packet: EncodedPacket {
+                index: info.index,
+                kind: info.kind,
+                payload: payload.to_vec(),
+                payload_bits: info.payload_bits,
+            },
         })
     }
 }

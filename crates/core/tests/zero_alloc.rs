@@ -9,7 +9,9 @@
 //! so no concurrent test can pollute the allocation counter.
 
 use cs_codec::Codebook;
-use cs_core::{DecodeWorkspace, DecodedPacket, Decoder, Encoder, SolverPolicy, SystemConfig};
+use cs_core::{
+    parse_frame, DecodeWorkspace, DecodedPacket, Decoder, Encoder, SolverPolicy, SystemConfig,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -60,21 +62,29 @@ fn steady_state_decode_allocates_nothing() {
     let mut decoder: Decoder<f32> =
         Decoder::new(&config, codebook, SolverPolicy::default()).unwrap();
     decoder.set_warm_start(true);
+    decoder.set_concealment(true);
 
     // Pre-encode the whole stream (reference packet first, then deltas)
-    // so the measurement loop below runs nothing but decodes.
+    // and pre-serialize the wire frames, so the measurement loop below
+    // runs nothing but frame validation + decode.
     let wires: Vec<_> = (0..6)
         .map(|k| encoder.encode_packet(&synthetic_packet(512, k as f64 * 0.002)).unwrap())
         .collect();
+    let frames: Vec<Vec<u8>> = wires.iter().map(|w| w.to_bytes()).collect();
 
     let mut ws = DecodeWorkspace::for_config(&config);
     let mut out = DecodedPacket::default();
 
-    // Packet 0 warms every buffer (allocations allowed here).
+    // Packet 0 warms every buffer, including the concealment retention
+    // copy (allocations allowed here).
     decoder.decode_packet_with(&wires[0], &mut ws, &mut out).unwrap();
 
-    for wire in &wires[1..] {
+    for (wire, bytes) in wires[1..].iter().zip(&frames[1..]) {
         let before = ALLOCATIONS.load(Ordering::Relaxed);
+        // Frame validation (magic/version/CRC/kind) borrows the payload —
+        // it must not allocate either.
+        let (info, _) = parse_frame(bytes).unwrap();
+        assert_eq!(info.index, wire.index);
         decoder.decode_packet_with(wire, &mut ws, &mut out).unwrap();
         let after = ALLOCATIONS.load(Ordering::Relaxed);
         assert_eq!(
@@ -85,5 +95,19 @@ fn steady_state_decode_allocates_nothing() {
             after - before
         );
         assert_eq!(out.samples.len(), 512);
+        assert!(!out.concealed);
     }
+
+    // The concealment path replays the retained window through the
+    // synthesis operator; after one warming call it must be alloc-free
+    // too (a concealed slot happens mid-stream, where an allocation
+    // would stall the very lane that is already degraded).
+    assert!(decoder.conceal_packet_with(97, &mut ws, &mut out));
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let replayed = decoder.conceal_packet_with(98, &mut ws, &mut out);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(replayed, "history exists, so concealment must replay it");
+    assert_eq!(after - before, 0, "concealment allocated {} times", after - before);
+    assert_eq!(out.samples.len(), 512);
+    assert!(out.concealed);
 }

@@ -178,7 +178,7 @@ mod tests {
         #[test]
         fn prop_from_f64_saturates(v in -4.0_f64..4.0) {
             let q = Q15::from_f64(v).to_f64();
-            prop_assert!(q >= -1.0 && q <= 1.0);
+            prop_assert!((-1.0..=1.0).contains(&q));
             if (-0.999..0.999).contains(&v) {
                 prop_assert!((q - v).abs() <= 0.5 / Q15::SCALE + 1e-12);
             }

@@ -31,6 +31,6 @@ mod quality;
 pub use aggregate::{Summary, SweepPoint, SweepSeries};
 pub use fleet::{worker_imbalance, FleetStats, StreamStats};
 pub use quality::{
-    compression_ratio, output_snr, prd, prd_from_snr, prd_mean_removed, snr_from_prd,
+    compression_ratio, output_snr, prd, prd_from_snr, prd_masked, prd_mean_removed, snr_from_prd,
     DiagnosticQuality,
 };

@@ -52,6 +52,43 @@ pub fn prd(original: &[f64], reconstructed: &[f64]) -> f64 {
     (num / den).sqrt() * 100.0
 }
 
+/// PRD over the non-masked samples only.
+///
+/// Loss concealment substitutes synthetic samples for windows the wire
+/// ate; folding those into PRD would charge the *reconstruction* for the
+/// *channel*. Callers mark concealed samples in `mask` (`true` =
+/// excluded) and this computes PRD over the genuinely decoded remainder.
+/// Returns `None` when the mask excludes everything or leaves no signal
+/// energy — there is no reconstruction quality to speak of.
+///
+/// # Panics
+///
+/// Panics if the three slices differ in length.
+///
+/// # Examples
+///
+/// ```
+/// let x = [3.0, 4.0, 100.0];
+/// let y = [3.0, 4.5, 0.0]; // third sample concealed as zero
+/// let masked = cs_metrics::prd_masked(&x, &y, &[false, false, true]).unwrap();
+/// assert!((masked - 10.0).abs() < 1e-12); // identical to prd over the first two
+/// assert_eq!(cs_metrics::prd_masked(&x, &y, &[true; 3]), None);
+/// ```
+pub fn prd_masked(original: &[f64], reconstructed: &[f64], mask: &[bool]) -> Option<f64> {
+    assert_eq!(original.len(), reconstructed.len(), "prd_masked: length mismatch");
+    assert_eq!(original.len(), mask.len(), "prd_masked: mask length mismatch");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for ((&a, &b), &concealed) in original.iter().zip(reconstructed).zip(mask) {
+        if concealed {
+            continue;
+        }
+        num += (a - b) * (a - b);
+        den += a * a;
+    }
+    (den > 0.0).then(|| (num / den).sqrt() * 100.0)
+}
+
 /// Mean-removed PRD (often written PRD₁): measures error relative to the
 /// *AC* energy of the signal, making records with large DC offsets (such as
 /// raw ADC codes) comparable.

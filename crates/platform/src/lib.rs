@@ -48,5 +48,8 @@ pub use coordinator::{
     RealTimeReport, SolveSample,
 };
 pub use energy::{compare_lifetime, EnergyModel, LifetimeComparison, RadioSpec};
-pub use link::{ChannelModel, LossReport};
+pub use link::{
+    ChannelModel, Delivery, FaultSpec, GilbertElliott, GilbertElliottParams, LinkStats,
+    LossReport, LossyLink,
+};
 pub use mote::{dwt_baseline_cost, encode_cost, encoder_footprint, EncodeCost, FootprintReport, MoteSpec};

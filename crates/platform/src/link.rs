@@ -1,12 +1,25 @@
-//! Lossy-channel model for the Bluetooth link.
+//! Lossy-channel models for the Bluetooth link.
 //!
 //! The paper's demo ran over a clean desk-range Bluetooth link, but an
 //! ambulatory WBSN sees fading and interference. The differencing stage's
 //! reference-packet cadence exists precisely to bound the damage of a
-//! lost packet (a delta without its predecessor is useless). This module
-//! models the channel as i.i.d. bit errors with CRC-style whole-packet
-//! discard, so the `packet_loss` example and the failure-injection tests
-//! can drive the real decoder through realistic loss patterns.
+//! lost packet (a delta without its predecessor is useless). Two models
+//! live here:
+//!
+//! * [`ChannelModel`] — i.i.d. bit errors with CRC-style whole-packet
+//!   discard, the classical analytic model (goodput has a closed form).
+//! * [`LossyLink`] — the full hostile wire: a [`GilbertElliott`]
+//!   two-state burst-error process plus seeded drop / duplicate /
+//!   reorder / truncate injection, producing the actual damaged bytes so
+//!   ingest-side CRC checking and concealment can be exercised for real.
+//!
+//! On a body-area link errors cluster (fading, interference bursts): the
+//! Gilbert–Elliott chain spends most of its time in a near-clean *good*
+//! state and short episodes in a *bad* state with a high bit-error rate.
+//! The i.i.d. model at the same mean BER would damage almost every
+//! ~1 kB frame (`(1 − 10⁻³)^8000 ≈ e⁻⁸`); bursts concentrate the same
+//! errors into few frames, which is both physically right and what makes
+//! frame-level CRC + concealment a sensible design.
 
 use cs_sensing::MotePrng;
 
@@ -77,6 +90,312 @@ impl LossReport {
     }
 }
 
+/// Parameters of a two-state Gilbert–Elliott burst-error channel.
+///
+/// The chain transitions per transmitted bit: in the *good* state bits
+/// flip with probability `ber_good` and the chain enters the bad state
+/// with probability `p_bad`; in the *bad* state bits flip with
+/// probability `ber_bad` and the chain recovers with probability
+/// `p_good`. Mean burst length is `1 / p_good` bits and the stationary
+/// bad-state fraction is `p_bad / (p_bad + p_good)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliottParams {
+    /// Per-bit probability of entering the bad state from the good state.
+    pub p_bad: f64,
+    /// Per-bit probability of recovering from the bad state.
+    pub p_good: f64,
+    /// Bit error rate while in the good state.
+    pub ber_good: f64,
+    /// Bit error rate while in the bad state.
+    pub ber_bad: f64,
+}
+
+impl GilbertElliottParams {
+    /// Burst-error parameters hitting a target mean BER with the channel's
+    /// default burst shape: clean good state, `ber_bad` = 0.125, mean
+    /// burst length 512 bits (a deep fade that shreds whatever frame it
+    /// lands on, but lands on few frames — at mean BER 10⁻³ roughly one
+    /// ~1 kB frame in eight is hit).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ mean_ber < 0.125`.
+    pub fn for_mean_ber(mean_ber: f64) -> Self {
+        const BER_BAD: f64 = 0.125;
+        const MEAN_BURST_BITS: f64 = 512.0;
+        assert!(
+            (0.0..BER_BAD).contains(&mean_ber),
+            "GilbertElliott: mean BER must be in [0, {BER_BAD})"
+        );
+        // stationary_bad · ber_bad = mean_ber  ⇒  solve for p_bad.
+        let p_good = 1.0 / MEAN_BURST_BITS;
+        let stationary_bad = mean_ber / BER_BAD;
+        let p_bad = if stationary_bad == 0.0 {
+            0.0
+        } else {
+            p_good * stationary_bad / (1.0 - stationary_bad)
+        };
+        GilbertElliottParams {
+            p_bad,
+            p_good,
+            ber_good: 0.0,
+            ber_bad: BER_BAD,
+        }
+    }
+
+    /// Long-run fraction of bits spent in the bad state.
+    pub fn stationary_bad(&self) -> f64 {
+        if self.p_bad == 0.0 {
+            0.0
+        } else {
+            self.p_bad / (self.p_bad + self.p_good)
+        }
+    }
+
+    /// Long-run mean bit error rate.
+    pub fn mean_ber(&self) -> f64 {
+        let bad = self.stationary_bad();
+        (1.0 - bad) * self.ber_good + bad * self.ber_bad
+    }
+}
+
+/// A seeded Gilbert–Elliott burst-error process over frame bytes.
+#[derive(Debug, Clone)]
+pub struct GilbertElliott {
+    params: GilbertElliottParams,
+    bad: bool,
+    rng: MotePrng,
+}
+
+impl GilbertElliott {
+    /// Creates the process in the good state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    pub fn new(params: GilbertElliottParams, seed: u64) -> Self {
+        for (name, p) in [
+            ("p_bad", params.p_bad),
+            ("p_good", params.p_good),
+            ("ber_good", params.ber_good),
+            ("ber_bad", params.ber_bad),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "GilbertElliott: {name} must be in [0, 1]");
+        }
+        GilbertElliott {
+            params,
+            bad: false,
+            rng: MotePrng::new(seed),
+        }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &GilbertElliottParams {
+        &self.params
+    }
+
+    /// Walks the chain across every bit of `frame`, flipping errored
+    /// bits in place. Returns the number of bits flipped.
+    pub fn corrupt(&mut self, frame: &mut [u8]) -> u32 {
+        let mut flipped = 0;
+        for byte in frame.iter_mut() {
+            for bit in 0..8 {
+                let (transition, ber) = if self.bad {
+                    (self.params.p_good, self.params.ber_bad)
+                } else {
+                    (self.params.p_bad, self.params.ber_good)
+                };
+                if self.rng.next_f64() < transition {
+                    self.bad = !self.bad;
+                }
+                if self.rng.next_f64() < ber {
+                    *byte ^= 1 << bit;
+                    flipped += 1;
+                }
+            }
+        }
+        flipped
+    }
+}
+
+/// Fault-injection rates for a [`LossyLink`] (all per-frame
+/// probabilities; [`GilbertElliott`] corruption is per-bit).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultSpec {
+    /// Probability a frame is silently dropped.
+    pub drop: f64,
+    /// Probability a delivered frame is delivered twice.
+    pub duplicate: f64,
+    /// Probability a delivered frame is held back and released after the
+    /// next frame (pairwise reordering).
+    pub reorder: f64,
+    /// Probability a delivered frame loses its tail (a random cut point).
+    pub truncate: f64,
+    /// Burst corruption applied to delivered frames, if any.
+    pub gilbert_elliott: Option<GilbertElliottParams>,
+}
+
+/// One frame as it leaves the link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Index of the frame in offer order (for ground-truth accounting in
+    /// tests; a real receiver has no such oracle).
+    pub origin: usize,
+    /// The delivered bytes, damage included.
+    pub bytes: Vec<u8>,
+    /// Whether the bytes are byte-identical to what was offered.
+    pub intact: bool,
+}
+
+/// Link-side ground truth counters (what the wire actually did, as
+/// opposed to what the receiver could observe).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames offered to the link.
+    pub sent: usize,
+    /// Frames silently dropped.
+    pub dropped: usize,
+    /// Deliveries out of the link (duplicates count twice).
+    pub delivered: usize,
+    /// Deliveries with at least one flipped bit.
+    pub corrupted: usize,
+    /// Deliveries shortened by truncation.
+    pub truncated: usize,
+    /// Extra deliveries from duplication.
+    pub duplicated: usize,
+    /// Frames that were held and released out of order.
+    pub reordered: usize,
+}
+
+impl LinkStats {
+    /// Fraction of offered frames the link dropped.
+    pub fn drop_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.sent as f64
+        }
+    }
+}
+
+/// A seeded, deterministic lossy link: drop → truncate → burst-corrupt →
+/// duplicate → (pairwise) reorder, in that order.
+///
+/// # Examples
+///
+/// ```
+/// use cs_platform::{Delivery, FaultSpec, LossyLink};
+///
+/// let mut link = LossyLink::new(FaultSpec { drop: 0.5, ..FaultSpec::default() }, 7);
+/// let mut out: Vec<Delivery> = Vec::new();
+/// for i in 0..100_u8 {
+///     link.offer(&[i; 16], &mut out);
+/// }
+/// link.flush(&mut out);
+/// let stats = link.stats();
+/// assert_eq!(stats.sent, 100);
+/// assert_eq!(out.len(), 100 - stats.dropped);
+/// assert!(stats.dropped > 20 && stats.dropped < 80);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LossyLink {
+    spec: FaultSpec,
+    rng: MotePrng,
+    ge: Option<GilbertElliott>,
+    /// Frame held back for pairwise reordering.
+    held: Option<Delivery>,
+    stats: LinkStats,
+    offered: usize,
+}
+
+impl LossyLink {
+    /// Creates a link; all randomness derives from `seed`.
+    pub fn new(spec: FaultSpec, seed: u64) -> Self {
+        let ge = spec
+            .gilbert_elliott
+            .map(|params| GilbertElliott::new(params, seed.wrapping_mul(0x9E37_79B9).wrapping_add(1)));
+        LossyLink {
+            spec,
+            rng: MotePrng::new(seed),
+            ge,
+            held: None,
+            stats: LinkStats::default(),
+            offered: 0,
+        }
+    }
+
+    /// Ground-truth counters so far.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Offers one frame to the link; deliveries (0, 1 or more frames,
+    /// depending on drops/duplicates/held reorders) are appended to `out`.
+    pub fn offer(&mut self, bytes: &[u8], out: &mut Vec<Delivery>) {
+        let origin = self.offered;
+        self.offered += 1;
+        self.stats.sent += 1;
+
+        if self.rng.next_f64() < self.spec.drop {
+            self.stats.dropped += 1;
+            // A drop still releases a held frame: the reorder hold is
+            // "this frame overtakes the next transmission", and the next
+            // transmission just happened (even if the wire ate it).
+            if let Some(held) = self.held.take() {
+                self.deliver(held, out);
+            }
+            return;
+        }
+
+        let mut frame = bytes.to_vec();
+        let mut intact = true;
+
+        if self.rng.next_f64() < self.spec.truncate && frame.len() > 1 {
+            let keep = 1 + self.rng.next_below((frame.len() - 1) as u32) as usize;
+            frame.truncate(keep);
+            self.stats.truncated += 1;
+            intact = false;
+        }
+        if let Some(ge) = &mut self.ge {
+            if ge.corrupt(&mut frame) > 0 {
+                self.stats.corrupted += 1;
+                intact = false;
+            }
+        }
+
+        let delivery = Delivery { origin, bytes: frame, intact };
+
+        let duplicate = self.rng.next_f64() < self.spec.duplicate;
+        let hold = self.rng.next_f64() < self.spec.reorder;
+
+        if duplicate {
+            self.stats.duplicated += 1;
+            self.deliver(delivery.clone(), out);
+        }
+        if hold && self.held.is_none() {
+            self.stats.reordered += 1;
+            self.held = Some(delivery);
+        } else {
+            self.deliver(delivery, out);
+            if let Some(held) = self.held.take() {
+                self.deliver(held, out);
+            }
+        }
+    }
+
+    /// Releases any held frame. Call at end of stream.
+    pub fn flush(&mut self, out: &mut Vec<Delivery>) {
+        if let Some(held) = self.held.take() {
+            self.deliver(held, out);
+        }
+    }
+
+    fn deliver(&mut self, delivery: Delivery, out: &mut Vec<Delivery>) {
+        self.stats.delivered += 1;
+        out.push(delivery);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +449,144 @@ mod tests {
     #[should_panic(expected = "BER must be")]
     fn invalid_ber_rejected() {
         let _ = ChannelModel::new(1.0, 1);
+    }
+
+    #[test]
+    fn gilbert_elliott_preset_hits_target_mean_ber() {
+        let params = GilbertElliottParams::for_mean_ber(1e-3);
+        assert!((params.mean_ber() - 1e-3).abs() < 1e-9);
+        assert!((GilbertElliottParams::for_mean_ber(0.0).mean_ber()).abs() < 1e-15);
+
+        // Empirically: walk ~8M bits and compare the flip rate.
+        let mut ge = GilbertElliott::new(params, 42);
+        let mut frame = vec![0u8; 1_000_000];
+        let flipped = ge.corrupt(&mut frame);
+        let empirical = flipped as f64 / (frame.len() * 8) as f64;
+        assert!(
+            (empirical - 1e-3).abs() < 3e-4,
+            "target 1e-3, empirical {empirical}"
+        );
+        // The flips must actually be in the bytes.
+        let ones: u32 = frame.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, flipped);
+    }
+
+    #[test]
+    fn gilbert_elliott_errors_cluster_in_bursts() {
+        // At mean BER 1e-3 with 64-bit bursts, most 1 kB frames are
+        // untouched while an i.i.d. channel would damage nearly all
+        // ((1-1e-3)^8000 ≈ 3e-4 intact).
+        let mut ge = GilbertElliott::new(GilbertElliottParams::for_mean_ber(1e-3), 7);
+        let frames = 500;
+        let intact = (0..frames)
+            .filter(|_| {
+                let mut frame = vec![0u8; 1024];
+                ge.corrupt(&mut frame) == 0
+            })
+            .count();
+        assert!(
+            intact > frames / 2,
+            "bursty channel should leave most frames intact, got {intact}/{frames}"
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_is_deterministic_per_seed() {
+        let params = GilbertElliottParams::for_mean_ber(5e-3);
+        let run = |seed| {
+            let mut ge = GilbertElliott::new(params, seed);
+            let mut frame = vec![0u8; 4096];
+            ge.corrupt(&mut frame);
+            frame
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn lossy_link_accounting_is_exact() {
+        let spec = FaultSpec {
+            drop: 0.05,
+            duplicate: 0.01,
+            reorder: 0.02,
+            truncate: 0.01,
+            gilbert_elliott: Some(GilbertElliottParams::for_mean_ber(1e-3)),
+        };
+        let mut link = LossyLink::new(spec, 1234);
+        let mut out = Vec::new();
+        let frames = 2000;
+        for i in 0..frames {
+            let frame = vec![(i % 251) as u8; 200];
+            link.offer(&frame, &mut out);
+        }
+        link.flush(&mut out);
+        let stats = link.stats();
+        assert_eq!(stats.sent, frames);
+        assert_eq!(stats.delivered, out.len());
+        assert_eq!(stats.delivered, frames - stats.dropped + stats.duplicated);
+        assert!(stats.dropped > 0 && stats.corrupted > 0 && stats.reordered > 0);
+        // intact flag is truthful.
+        for d in &out {
+            let original = vec![(d.origin % 251) as u8; 200];
+            assert_eq!(d.intact, d.bytes == original, "origin {}", d.origin);
+        }
+    }
+
+    #[test]
+    fn lossy_link_is_deterministic_per_seed() {
+        let spec = FaultSpec {
+            drop: 0.1,
+            reorder: 0.1,
+            ..FaultSpec::default()
+        };
+        let run = |seed| {
+            let mut link = LossyLink::new(spec, seed);
+            let mut out = Vec::new();
+            for i in 0..100_u8 {
+                link.offer(&[i; 32], &mut out);
+            }
+            link.flush(&mut out);
+            out
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn clean_spec_is_a_passthrough() {
+        let mut link = LossyLink::new(FaultSpec::default(), 0);
+        let mut out = Vec::new();
+        for i in 0..50_u8 {
+            link.offer(&[i, i, i], &mut out);
+        }
+        link.flush(&mut out);
+        assert_eq!(out.len(), 50);
+        for (i, d) in out.iter().enumerate() {
+            assert_eq!(d.origin, i);
+            assert!(d.intact);
+            assert_eq!(d.bytes, vec![i as u8; 3]);
+        }
+        assert_eq!(link.stats().drop_rate(), 0.0);
+    }
+
+    #[test]
+    fn reorder_swaps_adjacent_frames() {
+        // With reorder = 1.0 the link holds frame 0, delivers frame 1,
+        // releases frame 0, holds frame 2, ... — a perfect pairwise swap.
+        let spec = FaultSpec { reorder: 1.0, ..FaultSpec::default() };
+        let mut link = LossyLink::new(spec, 3);
+        let mut out = Vec::new();
+        for i in 0..4_u8 {
+            link.offer(&[i], &mut out);
+        }
+        link.flush(&mut out);
+        let origins: Vec<usize> = out.iter().map(|d| d.origin).collect();
+        assert_eq!(origins, vec![1, 0, 3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean BER must be")]
+    fn preset_rejects_unreachable_mean_ber() {
+        let _ = GilbertElliottParams::for_mean_ber(0.2);
     }
 }

@@ -238,8 +238,8 @@ mod tests {
     fn divergence_is_detected_not_propagated() {
         // A pathological operator far from i.i.d.: one enormous row.
         let mut data = vec![0.01_f64; 16 * 64];
-        for j in 0..64 {
-            data[j] = 1000.0;
+        for cell in data.iter_mut().take(64) {
+            *cell = 1000.0;
         }
         let op = DenseOperator::from_row_major(16, 64, data, KernelMode::Scalar);
         let y = op.apply(&vec![1.0; 64]);

@@ -251,7 +251,7 @@ mod tests {
     #[test]
     fn zero_measurements_return_zero() {
         let (op, _, _, _) = instance(16, 32, 2, 8);
-        let r = omp(&op, &vec![0.0; 16], &OmpConfig::new(4));
+        let r = omp(&op, &[0.0; 16], &OmpConfig::new(4));
         assert!(r.solution.iter().all(|&v| v == 0.0));
         assert!(r.support.is_empty());
     }

@@ -87,6 +87,13 @@ pub fn prometheus(snap: &TelemetrySnapshot) -> String {
             );
         }
     }
+    out.push_str("# HELP cs_fault_total Fault and recovery events by kind\n");
+    out.push_str("# TYPE cs_fault_total counter\n");
+    // Every kind is always emitted, zero or not: a dashboard watching
+    // quarantine rates must see an explicit 0, not a missing series.
+    for (kind, count) in &snap.faults {
+        let _ = writeln!(out, "cs_fault_total{{kind=\"{}\"}} {count}", kind.name());
+    }
     out.push_str("# HELP cs_journal_traces Event-journal accounting\n");
     out.push_str("# TYPE cs_journal_traces gauge\n");
     let _ = writeln!(out, "cs_journal_traces{{state=\"buffered\"}} {}", snap.journal_len);
@@ -139,9 +146,21 @@ pub fn json_line(snap: &TelemetrySnapshot) -> String {
         }
         let _ = write!(out, "{p}");
     }
+    out.push_str("],\"faults\":{");
+    let mut first = true;
+    for (kind, count) in &snap.faults {
+        if *count == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\"{}\":{count}", kind.name());
+    }
     let _ = write!(
         out,
-        "],\"journal\":{{\"buffered\":{},\"pushed\":{},\"dropped\":{}}}}}",
+        "}},\"journal\":{{\"buffered\":{},\"pushed\":{},\"dropped\":{}}}}}",
         snap.journal_len, snap.journal_pushed, snap.journal_dropped
     );
     out
@@ -250,6 +269,22 @@ mod tests {
         let open = line.matches('{').count();
         let close = line.matches('}').count();
         assert_eq!(open, close);
+    }
+
+    #[test]
+    fn fault_counters_exported_in_both_formats() {
+        let reg = sample_registry();
+        reg.record_fault(crate::FaultKind::ConcealedLoss);
+        reg.record_fault(crate::FaultKind::ConcealedLoss);
+        reg.record_fault(crate::FaultKind::WorkerRestart);
+        let text = reg.prometheus();
+        assert!(text.contains("# TYPE cs_fault_total counter"));
+        assert!(text.contains("cs_fault_total{kind=\"concealed_loss\"} 2"));
+        assert!(text.contains("cs_fault_total{kind=\"worker_restart\"} 1"));
+        // Zero-count kinds are still present as explicit zeroes.
+        assert!(text.contains("cs_fault_total{kind=\"quarantined\"} 0"));
+        let line = reg.json_line();
+        assert!(line.contains("\"faults\":{\"concealed_loss\":2,\"worker_restart\":1}"));
     }
 
     #[test]

@@ -29,12 +29,14 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod fault;
 pub mod histogram;
 pub mod journal;
 pub mod registry;
 pub mod stage;
 
 pub use export::{json_line, prometheus, Every, REPORT_QUANTILES};
+pub use fault::FaultKind;
 pub use histogram::{bucket_upper, Histogram, HistogramSnapshot, BUCKETS};
 pub use journal::{Journal, SolveTrace};
 pub use registry::{

@@ -10,6 +10,7 @@
 //! span and nothing else (measured < 2 % of fleet throughput by the
 //! `telemetry_overhead` bench even when *enabled*).
 
+use crate::fault::FaultKind;
 use crate::histogram::{Histogram, HistogramSnapshot};
 use crate::journal::{Journal, SolveTrace};
 use crate::stage::Stage;
@@ -31,6 +32,7 @@ struct Inner {
     started: Instant,
     stages: [Histogram; Stage::COUNT],
     workers: [AtomicU64; MAX_WORKERS],
+    faults: [AtomicU64; FaultKind::COUNT],
     journal: Journal,
 }
 
@@ -88,6 +90,7 @@ impl TelemetryRegistry {
                 started: Instant::now(),
                 stages: std::array::from_fn(|_| Histogram::new()),
                 workers: std::array::from_fn(|_| AtomicU64::new(0)),
+                faults: std::array::from_fn(|_| AtomicU64::new(0)),
                 journal: Journal::new(capacity),
             }),
         }
@@ -155,6 +158,18 @@ impl TelemetryRegistry {
             .collect()
     }
 
+    /// Counts one fault event of the given kind (no-op when disabled).
+    pub fn record_fault(&self, kind: FaultKind) {
+        if self.is_enabled() {
+            self.inner.faults[kind.index()].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The running count for one fault kind.
+    pub fn fault_count(&self, kind: FaultKind) -> u64 {
+        self.inner.faults[kind.index()].load(Ordering::Relaxed)
+    }
+
     /// Appends a convergence trace to the journal (no-op when disabled).
     pub fn record_solve(&self, trace: SolveTrace) {
         if self.is_enabled() {
@@ -179,6 +194,7 @@ impl TelemetryRegistry {
             uptime: self.uptime(),
             stages: Stage::ALL.map(|s| (s, self.stage(s).snapshot())),
             worker_packets: self.worker_packets(MAX_WORKERS),
+            faults: FaultKind::ALL.map(|k| (k, self.fault_count(k))),
             journal_len: self.inner.journal.len(),
             journal_pushed: self.inner.journal.pushed(),
             journal_dropped: self.inner.journal.dropped(),
@@ -195,6 +211,8 @@ pub struct TelemetrySnapshot {
     pub stages: [(Stage, HistogramSnapshot); Stage::COUNT],
     /// Packets decoded per worker slot (length [`MAX_WORKERS`]).
     pub worker_packets: Vec<u64>,
+    /// Per-kind fault counts, in [`FaultKind::ALL`] order.
+    pub faults: [(FaultKind, u64); FaultKind::COUNT],
     /// Traces currently buffered in the journal.
     pub journal_len: usize,
     /// Traces ever offered to the journal.
@@ -207,6 +225,11 @@ impl TelemetrySnapshot {
     /// The snapshot histogram for one stage.
     pub fn stage(&self, stage: Stage) -> &HistogramSnapshot {
         &self.stages[stage.index()].1
+    }
+
+    /// The snapshot count for one fault kind.
+    pub fn fault(&self, kind: FaultKind) -> u64 {
+        self.faults[kind.index()].1
     }
 }
 
@@ -290,6 +313,24 @@ mod tests {
         reg.record_worker_packet(1);
         reg.record_worker_packet(1 + MAX_WORKERS);
         assert_eq!(reg.worker_packets(2), vec![0, 2]);
+    }
+
+    #[test]
+    fn fault_counters_count_and_snapshot() {
+        let reg = TelemetryRegistry::new();
+        reg.record_fault(FaultKind::ConcealedLoss);
+        reg.record_fault(FaultKind::ConcealedLoss);
+        reg.record_fault(FaultKind::WorkerRestart);
+        assert_eq!(reg.fault_count(FaultKind::ConcealedLoss), 2);
+        assert_eq!(reg.fault_count(FaultKind::Quarantined), 0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.fault(FaultKind::ConcealedLoss), 2);
+        assert_eq!(snap.fault(FaultKind::WorkerRestart), 1);
+
+        let off = TelemetryRegistry::new();
+        off.set_enabled(false);
+        off.record_fault(FaultKind::Duplicate);
+        assert_eq!(off.fault_count(FaultKind::Duplicate), 0);
     }
 
     #[test]

@@ -36,11 +36,17 @@ pub enum Stage {
     /// Collector: per-stream in-order reassembly and delivery in the
     /// fleet engine.
     Reassembly,
+    /// Ingest: frame validation (magic/version/CRC/kind) before any
+    /// payload byte is interpreted.
+    IngestValidate,
+    /// Coordinator: re-synthesizing a lost window from the previous
+    /// window's retained wavelet coefficients.
+    Concealment,
 }
 
 impl Stage {
     /// Number of stages (the registry's per-stage array length).
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 11;
 
     /// Every stage, in wire order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -53,6 +59,8 @@ impl Stage {
         Stage::FistaSolve,
         Stage::WaveletSynthesis,
         Stage::Reassembly,
+        Stage::IngestValidate,
+        Stage::Concealment,
     ];
 
     /// Dense index into per-stage arrays.
@@ -74,6 +82,8 @@ impl Stage {
             Stage::FistaSolve => "fista_solve",
             Stage::WaveletSynthesis => "wavelet_synthesis",
             Stage::Reassembly => "reassembly",
+            Stage::IngestValidate => "ingest_validate",
+            Stage::Concealment => "concealment",
         }
     }
 }

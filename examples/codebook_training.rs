@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         training.extend(packetize(&samples, config.packet_len()).map(|p| p.to_vec()));
     }
     println!("training on {} packets from 3 records…", training.len());
-    let trained = Arc::new(train_codebook(&config, training.into_iter())?);
+    let trained = Arc::new(train_codebook(&config, training)?);
 
     println!(
         "codebook: alphabet {}, max codeword {} bits (cap {}), mote storage {} B (paper: 1.5 kB)",

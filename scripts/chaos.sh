@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Chaos gate: the fleet must survive a hostile wire, with the books
+# balanced.
+#
+#   scripts/chaos.sh              # 60 s soak (the nightly profile)
+#   CHAOS_SECONDS=5 scripts/chaos.sh   # short CI profile
+#
+# Runs the seeded chaos soak — burst bit errors at mean BER 1e-3, 5 %
+# drops, 2 % reordering, 1 % duplication, 1 % truncation over 8 streams
+# on 4 workers — under coreutils `timeout`, so all three failure modes
+# turn into a non-zero exit:
+#
+#   * a panic escaping the supervisor (the binary aborts),
+#   * an accounting/ordering violation (the binary exits 1),
+#   * a deadlock or livelock (timeout kills it, exit 124).
+#
+# The soak is deterministic per seed; a failure prints the round seed so
+# the exact traffic replays locally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SECONDS_BUDGET="${CHAOS_SECONDS:-60}"
+SEED="${CHAOS_SEED:-7}"
+# Give the binary its budget plus generous slack for build-free startup
+# and the final round in flight; anything beyond that is a hang.
+HARD_LIMIT=$((SECONDS_BUDGET * 2 + 120))
+
+cargo build --release -q -p cs-bench --bin chaos_soak
+timeout --signal=KILL "${HARD_LIMIT}s" \
+    target/release/chaos_soak \
+    --seconds "$SECONDS_BUDGET" --seed "$SEED" \
+    --streams 8 --workers 4 \
+    --ber 1e-3 --drop 0.05 --reorder 0.02 --dup 0.01 --truncate 0.01 \
+    --signal-seconds 8

@@ -27,3 +27,8 @@ scripts/bench_snapshot.sh --quick
 # (Captured first: grep -q on a pipe would SIGPIPE the report binary.)
 smoke="$(target/release/fleet_report --records 1 --seconds 2 --telemetry)"
 grep -q 'cs_stage_latency_ns_bucket{stage="fista_solve"' <<<"$smoke"
+grep -q 'cs_fault_total{kind="concealed_loss"' <<<"$smoke"
+
+# Chaos smoke: a short seeded soak of the lossy-wire fleet (the 60 s
+# profile runs out of band; see scripts/chaos.sh).
+CHAOS_SECONDS="${CHAOS_SECONDS:-5}" scripts/chaos.sh

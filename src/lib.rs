@@ -65,9 +65,9 @@ pub use cs_telemetry as telemetry;
 pub mod prelude {
     pub use cs_codec::Codebook;
     pub use cs_core::{
-        evaluate_stream, packetize, run_fleet, run_fleet_observed, run_streaming,
+        evaluate_stream, packetize, run_fleet, run_fleet_observed, run_fleet_wire, run_streaming,
         run_streaming_observed, train_and_evaluate, train_codebook, uniform_codebook, Decoder,
-        Encoder, FleetConfig, FleetStream, SolverPolicy, SystemConfig,
+        Encoder, FleetConfig, FleetStream, PacketOutcome, SolverPolicy, SystemConfig,
     };
     pub use cs_dsp::wavelet::{Dwt, Wavelet, WaveletFamily};
     pub use cs_ecg_data::{
@@ -81,7 +81,7 @@ pub mod prelude {
     };
     pub use cs_platform::{
         analyze_fleet, analyze_solves, compare_lifetime, encode_cost, encoder_footprint,
-        CoordinatorSpec, EnergyModel, MoteSpec,
+        CoordinatorSpec, EnergyModel, FaultSpec, GilbertElliottParams, LossyLink, MoteSpec,
     };
     pub use cs_recovery::{fista, ista, omp, KernelMode, ShrinkageConfig, SynthesisOperator};
     pub use cs_sensing::{measurements_for_cr, DenseSensing, Sensing, SparseBinarySensing};

@@ -4,8 +4,10 @@
 
 use cs_ecg_monitor::platform::ChannelModel;
 use cs_ecg_monitor::prelude::*;
-use cs_ecg_monitor::system::EncodedPacket;
-use std::sync::Arc;
+use cs_ecg_monitor::system::{EncodedPacket, FaultStats, MultiChannelEncoder};
+use cs_ecg_monitor::telemetry::{FaultKind, TelemetryRegistry};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 fn stream(seconds: f64) -> Vec<i16> {
     let db = SyntheticDatabase::new(DatabaseConfig {
@@ -135,6 +137,218 @@ fn full_scale_inputs_survive() {
     let wire = enc.encode_packet(&dc).unwrap();
     let out = dec.decode_packet(&wire).unwrap();
     assert!(out.samples.iter().all(|v| v.is_finite()));
+}
+
+/// Two-lead wire frames for `streams` synthetic patients, `seconds` of
+/// signal each.
+fn fleet_traffic(
+    config: &SystemConfig,
+    streams: usize,
+    seconds: f64,
+    channels: usize,
+) -> Vec<Vec<Vec<u8>>> {
+    let db = SyntheticDatabase::new(DatabaseConfig {
+        num_records: streams,
+        duration_s: seconds,
+        ..DatabaseConfig::default()
+    });
+    let cb = Arc::new(uniform_codebook(config.alphabet()).unwrap());
+    let n = config.packet_len();
+    (0..db.len())
+        .map(|i| {
+            let record = db.record(i);
+            let adc = record.adc();
+            let lead = |c: usize| -> Vec<i16> {
+                resample_360_to_256(&record.signal_mv(c))
+                    .iter()
+                    .map(|&v| adc.to_signed(adc.quantize(v)))
+                    .collect()
+            };
+            let (lead0, lead1) = (lead(0), lead(1));
+            let mut enc =
+                MultiChannelEncoder::new(config, Arc::clone(&cb), channels).unwrap();
+            let mut frames = Vec::new();
+            for w in 0..lead0.len().min(lead1.len()) / n {
+                let leads = [&lead0[w * n..(w + 1) * n], &lead1[w * n..(w + 1) * n]];
+                for packet in enc.encode_frame(&leads[..channels]).unwrap() {
+                    frames.push(packet.to_bytes());
+                }
+            }
+            frames
+        })
+        .collect()
+}
+
+/// Pushes every stream through its own seeded [`LossyLink`]; returns the
+/// mangled traffic and the total frames the links actually delivered.
+fn mangle_traffic(clean: &[Vec<Vec<u8>>], spec: FaultSpec, seed: u64) -> (Vec<Vec<Vec<u8>>>, u64) {
+    let mut delivered = 0u64;
+    let traffic = clean
+        .iter()
+        .enumerate()
+        .map(|(i, frames)| {
+            let mut link = LossyLink::new(spec, seed.wrapping_add(i as u64 * 0x9E37));
+            let mut out = Vec::new();
+            for frame in frames {
+                link.offer(frame, &mut out);
+            }
+            link.flush(&mut out);
+            delivered += out.len() as u64;
+            out.into_iter().map(|d| d.bytes).collect()
+        })
+        .collect();
+    (traffic, delivered)
+}
+
+/// Runs the wire fleet and checks the invariants every chaos test shares:
+/// per-lane strictly increasing window indices, emitted == delivered()
+/// accounting, and the ingest partition identity. Returns the fault stats
+/// and the per-slot outcomes.
+fn run_chaos_fleet(
+    config: &SystemConfig,
+    traffic: &[Vec<Vec<u8>>],
+    fleet: &FleetConfig,
+    registry: &TelemetryRegistry,
+) -> (FaultStats, Vec<(usize, u8, PacketOutcome)>) {
+    let cb = Arc::new(uniform_codebook(config.alphabet()).unwrap());
+    let last_index = Mutex::new(HashMap::<(usize, u8), u64>::new());
+    let emitted = Mutex::new(Vec::new());
+    let report = run_fleet_wire::<f32, _>(
+        config,
+        cb,
+        traffic,
+        SolverPolicy::default(),
+        fleet,
+        registry,
+        |p| {
+            let mut last = last_index.lock().unwrap();
+            if let Some(&prev) = last.get(&(p.stream, p.channel)) {
+                assert!(
+                    p.packet.index > prev,
+                    "stream {} lead {}: window {} after {}",
+                    p.stream,
+                    p.channel,
+                    p.packet.index,
+                    prev
+                );
+            }
+            last.insert((p.stream, p.channel), p.packet.index);
+            assert_eq!(
+                p.packet.concealed,
+                !matches!(p.outcome, PacketOutcome::Decoded),
+                "concealed flag must match the outcome"
+            );
+            emitted.lock().unwrap().push((p.stream, p.channel, p.outcome));
+        },
+    )
+    .expect("chaos must degrade, not fail the run");
+
+    let f = report.faults;
+    let emitted = emitted.into_inner().unwrap();
+    assert_eq!(emitted.len() as u64, f.delivered(), "emission accounting");
+    assert_eq!(
+        f.frames,
+        f.frame_rejects + f.duplicates + f.late + f.decoded + f.concealed_desync + f.quarantined,
+        "every ingested frame lands in exactly one bucket: {f:?}"
+    );
+    (f, emitted)
+}
+
+/// Fleet chaos, clean payloads: drops, reordering and duplication only.
+/// Nothing is corrupt, so nothing may be rejected or quarantined — every
+/// fault is healed (reorder, dup) or concealed (drop), in order.
+#[test]
+fn fleet_chaos_drops_reorder_duplicates() {
+    let config = SystemConfig::paper_default();
+    let clean = fleet_traffic(&config, 8, 16.0, 2);
+    let spec = FaultSpec {
+        drop: 0.08,
+        duplicate: 0.03,
+        reorder: 0.05,
+        truncate: 0.0,
+        gilbert_elliott: None,
+    };
+    let (traffic, link_delivered) = mangle_traffic(&clean, spec, 0xFA11);
+    let fleet = FleetConfig { workers: 4, warm_start: true, ..FleetConfig::default() };
+    let (f, _) =
+        run_chaos_fleet(&config, &traffic, &fleet, &TelemetryRegistry::disabled());
+
+    assert_eq!(f.frames, link_delivered);
+    assert_eq!(f.frame_rejects, 0, "clean payloads must never be rejected");
+    assert_eq!(f.quarantined, 0, "clean payloads must never be quarantined");
+    assert!(f.decoded > 0);
+    assert!(
+        f.concealed_loss > 0,
+        "an 8 % drop rate over {link_delivered} frames must conceal something"
+    );
+}
+
+/// Fleet chaos under the full hostile profile: burst bit errors on top of
+/// drops, reordering, duplication and truncation. Corrupt frames must be
+/// stopped at the CRC and surface as rejects + concealments — never as
+/// panics or out-of-order output.
+#[test]
+fn fleet_chaos_gilbert_elliott_burst_errors() {
+    let config = SystemConfig::paper_default();
+    let clean = fleet_traffic(&config, 8, 16.0, 2);
+    let spec = FaultSpec {
+        drop: 0.05,
+        duplicate: 0.01,
+        reorder: 0.02,
+        truncate: 0.02,
+        gilbert_elliott: Some(GilbertElliottParams::for_mean_ber(2e-3)),
+    };
+    let (traffic, link_delivered) = mangle_traffic(&clean, spec, 0xB52);
+    let fleet = FleetConfig { workers: 4, warm_start: true, ..FleetConfig::default() };
+    let registry = TelemetryRegistry::new();
+    let (f, _) = run_chaos_fleet(&config, &traffic, &fleet, &registry);
+
+    assert_eq!(f.frames, link_delivered);
+    assert!(f.frame_rejects > 0, "burst errors at BER 2e-3 must trip the CRC");
+    assert!(f.decoded > 0, "most traffic still decodes");
+    assert!(f.concealed() > 0);
+    // The registry saw the same story the report tells.
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.fault(FaultKind::FrameRejected), f.frame_rejects);
+    assert_eq!(snapshot.fault(FaultKind::ConcealedLoss), f.concealed_loss);
+}
+
+/// A worker panic mid-decode is contained by the supervisor: the packet is
+/// quarantined, the worker restarts with a fresh workspace, the lane keeps
+/// emitting, and the event is visible in both the report and telemetry.
+#[test]
+fn worker_panic_recovered_by_supervisor() {
+    let config = SystemConfig::paper_default();
+    // Two streams on two workers: stream affinity (`worker = stream mod
+    // M`) isolates the blast radius to worker 1, and panicking on stream
+    // 1's *last* frame makes the run fully deterministic — a mid-stream
+    // restart would legitimately desync whatever shares the worker.
+    let traffic = fleet_traffic(&config, 2, 8.0, 1);
+    let last_seq = traffic[1].len() as u64 - 1; // single lane: frame position == wire seq
+    let fleet = FleetConfig {
+        workers: 2,
+        chaos_panic: Some((1, last_seq)),
+        ..FleetConfig::default()
+    };
+    let registry = TelemetryRegistry::new();
+    let (f, emitted) = run_chaos_fleet(&config, &traffic, &fleet, &registry);
+
+    assert_eq!(f.worker_restarts, 1);
+    assert_eq!(f.quarantined, 1);
+    assert_eq!(f.frames, f.decoded + f.quarantined, "clean wire: no other faults");
+    // The poisoned slot is emitted as a flagged placeholder on stream 1;
+    // everything else decodes untouched.
+    let poisoned: Vec<_> = emitted
+        .iter()
+        .filter(|(s, _, o)| *s == 1 && matches!(o, PacketOutcome::Quarantined))
+        .collect();
+    assert_eq!(poisoned.len(), 1);
+    assert!(emitted
+        .iter()
+        .all(|(_, _, o)| !matches!(o, PacketOutcome::Concealed(_))));
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.fault(FaultKind::WorkerRestart), 1);
+    assert_eq!(snapshot.fault(FaultKind::Quarantined), 1);
 }
 
 /// A decoder built with a different reference interval than the encoder
