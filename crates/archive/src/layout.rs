@@ -1,0 +1,99 @@
+//! Directory layout: `<root>/p<patient:08>/l<lane:03>/seg<index:06>.csa`.
+//!
+//! Zero-padded decimal components make lexicographic directory order
+//! equal numeric order, so plain sorted listings walk patients, lanes,
+//! and segments in replay order. Entries that don't match the naming
+//! scheme are ignored rather than rejected — a stray editor backup in
+//! the tree must not poison recovery.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Segment file extension.
+pub const SEGMENT_EXT: &str = "csa";
+
+/// `<root>/p<patient:08>`.
+pub fn patient_dir(root: &Path, patient: u32) -> PathBuf {
+    root.join(format!("p{patient:08}"))
+}
+
+/// `<root>/p<patient:08>/l<lane:03>`.
+pub fn lane_dir(root: &Path, patient: u32, lane: u8) -> PathBuf {
+    patient_dir(root, patient).join(format!("l{lane:03}"))
+}
+
+/// `<lane dir>/seg<index:06>.csa`.
+pub fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("seg{index:06}.{SEGMENT_EXT}"))
+}
+
+fn parse_numeric(name: &str, prefix: &str) -> Option<u64> {
+    let digits = name.strip_prefix(prefix)?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+fn numbered_entries(dir: &Path, prefix: &str, strip_ext: bool) -> io::Result<Vec<u64>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(mut name) = name.to_str() else {
+            continue;
+        };
+        if strip_ext {
+            let Some(stem) = name.strip_suffix(&format!(".{SEGMENT_EXT}")) else {
+                continue;
+            };
+            name = stem;
+        }
+        if let Some(n) = parse_numeric(name, prefix) {
+            out.push(n);
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// One lane's on-disk location: `(patient, lane, lane dir, sorted
+/// segment indices)`.
+pub type LaneEntry = (u32, u8, PathBuf, Vec<u64>);
+
+/// Lists every [`LaneEntry`] under `root`, in `(patient, lane)` order.
+/// A missing root yields an empty listing.
+pub fn walk_lanes(root: &Path) -> io::Result<Vec<LaneEntry>> {
+    let mut out = Vec::new();
+    if !root.exists() {
+        return Ok(out);
+    }
+    for patient in numbered_entries(root, "p", false)? {
+        let patient = patient as u32;
+        let pdir = patient_dir(root, patient);
+        for lane in numbered_entries(&pdir, "l", false)? {
+            let lane = lane as u8;
+            let dir = lane_dir(root, patient, lane);
+            let segments = numbered_entries(&dir, "seg", true)?;
+            out.push((patient, lane, dir, segments));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_and_sort() {
+        let root = Path::new("/tmp/x");
+        let p = lane_dir(root, 42, 255);
+        assert!(p.ends_with("p00000042/l255"));
+        assert!(segment_path(&p, 7).ends_with("seg000007.csa"));
+        assert_eq!(parse_numeric("p00000042", "p"), Some(42));
+        assert_eq!(parse_numeric("seg000107", "seg"), Some(107));
+        assert_eq!(parse_numeric("pabc", "p"), None);
+        assert_eq!(parse_numeric("p", "p"), None);
+    }
+}

@@ -1,0 +1,90 @@
+//! Criterion bench for the durable packet archive: append rate and
+//! replay rate in frames/second for realistic CS-ECG wire frames
+//! (≈ 397-byte CR-50 packets), across fsync policies.
+//!
+//! The real-time floor is one frame per 2 s per lead, so even the
+//! `Always` row has five orders of magnitude of headroom; the spread
+//! between rows is the price of durability, measured not assumed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cs_archive::{Archive, ArchiveConfig, ArchiveWriter, FsyncPolicy};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const FRAMES: usize = 48;
+const FRAME_BYTES: usize = 397; // 512×12-bit window at CR 50 % + framing
+
+static RUN: AtomicU64 = AtomicU64::new(0);
+
+fn tmp_root() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "cs-archive-bench-{}-{}",
+        std::process::id(),
+        RUN.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn synthetic_frames() -> Vec<Vec<u8>> {
+    (0..FRAMES)
+        .map(|i| {
+            (0..FRAME_BYTES)
+                .map(|b| ((b as u64).wrapping_mul(31).wrapping_add(i as u64 * 7) & 0xFF) as u8)
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_archive(c: &mut Criterion) {
+    let frames = synthetic_frames();
+    let mut group = c.benchmark_group("archive_throughput");
+    group.throughput(Throughput::Elements(FRAMES as u64));
+
+    for (label, fsync) in [
+        ("never", FsyncPolicy::Never),
+        ("every8", FsyncPolicy::EveryN(8)),
+        ("always", FsyncPolicy::Always),
+    ] {
+        group.bench_with_input(BenchmarkId::new("append", label), &fsync, |b, &fsync| {
+            b.iter(|| {
+                let root = tmp_root();
+                let config = ArchiveConfig { fsync, ..ArchiveConfig::default() };
+                let mut w = ArchiveWriter::create(&root, config).expect("create");
+                for (seq, frame) in frames.iter().enumerate() {
+                    w.append(0, 0, seq as u64, frame).expect("append");
+                }
+                w.finish().expect("seal");
+                std::fs::remove_dir_all(&root).expect("cleanup");
+            })
+        });
+    }
+
+    // Replay: sealed archive (footer seek) vs unsealed (recovery scan).
+    for (label, seal) in [("sealed", true), ("unsealed", false)] {
+        let root = tmp_root();
+        let config = ArchiveConfig { fsync: FsyncPolicy::Never, ..ArchiveConfig::default() };
+        let mut w = ArchiveWriter::create(&root, config).expect("create");
+        for (seq, frame) in frames.iter().enumerate() {
+            w.append(0, 0, seq as u64, frame).expect("append");
+        }
+        if seal {
+            w.finish().expect("seal");
+        } else {
+            drop(w);
+        }
+        group.bench_function(BenchmarkId::new("replay", label), |b| {
+            b.iter(|| {
+                let (archive, _) = Archive::open(&root).expect("open");
+                let n = archive
+                    .replay_range(0, 0, 0..u64::MAX)
+                    .expect("replay")
+                    .count();
+                assert_eq!(n, FRAMES);
+            })
+        });
+        std::fs::remove_dir_all(&root).expect("cleanup");
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_archive);
+criterion_main!(benches);

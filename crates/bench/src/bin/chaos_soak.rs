@@ -17,6 +17,11 @@
 //!    strictly increasing.
 //! 4. **Supervision works.** Round 0 injects a panic into one decode and
 //!    requires the supervisor to restart the worker and surface it.
+//! 5. **The durable tap is lossless.** Round 0 runs through the
+//!    write-before-decode archive sink; after the round the archive is
+//!    reopened and every delivered frame — including corrupt ones the
+//!    pipeline quarantined — must read back byte-for-byte in arrival
+//!    order on its `(stream, lane)` sequence.
 //!
 //! Any violation prints a diagnostic and exits non-zero.
 //!
@@ -27,13 +32,15 @@
 //!     [--truncate 0.01] [--signal-seconds 16] [--telemetry]
 //! ```
 
+use cs_archive::{Archive, ArchiveConfig, ArchiveSink, QUARANTINE_LANE};
 use cs_core::{
-    parse_frame, run_fleet_wire, uniform_codebook, FleetConfig, FleetReport, MultiChannelEncoder,
-    PacketOutcome, SolverPolicy, SystemConfig,
+    parse_frame, run_fleet_wire, run_fleet_wire_archived, uniform_codebook, FleetConfig,
+    FleetReport, MultiChannelEncoder, PacketOutcome, SolverPolicy, SystemConfig,
 };
 use cs_ecg_data::{resample_360_to_256, DatabaseConfig, SyntheticDatabase};
 use cs_telemetry::TelemetryRegistry;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -156,6 +163,56 @@ fn mangle(clean: &[Vec<u8>], spec: cs_platform::FaultSpec, seed: u64) -> Mangled
     }
 }
 
+/// Reopens the round's archive and checks that every delivered frame is
+/// stored byte-for-byte: per stream, the arrival order partitioned by
+/// destination lane (parsed lane for intact frames, [`QUARANTINE_LANE`]
+/// for anything unparseable) must equal what each lane replays. Returns
+/// the number of frames verified.
+fn verify_archive_round_trip(root: &Path, traffic: &[Vec<Vec<u8>>]) -> Result<u64, String> {
+    let (archive, _) = Archive::open(root).map_err(|e| format!("archive reopen failed: {e}"))?;
+    let mut verified = 0u64;
+    for (stream, frames) in traffic.iter().enumerate() {
+        let mut expect: BTreeMap<u8, Vec<&[u8]>> = BTreeMap::new();
+        for bytes in frames {
+            let lane = match parse_frame(bytes) {
+                Ok((info, _)) if info.lane != QUARANTINE_LANE => info.lane,
+                _ => QUARANTINE_LANE,
+            };
+            expect.entry(lane).or_default().push(bytes);
+        }
+        let patient = stream as u32;
+        let lanes = archive.lanes_of(patient);
+        if lanes != expect.keys().copied().collect::<Vec<u8>>() {
+            return Err(format!(
+                "stream {stream}: archived lanes {lanes:?} != delivered lanes {:?}",
+                expect.keys().collect::<Vec<_>>()
+            ));
+        }
+        for (lane, want) in expect {
+            let got: Vec<_> = archive
+                .replay_range(patient, lane, 0..u64::MAX)
+                .and_then(|r| r.collect::<std::io::Result<Vec<_>>>())
+                .map_err(|e| format!("stream {stream} lane {lane}: replay failed: {e}"))?;
+            if got.len() != want.len() {
+                return Err(format!(
+                    "stream {stream} lane {lane}: archived {} frames, link delivered {}",
+                    got.len(),
+                    want.len()
+                ));
+            }
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                if g.bytes != **w {
+                    return Err(format!(
+                        "stream {stream} lane {lane} frame {i}: archived bytes differ from wire"
+                    ));
+                }
+                verified += 1;
+            }
+        }
+    }
+    Ok(verified)
+}
+
 /// A single soak round; returns the violation message on failure.
 #[allow(clippy::too_many_lines)]
 fn round(
@@ -203,18 +260,21 @@ fn round(
         ..FleetConfig::default()
     };
 
+    // Round 0 additionally taps ingest through the durable archive sink
+    // so the round-trip invariant gets a fresh hostile sample each run.
+    let archive_root = inject_panic.then(|| {
+        std::env::temp_dir().join(format!("cs-chaos-archive-{}", std::process::id()))
+    });
+    let sink = archive_root.as_ref().map(|root| {
+        let _ = std::fs::remove_dir_all(root);
+        Mutex::new(ArchiveSink::create(root, ArchiveConfig::default()).expect("archive sink"))
+    });
+
     // Per-(stream, lead) last emitted window index, for the in-order check.
     let order = Mutex::new(HashMap::<(usize, u8), u64>::new());
     let emitted = Mutex::new(0u64);
     let violations = Mutex::new(Vec::<String>::new());
-    let report = run_fleet_wire::<f32, _>(
-        config,
-        cb,
-        &traffic,
-        SolverPolicy::default(),
-        &fleet,
-        registry,
-        |p| {
+    let on_packet = |p: &cs_core::FleetPacket<f32>| {
             *emitted.lock().unwrap() += 1;
             let mut order = order.lock().unwrap();
             let key = (p.stream, p.channel);
@@ -235,9 +295,39 @@ fn round(
                     p.stream, p.channel, p.packet.index, synthetic, p.outcome
                 ));
             }
-        },
-    )
+    };
+    let report = match &sink {
+        Some(sink) => run_fleet_wire_archived::<f32, _>(
+            config,
+            cb,
+            &traffic,
+            SolverPolicy::default(),
+            &fleet,
+            registry,
+            sink,
+            on_packet,
+        ),
+        None => run_fleet_wire::<f32, _>(
+            config,
+            cb,
+            &traffic,
+            SolverPolicy::default(),
+            &fleet,
+            registry,
+            on_packet,
+        ),
+    }
     .map_err(|e| format!("fleet run failed: {e}"))?;
+
+    if let (Some(sink), Some(root)) = (sink, &archive_root) {
+        sink.into_inner()
+            .unwrap()
+            .finish()
+            .map_err(|e| format!("archive seal failed: {e}"))?;
+        let archived = verify_archive_round_trip(root, &traffic)?;
+        println!("round 0: archive round-trip verified, {archived} frames byte-for-byte");
+        let _ = std::fs::remove_dir_all(root);
+    }
 
     let violations = violations.into_inner().unwrap();
     if let Some(first) = violations.first() {

@@ -13,10 +13,18 @@
 //! `--telemetry` additionally dumps the Prometheus scrape text and a
 //! JSON-Lines snapshot.
 //!
+//! `--replay DIR` drives the wire-feed sections from a stored session
+//! instead of synthesizing and mangling traffic: the archive is opened
+//! with crash recovery, each patient's lanes are reassembled into
+//! arrival order, and the supervised engine decodes on read. The
+//! codebook is trained from the same `--records/--seconds` corpus, so
+//! replay with the settings the session was recorded under.
+//!
 //! ```text
-//! cargo run --release -p cs-bench --bin fleet_report [--full] [--telemetry]
+//! cargo run --release -p cs-bench --bin fleet_report [--full] [--telemetry] [--replay DIR]
 //! ```
 
+use cs_archive::Archive;
 use cs_bench::{banner, RunSettings};
 use cs_core::{
     packetize, run_fleet_observed, run_fleet_wire, run_streaming, train_codebook, FleetConfig,
@@ -83,6 +91,128 @@ fn run(
     (report, stats, solves)
 }
 
+/// The fault-accounting panel shared by the live lossy-wire section and
+/// `--replay` runs.
+fn fault_panel(header: &str, wire_report: &FleetReport) {
+    let faults = &wire_report.faults;
+    let frame_pct = |part: u64| 100.0 * part as f64 / faults.frames.max(1) as f64;
+    let emit_pct = |part: u64| 100.0 * part as f64 / faults.delivered().max(1) as f64;
+    println!("== Fault tolerance ({header}) ==");
+    println!("frames ingested         : {:>6}", faults.frames);
+    println!(
+        "rejected at ingest      : {:>6}  ({:.2} % of frames; CRC/framing)",
+        faults.frame_rejects,
+        frame_pct(faults.frame_rejects)
+    );
+    println!(
+        "duplicates / late       : {:>6} / {}",
+        faults.duplicates, faults.late
+    );
+    println!(
+        "windows decoded         : {:>6}  ({:.2} % of emitted)",
+        faults.decoded,
+        emit_pct(faults.decoded)
+    );
+    println!(
+        "windows concealed       : {:>6}  ({:.2} %; {} loss, {} desync)",
+        faults.concealed(),
+        emit_pct(faults.concealed()),
+        faults.concealed_loss,
+        faults.concealed_desync
+    );
+    println!(
+        "windows quarantined     : {:>6}  (ring holds {} frames for postmortem)",
+        faults.quarantined,
+        wire_report.quarantine.len()
+    );
+    println!(
+        "resyncs / restarts      : {:>6} / {}",
+        faults.resyncs, faults.worker_restarts
+    );
+    println!("deadline-degraded       : {:>6}", faults.deadline_degraded);
+}
+
+/// The per-stage latency quantile table from a live registry snapshot.
+fn stage_table(registry: &TelemetryRegistry) {
+    let snapshot = registry.snapshot();
+    println!(
+        "{:<20} {:>8} {:>12} {:>12} {:>12}",
+        "stage", "count", "p50", "p95", "p99"
+    );
+    for (stage, hist) in snapshot.stages {
+        if hist.count() == 0 {
+            continue;
+        }
+        println!(
+            "{:<20} {:>8} {:>12} {:>12} {:>12}",
+            stage.name(),
+            hist.count(),
+            fmt_ns(hist.quantile(0.50)),
+            fmt_ns(hist.quantile(0.95)),
+            fmt_ns(hist.quantile(0.99))
+        );
+    }
+}
+
+/// `--replay DIR`: the wire-feed report over an archived session.
+fn replay_report(
+    dir: &str,
+    config: &SystemConfig,
+    codebook: &Arc<cs_codec::Codebook>,
+    settings: &RunSettings,
+) {
+    let registry = TelemetryRegistry::new();
+    let (archive, recovery) =
+        Archive::open_observed(dir, registry.clone()).expect("open archive");
+    let patients = archive.patients();
+    println!("== Replay source ({dir}) ==");
+    println!("patients                : {:>6}", patients.len());
+    println!("frame records           : {:>6}", archive.total_records());
+    println!(
+        "recovery                : {:>6} segments scanned, {} torn tails ({} bytes)",
+        recovery.segments_scanned, recovery.torn_tails, recovery.torn_bytes
+    );
+    let traffic: Vec<Vec<Vec<u8>>> = patients
+        .iter()
+        .map(|&p| archive.replay_stream(p).expect("replay stream"))
+        .collect();
+    let mut stats = vec![StreamStats::new(); traffic.len()];
+    let wire_report = run_fleet_wire::<f32, _>(
+        config,
+        Arc::clone(codebook),
+        &traffic,
+        SolverPolicy::default(),
+        &FleetConfig { warm_start: true, ..FleetConfig::default() },
+        &registry,
+        |p| {
+            stats[p.stream].record(
+                p.packet.iterations,
+                p.packet.solve_time.as_secs_f64(),
+                p.packet.warm_started,
+            );
+        },
+    )
+    .expect("replay fleet run");
+    fault_panel("decode-on-read from archive", &wire_report);
+    let fleet = FleetStats::from_streams(&stats);
+    println!("== Replay solves ==");
+    println!(
+        "solve p50/p95/p99       : {:>8.2} / {:.2} / {:.2} ms  (mean {:.1} iterations)",
+        fleet.solve_time_p50() * 1e3,
+        fleet.solve_time_p95() * 1e3,
+        fleet.solve_time_p99() * 1e3,
+        fleet.iterations.mean()
+    );
+    println!("== Telemetry (live registry) ==");
+    stage_table(&registry);
+    if settings.telemetry {
+        println!("== Prometheus scrape ==");
+        print!("{}", registry.prometheus());
+        println!("== JSONL snapshot ==");
+        println!("{}", registry.json_line());
+    }
+}
+
 fn main() {
     let settings = RunSettings::from_args();
     banner("fleet_report", "fleet decode engine (multi-patient §IV-B1)", &settings);
@@ -108,6 +238,11 @@ fn main() {
         .flat_map(|(lead0, _)| packetize(lead0, n).take(3))
         .map(|p| p.to_vec());
     let codebook = Arc::new(train_codebook(&config, training).expect("training succeeds"));
+
+    if let Some(dir) = settings.replay.clone() {
+        replay_report(&dir, &config, &codebook, &settings);
+        return;
+    }
 
     let streams: Vec<FleetStream<'_>> = patients
         .iter()
@@ -244,42 +379,7 @@ fn main() {
         |_| {},
     )
     .expect("wire fleet run");
-    let faults = &wire_report.faults;
-    let frame_pct = |part: u64| 100.0 * part as f64 / faults.frames.max(1) as f64;
-    let emit_pct = |part: u64| 100.0 * part as f64 / faults.delivered().max(1) as f64;
-    println!("== Fault tolerance (lossy wire: burst BER 1e-3, 5 % drop) ==");
-    println!("frames ingested         : {:>6}", faults.frames);
-    println!(
-        "rejected at ingest      : {:>6}  ({:.2} % of frames; CRC/framing)",
-        faults.frame_rejects,
-        frame_pct(faults.frame_rejects)
-    );
-    println!(
-        "duplicates / late       : {:>6} / {}",
-        faults.duplicates, faults.late
-    );
-    println!(
-        "windows decoded         : {:>6}  ({:.2} % of emitted)",
-        faults.decoded,
-        emit_pct(faults.decoded)
-    );
-    println!(
-        "windows concealed       : {:>6}  ({:.2} %; {} loss, {} desync)",
-        faults.concealed(),
-        emit_pct(faults.concealed()),
-        faults.concealed_loss,
-        faults.concealed_desync
-    );
-    println!(
-        "windows quarantined     : {:>6}  (ring holds {} frames for postmortem)",
-        faults.quarantined,
-        wire_report.quarantine.len()
-    );
-    println!(
-        "resyncs / restarts      : {:>6} / {}",
-        faults.resyncs, faults.worker_restarts
-    );
-    println!("deadline-degraded       : {:>6}", faults.deadline_degraded);
+    fault_panel("lossy wire: burst BER 1e-3, 5 % drop", &wire_report);
 
     let capacity = analyze_fleet(&CoordinatorSpec::iphone_3gs(), cold_report.workers, &solves);
     println!("== Pool capacity (iPhone-3GS budget model) ==");
@@ -297,23 +397,7 @@ fn main() {
 
     let snapshot = registry.snapshot();
     println!("== Telemetry (live registry, cold run) ==");
-    println!(
-        "{:<20} {:>8} {:>12} {:>12} {:>12}",
-        "stage", "count", "p50", "p95", "p99"
-    );
-    for (stage, hist) in snapshot.stages {
-        if hist.count() == 0 {
-            continue;
-        }
-        println!(
-            "{:<20} {:>8} {:>12} {:>12} {:>12}",
-            stage.name(),
-            hist.count(),
-            fmt_ns(hist.quantile(0.50)),
-            fmt_ns(hist.quantile(0.95)),
-            fmt_ns(hist.quantile(0.99))
-        );
-    }
+    stage_table(&registry);
     let per_worker = registry.worker_packets(cold_report.workers);
     println!(
         "worker packets          : {}",

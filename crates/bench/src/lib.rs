@@ -85,7 +85,7 @@ impl Corpus {
 }
 
 /// Harness run settings shared by all figure binaries.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSettings {
     /// Records to evaluate.
     pub records: usize,
@@ -94,6 +94,9 @@ pub struct RunSettings {
     /// Emit live telemetry (Prometheus scrape + JSON-Lines snapshot) in
     /// binaries that support it.
     pub telemetry: bool,
+    /// Drive the run from an archived session (`--replay <dir>`) instead
+    /// of a freshly synthesized corpus, in binaries that support it.
+    pub replay: Option<String>,
 }
 
 impl RunSettings {
@@ -103,6 +106,7 @@ impl RunSettings {
             records: 8,
             seconds: 16.0,
             telemetry: false,
+            replay: None,
         }
     }
 
@@ -114,11 +118,13 @@ impl RunSettings {
             records: 48,
             seconds: 60.0,
             telemetry: false,
+            replay: None,
         }
     }
 
-    /// Parses `--records N`, `--seconds S`, `--full` and `--telemetry`
-    /// from process arguments, starting from the quick defaults.
+    /// Parses `--records N`, `--seconds S`, `--full`, `--telemetry` and
+    /// `--replay DIR` from process arguments, starting from the quick
+    /// defaults.
     pub fn from_args() -> Self {
         let mut settings = RunSettings::quick();
         let args: Vec<String> = std::env::args().collect();
@@ -126,11 +132,18 @@ impl RunSettings {
         while i < args.len() {
             match args[i].as_str() {
                 "--full" => {
-                    let telemetry = settings.telemetry;
+                    let quick = settings;
                     settings = RunSettings::full();
-                    settings.telemetry = telemetry;
+                    settings.telemetry = quick.telemetry;
+                    settings.replay = quick.replay;
                 }
                 "--telemetry" => settings.telemetry = true,
+                "--replay" => {
+                    if let Some(dir) = args.get(i + 1) {
+                        settings.replay = Some(dir.clone());
+                        i += 1;
+                    }
+                }
                 "--records" => {
                     if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
                         settings.records = v;

@@ -974,6 +974,23 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// A durable destination for wire frames, fed *before* decode.
+///
+/// `run_fleet_wire_archived` calls [`FrameSink::append_frame`] with every
+/// arrived frame — exactly the bytes the link delivered, including frames
+/// the ingest path will go on to reject — so the archive preserves
+/// quarantinable traffic for post-mortem. An append error fails the run
+/// loudly ([`PipelineError::Fleet`]): silently dropping durability is
+/// worse than stopping.
+///
+/// Implemented by `cs_archive::ArchiveSink`; kept as a trait here so
+/// `cs-core` does not depend on the storage crate.
+pub trait FrameSink: Send {
+    /// Persists one arrived frame for `stream`. Called in each stream's
+    /// arrival order (streams interleave arbitrarily).
+    fn append_frame(&mut self, stream: usize, bytes: &[u8]) -> std::io::Result<()>;
+}
+
 /// Decodes wire traffic — frames exactly as a lossy link delivered them —
 /// across the fleet, surviving corruption, loss, duplication, reordering
 /// and worker panics.
@@ -999,6 +1016,54 @@ pub fn run_fleet_wire<T, F>(
     policy: SolverPolicy<T>,
     fleet: &FleetConfig,
     telemetry: &TelemetryRegistry,
+    on_packet: F,
+) -> Result<FleetReport, PipelineError>
+where
+    T: Real,
+    F: FnMut(&FleetPacket<T>) + Send,
+{
+    wire_engine(config, codebook, traffic, policy, fleet, telemetry, None, on_packet)
+}
+
+/// [`run_fleet_wire`] with a durable archive sink on the ingest path.
+///
+/// Every arrived frame is appended to `sink` **before** it is handed to
+/// a decode worker (write-before-decode), so even frames the supervised
+/// pipeline rejects, conceals, or quarantines are preserved byte-for-byte
+/// and the archived session replays through `run_fleet_wire` to the same
+/// decoded output.
+///
+/// # Errors
+///
+/// Same contract as [`run_fleet_wire`], plus [`PipelineError::Fleet`]
+/// when the sink reports an I/O failure.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fleet_wire_archived<T, F>(
+    config: &SystemConfig,
+    codebook: Arc<Codebook>,
+    traffic: &[Vec<Vec<u8>>],
+    policy: SolverPolicy<T>,
+    fleet: &FleetConfig,
+    telemetry: &TelemetryRegistry,
+    sink: &Mutex<dyn FrameSink>,
+    on_packet: F,
+) -> Result<FleetReport, PipelineError>
+where
+    T: Real,
+    F: FnMut(&FleetPacket<T>) + Send,
+{
+    wire_engine(config, codebook, traffic, policy, fleet, telemetry, Some(sink), on_packet)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn wire_engine<T, F>(
+    config: &SystemConfig,
+    codebook: Arc<Codebook>,
+    traffic: &[Vec<Vec<u8>>],
+    policy: SolverPolicy<T>,
+    fleet: &FleetConfig,
+    telemetry: &TelemetryRegistry,
+    sink: Option<&Mutex<dyn FrameSink>>,
     mut on_packet: F,
 ) -> Result<FleetReport, PipelineError>
 where
@@ -1082,9 +1147,27 @@ where
         // --- Producers: replay each stream's arrival order -------------
         for (stream, frames) in traffic.iter().enumerate() {
             let jobs = job_txs[stream % workers].clone();
+            let results = res_tx.clone();
             let stalls = &stalls;
             scope.spawn(move || {
                 for bytes in frames {
+                    // Write-before-decode: the frame reaches durable
+                    // storage before any worker interprets a byte of it,
+                    // so even traffic the pipeline will reject survives
+                    // for post-mortem replay.
+                    if let Some(sink) = sink {
+                        let appended = sink
+                            .lock()
+                            .expect("archive sink lock")
+                            .append_frame(stream, bytes);
+                        if let Err(e) = appended {
+                            let _ = results.send(WireMsg::Failed {
+                                stream: Some(stream),
+                                cause: format!("archive sink: {e}"),
+                            });
+                            return;
+                        }
+                    }
                     let mut job = WireJob { stream, bytes: bytes.clone() };
                     match jobs.try_send(job) {
                         Ok(()) => continue,

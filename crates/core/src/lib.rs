@@ -70,8 +70,8 @@ pub use decoder::{DecodeWorkspace, DecodedPacket, Decoder, SolverPolicy};
 pub use encoder::Encoder;
 pub use error::PipelineError;
 pub use fleet::{
-    run_fleet, run_fleet_encoded, run_fleet_observed, run_fleet_wire, FleetConfig, FleetPacket,
-    FleetReport, FleetStream, StreamSummary,
+    run_fleet, run_fleet_encoded, run_fleet_observed, run_fleet_wire, run_fleet_wire_archived,
+    FleetConfig, FleetPacket, FleetReport, FleetStream, FrameSink, StreamSummary,
 };
 pub use ingest::{
     ConcealmentReason, FaultCounters, FaultStats, PacketOutcome, PushReject, QuarantineRecord,

@@ -32,5 +32,5 @@ pub use aggregate::{Summary, SweepPoint, SweepSeries};
 pub use fleet::{worker_imbalance, FleetStats, StreamStats};
 pub use quality::{
     compression_ratio, output_snr, prd, prd_from_snr, prd_masked, prd_mean_removed, snr_from_prd,
-    DiagnosticQuality,
+    try_prd, try_prd_masked, DiagnosticQuality,
 };

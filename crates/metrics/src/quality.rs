@@ -52,6 +52,37 @@ pub fn prd(original: &[f64], reconstructed: &[f64]) -> f64 {
     (num / den).sqrt() * 100.0
 }
 
+/// Non-panicking [`prd`]: returns `None` when the original signal has
+/// zero energy (a flat-line lead, an all-zero calibration window) instead
+/// of panicking, so one degenerate window can't kill a fleet report.
+///
+/// # Panics
+///
+/// Still panics on a length mismatch — that is a caller bug, not a data
+/// condition.
+///
+/// # Examples
+///
+/// ```
+/// let x = [3.0, 4.0];
+/// assert_eq!(cs_metrics::try_prd(&x, &x), Some(0.0));
+/// assert_eq!(cs_metrics::try_prd(&[0.0, 0.0], &[1.0, 1.0]), None);
+/// ```
+pub fn try_prd(original: &[f64], reconstructed: &[f64]) -> Option<f64> {
+    assert_eq!(
+        original.len(),
+        reconstructed.len(),
+        "try_prd: length mismatch"
+    );
+    let num: f64 = original
+        .iter()
+        .zip(reconstructed)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
+    let den: f64 = original.iter().map(|a| a * a).sum();
+    (den > 0.0).then(|| (num / den).sqrt() * 100.0)
+}
+
 /// PRD over the non-masked samples only.
 ///
 /// Loss concealment substitutes synthetic samples for windows the wire
@@ -87,6 +118,13 @@ pub fn prd_masked(original: &[f64], reconstructed: &[f64], mask: &[bool]) -> Opt
         den += a * a;
     }
     (den > 0.0).then(|| (num / den).sqrt() * 100.0)
+}
+
+/// Alias of [`prd_masked`], named for symmetry with [`try_prd`]: the
+/// masked variant has always returned `Option`, but reporting code that
+/// pairs the two reads better calling `try_prd` / `try_prd_masked`.
+pub fn try_prd_masked(original: &[f64], reconstructed: &[f64], mask: &[bool]) -> Option<f64> {
+    prd_masked(original, reconstructed, mask)
 }
 
 /// Mean-removed PRD (often written PRD₁): measures error relative to the
@@ -266,5 +304,27 @@ mod tests {
     #[should_panic(expected = "zero energy")]
     fn prd_zero_signal_panics() {
         let _ = prd(&[0.0, 0.0], &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn try_prd_matches_prd_on_valid_input() {
+        let x = vec![1.0; 100];
+        let y: Vec<f64> = x.iter().map(|v| v + 0.1).collect();
+        assert_eq!(try_prd(&x, &y), Some(prd(&x, &y)));
+    }
+
+    #[test]
+    fn try_prd_none_on_zero_energy() {
+        assert_eq!(try_prd(&[0.0; 8], &[1.0; 8]), None);
+        assert_eq!(try_prd(&[], &[]), None);
+    }
+
+    #[test]
+    fn try_prd_masked_delegates() {
+        let x = [3.0, 4.0, 100.0];
+        let y = [3.0, 4.5, 0.0];
+        let mask = [false, false, true];
+        assert_eq!(try_prd_masked(&x, &y, &mask), prd_masked(&x, &y, &mask));
+        assert_eq!(try_prd_masked(&x, &y, &[true; 3]), None);
     }
 }

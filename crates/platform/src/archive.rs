@@ -1,0 +1,179 @@
+//! Capacity planning for the durable packet archive.
+//!
+//! `cs-archive` stores encoded wire frames; this module answers the
+//! provisioning questions that come *before* any byte is written: how
+//! many bytes a patient-day costs at a given compression ratio, how many
+//! segments that rotates through, how long a disk lasts, and how many
+//! `fdatasync` calls a fsync cadence implies. Pure arithmetic over the
+//! paper's timing model (one packet per `packet_len / sample_rate`
+//! seconds per lead) and the archive's framing constants — kept here so
+//! `cs-platform` stays independent of the storage crate.
+
+/// How often the archive writer forces data to disk, mirrored from
+/// `cs_archive::FsyncPolicy` as plain numbers so this crate needs no
+/// dependency on the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncCadence {
+    /// One `fdatasync` per appended record.
+    PerRecord,
+    /// One `fdatasync` per `n` records.
+    EveryN(u64),
+    /// Only the per-segment seal syncs.
+    Never,
+}
+
+/// Inputs for archive capacity math. Construct with
+/// [`ArchiveCapacityModel::paper_default`] and override fields as needed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchiveCapacityModel {
+    /// ECG sampling rate (Hz). Paper: 256.
+    pub sample_rate_hz: f64,
+    /// Samples per packet window N. Paper: 512 (a 2-second window).
+    pub packet_len: usize,
+    /// Leads archived per patient.
+    pub leads: usize,
+    /// Bits per raw sample before compression. Paper ADC: 12.
+    pub bits_per_sample: f64,
+    /// Compression ratio in percent (Eq. 7): payload is
+    /// `(100 − CR) %` of the raw window.
+    pub compression_ratio_percent: f64,
+    /// Wire-frame overhead per packet: header + CRC
+    /// (`cs_core`: 11 + 2 bytes).
+    pub frame_overhead_bytes: usize,
+    /// Archive record framing per frame
+    /// (`cs_archive`: tag + len + seq + CRC = 15 bytes).
+    pub record_overhead_bytes: usize,
+    /// Segment rotation threshold in bytes.
+    pub segment_bytes: u64,
+    /// Per-segment fixed cost: header + footer + seal marker (the footer
+    /// also grows with the sparse index; this is the fixed part, the
+    /// index adds ~16 bytes per K records and is counted separately).
+    pub segment_overhead_bytes: u64,
+    /// Sparse-index cadence: one 16-byte entry every this many records.
+    pub index_every: u64,
+}
+
+impl ArchiveCapacityModel {
+    /// The paper's configuration: 256 Hz, N = 512, 12-bit samples, CR 50
+    /// %, single lead, `cs-archive` framing defaults (4 MiB segments,
+    /// index every 32 records).
+    pub fn paper_default() -> Self {
+        ArchiveCapacityModel {
+            sample_rate_hz: 256.0,
+            packet_len: 512,
+            leads: 1,
+            bits_per_sample: 12.0,
+            compression_ratio_percent: 50.0,
+            frame_overhead_bytes: 13,
+            record_overhead_bytes: 15,
+            segment_bytes: 4 << 20,
+            // header (32) + fixed footer record (7 + 28) + seal marker (8)
+            segment_overhead_bytes: 32 + 35 + 8,
+            index_every: 32,
+        }
+    }
+
+    /// Seconds of signal per packet window.
+    pub fn packet_period_s(&self) -> f64 {
+        self.packet_len as f64 / self.sample_rate_hz
+    }
+
+    /// Frames archived per patient per day (all leads).
+    pub fn frames_per_day(&self) -> f64 {
+        86_400.0 / self.packet_period_s() * self.leads as f64
+    }
+
+    /// Stored bytes per frame: compressed payload + wire framing +
+    /// archive record framing.
+    pub fn frame_bytes(&self) -> f64 {
+        let raw_bits = self.packet_len as f64 * self.bits_per_sample;
+        let payload_bits = raw_bits * (100.0 - self.compression_ratio_percent) / 100.0;
+        (payload_bits / 8.0).ceil()
+            + self.frame_overhead_bytes as f64
+            + self.record_overhead_bytes as f64
+    }
+
+    /// Archive growth per patient-day in bytes, segment overhead and
+    /// sparse index included.
+    pub fn bytes_per_day(&self) -> f64 {
+        let record_bytes = self.frames_per_day() * self.frame_bytes();
+        let index_bytes = self.frames_per_day() / self.index_every.max(1) as f64 * 16.0;
+        let segments = (record_bytes / self.segment_bytes as f64).ceil();
+        record_bytes + index_bytes + segments * self.segment_overhead_bytes as f64
+    }
+
+    /// Segments rotated through per patient-day.
+    pub fn segments_per_day(&self) -> f64 {
+        self.bytes_per_day() / self.segment_bytes as f64
+    }
+
+    /// Patient-days of retention per GiB of disk.
+    pub fn days_per_gib(&self) -> f64 {
+        (1u64 << 30) as f64 / self.bytes_per_day()
+    }
+
+    /// `fdatasync` calls per patient-day under `cadence` (seal syncs
+    /// included).
+    pub fn fsyncs_per_day(&self, cadence: SyncCadence) -> f64 {
+        let seals = self.segments_per_day();
+        match cadence {
+            SyncCadence::PerRecord => self.frames_per_day() + seals,
+            SyncCadence::EveryN(n) => self.frames_per_day() / n.max(1) as f64 + seals,
+            SyncCadence::Never => seals,
+        }
+    }
+
+    /// Raw (uncompressed, unframed) bytes per patient-day — the baseline
+    /// the archive's compressed storage is saving against.
+    pub fn raw_bytes_per_day(&self) -> f64 {
+        self.sample_rate_hz * 86_400.0 * self.leads as f64 * self.bits_per_sample / 8.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_magnitudes() {
+        let m = ArchiveCapacityModel::paper_default();
+        // One 2-second window every 2 s: 43 200 frames/day.
+        assert_eq!(m.frames_per_day(), 43_200.0);
+        // CR 50 % of 512×12 bits = 384 payload bytes + 13 + 15 framing.
+        assert_eq!(m.frame_bytes(), 384.0 + 13.0 + 15.0);
+        // ~17.8 MB/day: a 4 MiB segment every ~5.7 hours.
+        let mb = m.bytes_per_day() / 1e6;
+        assert!((17.0..19.0).contains(&mb), "{mb} MB/day");
+        assert!(m.segments_per_day() > 4.0 && m.segments_per_day() < 5.0);
+        // A GiB holds roughly two patient-months.
+        assert!((55.0..65.0).contains(&m.days_per_gib()), "{}", m.days_per_gib());
+    }
+
+    #[test]
+    fn fsync_cadences_are_ordered() {
+        let m = ArchiveCapacityModel::paper_default();
+        let always = m.fsyncs_per_day(SyncCadence::PerRecord);
+        let every64 = m.fsyncs_per_day(SyncCadence::EveryN(64));
+        let never = m.fsyncs_per_day(SyncCadence::Never);
+        assert!(always > every64 && every64 > never);
+        assert_eq!(always, 43_200.0 + m.segments_per_day());
+        assert!(never < 10.0, "seal-only syncs stay rare");
+    }
+
+    #[test]
+    fn compression_halves_storage_versus_raw() {
+        let m = ArchiveCapacityModel::paper_default();
+        let ratio = m.bytes_per_day() / m.raw_bytes_per_day();
+        // CR 50 % plus framing overhead: comfortably under 60 % of raw.
+        assert!(ratio < 0.6, "{ratio}");
+        assert!(ratio > 0.5, "framing cannot be free: {ratio}");
+    }
+
+    #[test]
+    fn multi_lead_scales_linearly() {
+        let one = ArchiveCapacityModel::paper_default();
+        let three = ArchiveCapacityModel { leads: 3, ..one };
+        let scale = three.bytes_per_day() / one.bytes_per_day();
+        assert!((scale - 3.0).abs() < 0.01, "{scale}");
+    }
+}

@@ -38,11 +38,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod archive;
 mod coordinator;
 mod energy;
 mod link;
 mod mote;
 
+pub use archive::{ArchiveCapacityModel, SyncCadence};
 pub use coordinator::{
     analyze_fleet, analyze_solves, iteration_budget_ratio, CoordinatorSpec, FleetCapacityReport,
     RealTimeReport, SolveSample,

@@ -94,6 +94,13 @@ pub fn prometheus(snap: &TelemetrySnapshot) -> String {
     for (kind, count) in &snap.faults {
         let _ = writeln!(out, "cs_fault_total{{kind=\"{}\"}} {count}", kind.name());
     }
+    out.push_str("# HELP cs_archive_total Durable-store operations by kind\n");
+    out.push_str("# TYPE cs_archive_total counter\n");
+    // Like faults: every op is emitted explicitly, zero or not, so a
+    // dashboard watching torn-tail rates sees 0 rather than a gap.
+    for (op, count) in &snap.archive_ops {
+        let _ = writeln!(out, "cs_archive_total{{op=\"{}\"}} {count}", op.name());
+    }
     out.push_str("# HELP cs_journal_traces Event-journal accounting\n");
     out.push_str("# TYPE cs_journal_traces gauge\n");
     let _ = writeln!(out, "cs_journal_traces{{state=\"buffered\"}} {}", snap.journal_len);
@@ -157,6 +164,18 @@ pub fn json_line(snap: &TelemetrySnapshot) -> String {
         }
         first = false;
         let _ = write!(out, "\"{}\":{count}", kind.name());
+    }
+    out.push_str("},\"archive\":{");
+    let mut first = true;
+    for (op, count) in &snap.archive_ops {
+        if *count == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\"{}\":{count}", op.name());
     }
     let _ = write!(
         out,
@@ -285,6 +304,22 @@ mod tests {
         assert!(text.contains("cs_fault_total{kind=\"quarantined\"} 0"));
         let line = reg.json_line();
         assert!(line.contains("\"faults\":{\"concealed_loss\":2,\"worker_restart\":1}"));
+    }
+
+    #[test]
+    fn archive_counters_exported_in_both_formats() {
+        let reg = sample_registry();
+        reg.record_archive_op(crate::ArchiveOp::Append);
+        reg.record_archive_op(crate::ArchiveOp::Append);
+        reg.record_archive_op(crate::ArchiveOp::TornTail);
+        let text = reg.prometheus();
+        assert!(text.contains("# TYPE cs_archive_total counter"));
+        assert!(text.contains("cs_archive_total{op=\"append\"} 2"));
+        assert!(text.contains("cs_archive_total{op=\"torn_tail\"} 1"));
+        // Zero-count ops stay present as explicit zeroes.
+        assert!(text.contains("cs_archive_total{op=\"compact\"} 0"));
+        let line = reg.json_line();
+        assert!(line.contains("\"archive\":{\"append\":2,\"torn_tail\":1}"));
     }
 
     #[test]

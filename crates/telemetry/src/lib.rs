@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod archive;
 pub mod export;
 pub mod fault;
 pub mod histogram;
@@ -35,6 +36,7 @@ pub mod journal;
 pub mod registry;
 pub mod stage;
 
+pub use archive::ArchiveOp;
 pub use export::{json_line, prometheus, Every, REPORT_QUANTILES};
 pub use fault::FaultKind;
 pub use histogram::{bucket_upper, Histogram, HistogramSnapshot, BUCKETS};

@@ -10,6 +10,7 @@
 //! span and nothing else (measured < 2 % of fleet throughput by the
 //! `telemetry_overhead` bench even when *enabled*).
 
+use crate::archive::ArchiveOp;
 use crate::fault::FaultKind;
 use crate::histogram::{Histogram, HistogramSnapshot};
 use crate::journal::{Journal, SolveTrace};
@@ -33,6 +34,7 @@ struct Inner {
     stages: [Histogram; Stage::COUNT],
     workers: [AtomicU64; MAX_WORKERS],
     faults: [AtomicU64; FaultKind::COUNT],
+    archive: [AtomicU64; ArchiveOp::COUNT],
     journal: Journal,
 }
 
@@ -91,6 +93,7 @@ impl TelemetryRegistry {
                 stages: std::array::from_fn(|_| Histogram::new()),
                 workers: std::array::from_fn(|_| AtomicU64::new(0)),
                 faults: std::array::from_fn(|_| AtomicU64::new(0)),
+                archive: std::array::from_fn(|_| AtomicU64::new(0)),
                 journal: Journal::new(capacity),
             }),
         }
@@ -170,6 +173,26 @@ impl TelemetryRegistry {
         self.inner.faults[kind.index()].load(Ordering::Relaxed)
     }
 
+    /// Counts one archive operation of the given kind (no-op when
+    /// disabled).
+    pub fn record_archive_op(&self, op: ArchiveOp) {
+        if self.is_enabled() {
+            self.inner.archive[op.index()].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts `n` archive operations at once (e.g. a replay batch).
+    pub fn record_archive_ops(&self, op: ArchiveOp, n: u64) {
+        if self.is_enabled() {
+            self.inner.archive[op.index()].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The running count for one archive operation.
+    pub fn archive_count(&self, op: ArchiveOp) -> u64 {
+        self.inner.archive[op.index()].load(Ordering::Relaxed)
+    }
+
     /// Appends a convergence trace to the journal (no-op when disabled).
     pub fn record_solve(&self, trace: SolveTrace) {
         if self.is_enabled() {
@@ -195,6 +218,7 @@ impl TelemetryRegistry {
             stages: Stage::ALL.map(|s| (s, self.stage(s).snapshot())),
             worker_packets: self.worker_packets(MAX_WORKERS),
             faults: FaultKind::ALL.map(|k| (k, self.fault_count(k))),
+            archive_ops: ArchiveOp::ALL.map(|o| (o, self.archive_count(o))),
             journal_len: self.inner.journal.len(),
             journal_pushed: self.inner.journal.pushed(),
             journal_dropped: self.inner.journal.dropped(),
@@ -213,6 +237,8 @@ pub struct TelemetrySnapshot {
     pub worker_packets: Vec<u64>,
     /// Per-kind fault counts, in [`FaultKind::ALL`] order.
     pub faults: [(FaultKind, u64); FaultKind::COUNT],
+    /// Per-op archive counts, in [`ArchiveOp::ALL`] order.
+    pub archive_ops: [(ArchiveOp, u64); ArchiveOp::COUNT],
     /// Traces currently buffered in the journal.
     pub journal_len: usize,
     /// Traces ever offered to the journal.
@@ -230,6 +256,11 @@ impl TelemetrySnapshot {
     /// The snapshot count for one fault kind.
     pub fn fault(&self, kind: FaultKind) -> u64 {
         self.faults[kind.index()].1
+    }
+
+    /// The snapshot count for one archive operation.
+    pub fn archive(&self, op: ArchiveOp) -> u64 {
+        self.archive_ops[op.index()].1
     }
 }
 

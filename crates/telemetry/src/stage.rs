@@ -42,11 +42,18 @@ pub enum Stage {
     /// Coordinator: re-synthesizing a lost window from the previous
     /// window's retained wavelet coefficients.
     Concealment,
+    /// Archive: appending one wire frame to the durable segmented store
+    /// (write-before-decode, so the span sits ahead of IngestValidate on
+    /// the archived path).
+    ArchiveAppend,
+    /// Archive: reading frames back out of the store for decode-on-read
+    /// replay (recovery scan, index seek and record iteration).
+    ArchiveReplay,
 }
 
 impl Stage {
     /// Number of stages (the registry's per-stage array length).
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 13;
 
     /// Every stage, in wire order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -61,6 +68,8 @@ impl Stage {
         Stage::Reassembly,
         Stage::IngestValidate,
         Stage::Concealment,
+        Stage::ArchiveAppend,
+        Stage::ArchiveReplay,
     ];
 
     /// Dense index into per-stage arrays.
@@ -84,6 +93,8 @@ impl Stage {
             Stage::Reassembly => "reassembly",
             Stage::IngestValidate => "ingest_validate",
             Stage::Concealment => "concealment",
+            Stage::ArchiveAppend => "archive_append",
+            Stage::ArchiveReplay => "archive_replay",
         }
     }
 }

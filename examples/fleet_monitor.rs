@@ -76,7 +76,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .map(|&v| v as f64)
                     .collect();
                 let recon: Vec<f64> = p.packet.samples.iter().map(|&v| v as f64).collect();
-                worst_prd[p.stream] = worst_prd[p.stream].max(prd(&truth, &recon));
+                // `try_prd`: a silent window (zero signal energy) reports
+                // no quality figure instead of aborting the monitor.
+                if let Some(prd) = try_prd(&truth, &recon) {
+                    worst_prd[p.stream] = worst_prd[p.stream].max(prd);
+                }
                 if every.tick() {
                     println!("{}", registry.json_line());
                 }

@@ -32,3 +32,8 @@ grep -q 'cs_fault_total{kind="concealed_loss"' <<<"$smoke"
 # Chaos smoke: a short seeded soak of the lossy-wire fleet (the 60 s
 # profile runs out of band; see scripts/chaos.sh).
 CHAOS_SECONDS="${CHAOS_SECONDS:-5}" scripts/chaos.sh
+
+# Crash-recovery smoke: SIGKILL the archive writer mid-append and
+# require a lossless recovery scan (the 8-round profile runs out of
+# band; see scripts/archive_crash.sh).
+CRASH_ROUNDS="${CRASH_ROUNDS:-2}" scripts/archive_crash.sh

@@ -21,6 +21,8 @@
 //! * [`platform`] — mote / coordinator / energy models ([`cs_platform`])
 //! * [`telemetry`] — zero-dependency tracing, latency histograms and
 //!   Prometheus / JSON-Lines exporters ([`cs_telemetry`])
+//! * [`archive`] — durable segmented packet store with crash recovery
+//!   and decode-on-read fleet replay ([`cs_archive`])
 //!
 //! ## Quickstart
 //!
@@ -51,6 +53,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use cs_archive as archive;
 pub use cs_codec as codec;
 pub use cs_core as system;
 pub use cs_dsp as dsp;
@@ -63,11 +66,13 @@ pub use cs_telemetry as telemetry;
 
 /// The most common imports for applications built on this system.
 pub mod prelude {
+    pub use cs_archive::{Archive, ArchiveConfig, ArchiveSink, ArchiveWriter, FsyncPolicy};
     pub use cs_codec::Codebook;
     pub use cs_core::{
-        evaluate_stream, packetize, run_fleet, run_fleet_observed, run_fleet_wire, run_streaming,
-        run_streaming_observed, train_and_evaluate, train_codebook, uniform_codebook, Decoder,
-        Encoder, FleetConfig, FleetStream, PacketOutcome, SolverPolicy, SystemConfig,
+        evaluate_stream, packetize, run_fleet, run_fleet_observed, run_fleet_wire,
+        run_fleet_wire_archived, run_streaming, run_streaming_observed, train_and_evaluate,
+        train_codebook, uniform_codebook, Decoder, Encoder, FleetConfig, FleetStream,
+        PacketOutcome, SolverPolicy, SystemConfig,
     };
     pub use cs_dsp::wavelet::{Dwt, Wavelet, WaveletFamily};
     pub use cs_ecg_data::{
@@ -76,12 +81,13 @@ pub mod prelude {
         SyntheticDatabase,
     };
     pub use cs_metrics::{
-        compression_ratio, output_snr, prd, worker_imbalance, DiagnosticQuality, FleetStats,
-        StreamStats,
+        compression_ratio, output_snr, prd, try_prd, try_prd_masked, worker_imbalance,
+        DiagnosticQuality, FleetStats, StreamStats,
     };
     pub use cs_platform::{
         analyze_fleet, analyze_solves, compare_lifetime, encode_cost, encoder_footprint,
-        CoordinatorSpec, EnergyModel, FaultSpec, GilbertElliottParams, LossyLink, MoteSpec,
+        ArchiveCapacityModel, CoordinatorSpec, EnergyModel, FaultSpec, GilbertElliottParams,
+        LossyLink, MoteSpec, SyncCadence,
     };
     pub use cs_recovery::{fista, ista, omp, KernelMode, ShrinkageConfig, SynthesisOperator};
     pub use cs_sensing::{measurements_for_cr, DenseSensing, Sensing, SparseBinarySensing};

@@ -50,9 +50,17 @@ fn observed_fleet_populates_every_stage() {
     let snapshot = registry.snapshot();
     for stage in Stage::ALL {
         // IngestValidate and Concealment belong to the wire-feed path
-        // (`run_fleet_wire`); the in-process fleet never enters them.
-        if matches!(stage, Stage::IngestValidate | Stage::Concealment) {
-            assert_eq!(snapshot.stage(stage).count(), 0, "stage {stage} is wire-only");
+        // (`run_fleet_wire`); the archive stages only fire when a durable
+        // sink or replay source is attached. The in-process fleet never
+        // enters any of them.
+        if matches!(
+            stage,
+            Stage::IngestValidate
+                | Stage::Concealment
+                | Stage::ArchiveAppend
+                | Stage::ArchiveReplay
+        ) {
+            assert_eq!(snapshot.stage(stage).count(), 0, "stage {stage} is not in-process");
             continue;
         }
         assert_eq!(
