@@ -45,8 +45,11 @@ fn bench_fleet(c: &mut Criterion) {
         let streams: Vec<FleetStream<'_>> =
             leads.iter().map(|l| FleetStream::single(l)).collect();
         group.throughput(Throughput::Elements((nstreams * FRAMES) as u64));
-        for (label, warm) in [("cold", false), ("warm", true)] {
-            let fleet = FleetConfig { warm_start: warm, ..FleetConfig::default() };
+        for (label, warm, batch) in
+            [("cold", false, 1), ("warm", true, 1), ("batch", true, nstreams)]
+        {
+            let fleet =
+                FleetConfig { warm_start: warm, batch, ..FleetConfig::default() };
             group.bench_with_input(
                 BenchmarkId::new(format!("fleet_{label}"), nstreams),
                 &streams,

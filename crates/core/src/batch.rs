@@ -1,0 +1,260 @@
+//! MMV batching for fleet decode: grouping same-config lanes into K-wide
+//! solves.
+//!
+//! The fleet's decode cost is dominated by FISTA's operator applications,
+//! and for the paper's sparse binary Φ those are memory-bound: each
+//! iteration walks the CSR/CSC support structure once per lane. When a
+//! worker's backlog holds windows from several *distinct* lanes of the
+//! same configuration — different patients, or different leads of one
+//! patient — the multiple-measurement-vector (MMV) solver
+//! (`cs_recovery::fista_warm_batch_ws`) walks that structure **once per
+//! batch**, streaming K right-hand sides through it. Per-column
+//! convergence masks let each lane keep its own iteration count, so the
+//! batched results are bit-for-bit the sequential ones.
+//!
+//! Two pieces live here:
+//!
+//! * [`BatchScheduler`] — groups a worker's arrivals into batches of up
+//!   to K jobs with pairwise-distinct lane keys, preserving per-lane
+//!   arrival order. Same-patient leads arrive back-to-back (the producer
+//!   emits a frame's channels consecutively), so greedy arrival-order
+//!   grouping naturally batches a patient's leads together before
+//!   filling the remaining width from the shard's other streams.
+//! * [`BatchDecodeWorkspace`] — the per-worker buffer set for the
+//!   batched decode path: one scalar [`DecodeWorkspace`] shared by every
+//!   lane's front half (entropy decode, redundancy reinsertion, λ, warm
+//!   safeguard) plus the K-wide solve workspace and per-lane solver
+//!   configurations. After one full batch has warmed the buffers, a
+//!   steady-state batch round performs zero heap allocations
+//!   (`crates/core/tests/zero_alloc_batch.rs` pins this with a counting
+//!   allocator).
+
+use crate::config::SystemConfig;
+use crate::decoder::DecodeWorkspace;
+use cs_dsp::Real;
+use cs_recovery::{BatchWorkspace, ShrinkageConfig};
+use std::collections::VecDeque;
+
+/// Groups decode jobs into batches of pairwise-distinct lanes.
+///
+/// Jobs are held in arrival order; [`BatchScheduler::drain_into`] moves a
+/// prefix of them into the caller's batch, stopping at the batch width or
+/// at the first job whose lane the batch already contains (the
+/// *duplicate-lane flush*: a lane's second window depends on its first
+/// through the DPCM and warm-start state, so it must wait for the next
+/// batch). Per-lane order is therefore preserved exactly — a lane's jobs
+/// leave the scheduler in the order they entered.
+#[derive(Debug)]
+pub struct BatchScheduler<J> {
+    width: usize,
+    held: VecDeque<J>,
+}
+
+impl<J> BatchScheduler<J> {
+    /// A scheduler targeting batches of `width` lanes (`0` behaves as 1).
+    pub fn new(width: usize) -> Self {
+        BatchScheduler {
+            width: width.max(1),
+            held: VecDeque::new(),
+        }
+    }
+
+    /// The target batch width K.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Whether no jobs are waiting.
+    pub fn is_idle(&self) -> bool {
+        self.held.is_empty()
+    }
+
+    /// Jobs waiting to be batched.
+    pub fn held_len(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Distinct lane keys currently held — the widest batch
+    /// [`drain_into`](BatchScheduler::drain_into) could assemble right
+    /// now. A fill loop should key off this, not [`held_len`]
+    /// (BatchScheduler::held_len): two windows of one lane can never
+    /// share a batch, so raw job count overstates the assemblable width
+    /// whenever a stream runs ahead of its batchmates.
+    pub fn distinct_held<K: PartialEq>(&self, mut lane_of: impl FnMut(&J) -> K) -> usize {
+        let mut distinct = 0;
+        for (i, job) in self.held.iter().enumerate() {
+            let key = lane_of(job);
+            if !self.held.iter().take(i).any(|seen| lane_of(seen) == key) {
+                distinct += 1;
+            }
+        }
+        distinct
+    }
+
+    /// Queues one arrival behind everything already held.
+    pub fn push(&mut self, job: J) {
+        self.held.push_back(job);
+    }
+
+    /// Moves the next batch into `batch` (cleared first): up to
+    /// [`width`](BatchScheduler::width) held jobs in arrival order,
+    /// *skipping over* any job whose lane key is already in the batch.
+    /// Skipped jobs stay held, still in arrival order, and lead a later
+    /// batch. Only per-lane FIFO matters for correctness (a lane's next
+    /// window needs its previous window's DPCM state and warm seed);
+    /// halting the whole batch at the first duplicate would fragment
+    /// occupancy whenever one stream runs ahead of its batchmates —
+    /// precisely the interleaving a bursty producer wave produces.
+    pub fn drain_into<K: PartialEq>(&mut self, batch: &mut Vec<J>, mut lane_of: impl FnMut(&J) -> K) {
+        batch.clear();
+        let mut i = 0;
+        while i < self.held.len() && batch.len() < self.width {
+            let key = lane_of(&self.held[i]);
+            if batch.iter().any(|staged| lane_of(staged) == key) {
+                i += 1; // this lane is already staged: hold its next window
+            } else {
+                batch.push(self.held.remove(i).expect("index in range"));
+            }
+        }
+    }
+}
+
+/// Per-worker buffers for the batched decode path.
+///
+/// One of these serves all of a worker's lanes across all of its batches,
+/// the batched analogue of the per-worker [`DecodeWorkspace`]: the scalar
+/// scratch is shared by every lane's front half (each stage overwrites it
+/// completely), while the solve workspace holds all K lanes' measurement
+/// and coefficient blocks side by side. Between batches the caller resets
+/// it with [`BatchDecodeWorkspace::begin`]; buffers keep their capacity,
+/// so the steady state allocates nothing.
+#[derive(Debug)]
+pub struct BatchDecodeWorkspace<T: Real> {
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
+    /// Scalar front-half scratch (entropy decode through warm safeguard),
+    /// reused by every lane staged into the batch.
+    pub(crate) scalar: DecodeWorkspace<T>,
+    /// The K-wide MMV solve buffers.
+    pub(crate) solve: BatchWorkspace<T>,
+    /// One solver configuration per staged lane (λ is data-adaptive, so
+    /// it differs per lane even under one policy).
+    pub(crate) configs: Vec<ShrinkageConfig<T>>,
+    /// Whether each staged lane's solve was seeded from a warm estimate.
+    pub(crate) warm_started: Vec<bool>,
+}
+
+impl<T: Real> BatchDecodeWorkspace<T> {
+    /// A workspace pre-sized for `config`'s geometry and `width` lanes,
+    /// ready for the first [`Decoder::begin_batch_lane`] call.
+    ///
+    /// [`Decoder::begin_batch_lane`]: crate::Decoder::begin_batch_lane
+    pub fn for_config(config: &SystemConfig, width: usize) -> Self {
+        let width = width.max(1);
+        let (m, n) = (config.measurements(), config.packet_len());
+        BatchDecodeWorkspace {
+            rows: m,
+            cols: n,
+            scalar: DecodeWorkspace::for_config(config),
+            solve: BatchWorkspace::with_dims(m, n, width),
+            configs: Vec::with_capacity(width),
+            warm_started: Vec::with_capacity(width),
+        }
+    }
+
+    /// Starts a new empty batch, keeping every buffer's capacity.
+    pub fn begin(&mut self) {
+        self.solve.begin(self.rows, self.cols);
+        self.configs.clear();
+        self.warm_started.clear();
+    }
+
+    /// Lanes staged into the current batch so far.
+    pub fn lanes(&self) -> usize {
+        self.solve.lanes()
+    }
+
+    /// Replaces the scalar scratch after a supervised panic: a panic
+    /// mid-stage can leave the front-half buffers torn, but the solve
+    /// blocks of lanes already staged are complete and stay valid, so
+    /// only the scalar half is rebuilt.
+    pub(crate) fn replace_scalar(&mut self, config: &SystemConfig) {
+        self.scalar = DecodeWorkspace::for_config(config);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Job(usize, u64); // (lane, seq)
+
+    #[test]
+    fn groups_distinct_lanes_up_to_width() {
+        let mut sched = BatchScheduler::new(4);
+        for lane in 0..6 {
+            sched.push(Job(lane, 0));
+        }
+        let mut batch = Vec::new();
+        sched.drain_into(&mut batch, |j| j.0);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.iter().map(|j| j.0).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        sched.drain_into(&mut batch, |j| j.0);
+        assert_eq!(batch.iter().map(|j| j.0).collect::<Vec<_>>(), vec![4, 5]);
+        assert!(sched.is_idle());
+    }
+
+    #[test]
+    fn duplicate_lane_waits_without_fragmenting_the_batch() {
+        let mut sched = BatchScheduler::new(8);
+        sched.push(Job(0, 0));
+        sched.push(Job(0, 1)); // lane 0 again: must wait for the next batch
+        sched.push(Job(1, 0));
+        sched.push(Job(2, 0));
+        let mut batch = Vec::new();
+        sched.drain_into(&mut batch, |j| j.0);
+        // The duplicate is skipped over, not allowed to halt the batch:
+        // every distinct lane held solves together.
+        assert_eq!(batch, vec![Job(0, 0), Job(1, 0), Job(2, 0)]);
+        sched.drain_into(&mut batch, |j| j.0);
+        assert_eq!(batch, vec![Job(0, 1)]);
+        assert!(sched.is_idle());
+    }
+
+    #[test]
+    fn per_lane_order_survives_skipping() {
+        let mut sched = BatchScheduler::new(2);
+        sched.push(Job(0, 0));
+        sched.push(Job(0, 1));
+        sched.push(Job(0, 2));
+        sched.push(Job(1, 0));
+        let mut batch = Vec::new();
+        sched.drain_into(&mut batch, |j| j.0);
+        assert_eq!(batch, vec![Job(0, 0), Job(1, 0)]);
+        sched.drain_into(&mut batch, |j| j.0);
+        assert_eq!(batch, vec![Job(0, 1)]);
+        sched.drain_into(&mut batch, |j| j.0);
+        assert_eq!(batch, vec![Job(0, 2)]);
+    }
+
+    #[test]
+    fn zero_width_behaves_as_sequential() {
+        let mut sched = BatchScheduler::new(0);
+        assert_eq!(sched.width(), 1);
+        sched.push(Job(0, 0));
+        sched.push(Job(1, 0));
+        let mut batch = Vec::new();
+        sched.drain_into(&mut batch, |j| j.0);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(sched.held_len(), 1);
+    }
+
+    #[test]
+    fn drain_on_empty_scheduler_yields_empty_batch() {
+        let mut sched: BatchScheduler<Job> = BatchScheduler::new(4);
+        let mut batch = vec![Job(9, 9)];
+        sched.drain_into(&mut batch, |j| j.0);
+        assert!(batch.is_empty());
+    }
+}

@@ -7,6 +7,7 @@
 //! samples. The decoder is generic over `f32`/`f64`, which is how Fig. 6's
 //! precision comparison is produced from a single implementation.
 
+use crate::batch::BatchDecodeWorkspace;
 use crate::config::SystemConfig;
 use crate::error::PipelineError;
 use crate::packet::{EncodedPacket, PacketKind};
@@ -14,9 +15,10 @@ use cs_codec::{symbol_to_value, BitReader, Codebook, DiffConfig, DiffDecoder};
 use cs_dsp::wavelet::{Dwt, Wavelet};
 use cs_dsp::Real;
 use cs_recovery::{
-    fista_warm_ws_observed, fista_weighted_warm_ws_observed, lambda_max_with, lipschitz_constant,
-    top_singular_pair, DeflatedOperator, FistaWorkspace, KernelMode, LinearOperator,
-    ShrinkageConfig, SpectralCache, SpectralEstimate, SynthesisOperator,
+    fista_warm_batch_ws_observed, fista_warm_ws_observed, fista_weighted_warm_ws_observed,
+    lambda_max_with, lipschitz_constant, top_singular_pair, DeflatedOperator, FistaWorkspace,
+    KernelMode, LinearOperator, ShrinkageConfig, SpectralCache, SpectralEstimate,
+    SynthesisOperator,
 };
 use cs_sensing::SparseBinarySensing;
 use cs_telemetry::{SolveTrace, Stage, TelemetryRegistry};
@@ -492,6 +494,106 @@ impl<T: Real> Decoder<T> {
         ws: &mut DecodeWorkspace<T>,
         out: &mut DecodedPacket<T>,
     ) -> Result<(), PipelineError> {
+        let n = self.config.packet_len();
+        let (cfg, warm_started) = self.prepare_solve(packet, ws)?;
+        let op = SynthesisOperator::new(&self.phi, &self.dwt);
+        let deflated = DeflatedOperator::with_direction_borrowed(
+            &op,
+            &self.deflation_u,
+            self.policy.deflation_factor,
+        );
+        let warm = if warm_started { Some(ws.seed.as_slice()) } else { None };
+        let result = if self.penalty_weights.is_empty() {
+            fista_warm_ws_observed(
+                &deflated,
+                &ws.yd,
+                &cfg,
+                Some(self.lipschitz),
+                warm,
+                &mut ws.solve,
+                &self.telemetry,
+            )
+        } else {
+            fista_weighted_warm_ws_observed(
+                &deflated,
+                &ws.yd,
+                &cfg,
+                Some(self.lipschitz),
+                &self.penalty_weights,
+                warm,
+                &mut ws.solve,
+                &self.telemetry,
+            )
+        };
+        let (stream, channel) = self.telemetry_labels;
+        self.telemetry.record_solve(SolveTrace {
+            stream,
+            channel,
+            seq: packet.index,
+            iterations: u32::try_from(result.iterations).unwrap_or(u32::MAX),
+            residual: result.residual_norm.to_f64(),
+            solve_ns: u64::try_from(result.elapsed.as_nanos()).unwrap_or(u64::MAX),
+            warm_started,
+            converged: result.converged,
+        });
+        {
+            let _span = self.telemetry.span(Stage::WaveletSynthesis);
+            out.samples.clear();
+            out.samples.resize(n, T::ZERO);
+            self.dwt.synthesize_scratch(&result.solution, &mut out.samples, &mut ws.grad);
+        }
+        out.index = packet.index;
+        out.iterations = result.iterations;
+        out.converged = result.converged;
+        out.solve_time = result.elapsed;
+        out.warm_started = warm_started;
+        out.residual_norm = result.residual_norm;
+        out.concealed = false;
+
+        // Retain the estimate for loss concealment. Copied, not moved:
+        // the solution vector continues into the warm-start ping-pong
+        // below. One allocation on the first retained window, then
+        // steady-state free.
+        if self.concealment {
+            match &mut self.conceal {
+                Some(c) if c.len() == result.solution.len() => {
+                    c.copy_from_slice(&result.solution)
+                }
+                c => *c = Some(result.solution.clone()),
+            }
+        }
+
+        // Ping-pong the solution vectors: the new estimate replaces the
+        // warm seed and the retired seed's storage returns to the solver
+        // pool — a closed loop with no allocation.
+        if self.warm_start {
+            match self.warm.replace(result.solution) {
+                Some(old) => ws.solve.recycle_solution(old),
+                // First packet of a warm stream: the cycle needs two
+                // solution buffers in flight (one retained as the seed,
+                // one in the pool), so mint the second now — the last
+                // setup-time allocation.
+                None => ws.solve.recycle_solution(vec![T::ZERO; n]),
+            }
+        } else {
+            ws.solve.recycle_solution(result.solution);
+        }
+        Ok(())
+    }
+
+    /// The per-lane front half of a decode — everything before the
+    /// solver: entropy decode, redundancy reinsertion, measurement
+    /// scaling and deflation, the data-adaptive λ, and the safeguarded
+    /// warm seed. On success `ws.yd` holds the deflated measurements,
+    /// `ws.seed` the β-rescaled warm seed when the returned flag is set,
+    /// and the returned config is ready for the solver. Shared verbatim
+    /// by the sequential and batched paths, which is what keeps them
+    /// bit-identical up to the solve.
+    fn prepare_solve(
+        &mut self,
+        packet: &EncodedPacket,
+        ws: &mut DecodeWorkspace<T>,
+    ) -> Result<(ShrinkageConfig<T>, bool), PipelineError> {
         let m = self.config.measurements();
         let n = self.config.packet_len();
 
@@ -594,83 +696,131 @@ impl<T: Real> Decoder<T> {
                 }
             }
         }
-        let warm = if warm_started { Some(ws.seed.as_slice()) } else { None };
-        let result = if self.penalty_weights.is_empty() {
-            fista_warm_ws_observed(
-                &deflated,
-                &ws.yd,
-                &cfg,
-                Some(self.lipschitz),
-                warm,
-                &mut ws.solve,
-                &self.telemetry,
-            )
+        Ok((cfg, warm_started))
+    }
+
+    /// Stages one wire packet into a batched solve: runs the scalar front
+    /// half (entropy decode through the warm safeguard) for this lane and
+    /// appends its measurements, warm seed, and solver configuration to
+    /// `batch`. Returns the lane index to hand back to
+    /// [`Decoder::finish_batch_lane`] once [`Decoder::solve_batch`] has
+    /// run. Lanes staged into one batch must be pairwise-distinct
+    /// `(stream, lead)` decoders of identical configuration — the fleet's
+    /// [`BatchScheduler`](crate::BatchScheduler) guarantees both.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Decoder::decode_packet_with`]; on error nothing
+    /// is staged.
+    pub fn begin_batch_lane(
+        &mut self,
+        packet: &EncodedPacket,
+        batch: &mut BatchDecodeWorkspace<T>,
+    ) -> Result<usize, PipelineError> {
+        let (cfg, warm_started) = self.prepare_solve(packet, &mut batch.scalar)?;
+        let warm = if warm_started { Some(batch.scalar.seed.as_slice()) } else { None };
+        let lane = batch.solve.stage_lane(&batch.scalar.yd, warm);
+        batch.configs.push(cfg);
+        batch.warm_started.push(warm_started);
+        Ok(lane)
+    }
+
+    /// Solves every lane staged in `batch` with one K-wide MMV FISTA
+    /// sweep over this decoder's operator. Any staged lane's decoder may
+    /// issue the call — decoders of one configuration share bit-identical
+    /// operators, Lipschitz constants, and penalty weights by
+    /// construction. Per-column convergence masks freeze each lane at its
+    /// own stopping point, so every lane's solution, iteration count, and
+    /// residual are bit-for-bit what its sequential solve would produce.
+    pub fn solve_batch(&self, batch: &mut BatchDecodeWorkspace<T>) {
+        let op = SynthesisOperator::new(&self.phi, &self.dwt);
+        let deflated = DeflatedOperator::with_direction_borrowed(
+            &op,
+            &self.deflation_u,
+            self.policy.deflation_factor,
+        );
+        let weights = if self.penalty_weights.is_empty() {
+            None
         } else {
-            fista_weighted_warm_ws_observed(
-                &deflated,
-                &ws.yd,
-                &cfg,
-                Some(self.lipschitz),
-                &self.penalty_weights,
-                warm,
-                &mut ws.solve,
-                &self.telemetry,
-            )
+            Some(self.penalty_weights.as_slice())
         };
+        fista_warm_batch_ws_observed(
+            &deflated,
+            &batch.configs,
+            weights,
+            Some(self.lipschitz),
+            &mut batch.solve,
+            &self.telemetry,
+        );
+    }
+
+    /// The per-lane back half of a batched decode: journals the solve
+    /// trace, synthesizes the samples into `out`, and retains the lane's
+    /// estimate for concealment and warm starts. `lane` is the index
+    /// [`Decoder::begin_batch_lane`] returned and `index` the wire
+    /// sequence number. Per-lane `solve_time` is the batch's wall clock
+    /// divided by its occupancy — an attribution convention, since the
+    /// lanes genuinely ran fused.
+    pub fn finish_batch_lane(
+        &mut self,
+        lane: usize,
+        index: u64,
+        batch: &mut BatchDecodeWorkspace<T>,
+        out: &mut DecodedPacket<T>,
+    ) {
+        let n = self.config.packet_len();
+        let occupancy = u32::try_from(batch.solve.lanes().max(1)).unwrap_or(u32::MAX);
+        let share = batch.solve.elapsed() / occupancy;
+        let warm_started = batch.warm_started[lane];
+        let iterations = batch.solve.iterations(lane);
+        let converged = batch.solve.converged(lane);
+        let residual_norm = batch.solve.residual_norm(lane);
         let (stream, channel) = self.telemetry_labels;
         self.telemetry.record_solve(SolveTrace {
             stream,
             channel,
-            seq: packet.index,
-            iterations: u32::try_from(result.iterations).unwrap_or(u32::MAX),
-            residual: result.residual_norm.to_f64(),
-            solve_ns: u64::try_from(result.elapsed.as_nanos()).unwrap_or(u64::MAX),
+            seq: index,
+            iterations: u32::try_from(iterations).unwrap_or(u32::MAX),
+            residual: residual_norm.to_f64(),
+            solve_ns: u64::try_from(share.as_nanos()).unwrap_or(u64::MAX),
             warm_started,
-            converged: result.converged,
+            converged,
         });
         {
             let _span = self.telemetry.span(Stage::WaveletSynthesis);
             out.samples.clear();
             out.samples.resize(n, T::ZERO);
-            self.dwt.synthesize_scratch(&result.solution, &mut out.samples, &mut ws.grad);
+            self.dwt.synthesize_scratch(
+                batch.solve.solution(lane),
+                &mut out.samples,
+                &mut batch.scalar.grad,
+            );
         }
-        out.index = packet.index;
-        out.iterations = result.iterations;
-        out.converged = result.converged;
-        out.solve_time = result.elapsed;
+        out.index = index;
+        out.iterations = iterations;
+        out.converged = converged;
+        out.solve_time = share;
         out.warm_started = warm_started;
-        out.residual_norm = result.residual_norm;
+        out.residual_norm = residual_norm;
         out.concealed = false;
 
-        // Retain the estimate for loss concealment. Copied, not moved:
-        // the solution vector continues into the warm-start ping-pong
-        // below. One allocation on the first retained window, then
-        // steady-state free.
+        // The batch workspace owns the solution block, so retention
+        // copies out of it instead of the sequential path's ping-pong of
+        // owned vectors. One allocation per lane on its first retained
+        // window, then steady-state free.
+        let solution = batch.solve.solution(lane);
         if self.concealment {
             match &mut self.conceal {
-                Some(c) if c.len() == result.solution.len() => {
-                    c.copy_from_slice(&result.solution)
-                }
-                c => *c = Some(result.solution.clone()),
+                Some(c) if c.len() == solution.len() => c.copy_from_slice(solution),
+                c => *c = Some(solution.to_vec()),
             }
         }
-
-        // Ping-pong the solution vectors: the new estimate replaces the
-        // warm seed and the retired seed's storage returns to the solver
-        // pool — a closed loop with no allocation.
         if self.warm_start {
-            match self.warm.replace(result.solution) {
-                Some(old) => ws.solve.recycle_solution(old),
-                // First packet of a warm stream: the cycle needs two
-                // solution buffers in flight (one retained as the seed,
-                // one in the pool), so mint the second now — the last
-                // setup-time allocation.
-                None => ws.solve.recycle_solution(vec![T::ZERO; n]),
+            match &mut self.warm {
+                Some(w) if w.len() == solution.len() => w.copy_from_slice(solution),
+                w => *w = Some(solution.to_vec()),
             }
-        } else {
-            ws.solve.recycle_solution(result.solution);
         }
-        Ok(())
     }
 
     /// Signals packet loss: decoding resumes at the next reference packet.

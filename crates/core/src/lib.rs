@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 
 mod baseline;
+mod batch;
 mod codebook;
 mod config;
 mod decoder;
@@ -64,6 +65,7 @@ mod pipeline;
 mod stream;
 
 pub use baseline::{BaselinePacket, DwtThresholdCodec};
+pub use batch::{BatchDecodeWorkspace, BatchScheduler};
 pub use codebook::{train_codebook, uniform_codebook};
 pub use config::{SystemConfig, SystemConfigBuilder};
 pub use decoder::{DecodeWorkspace, DecodedPacket, Decoder, SolverPolicy};

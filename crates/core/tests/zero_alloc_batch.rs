@@ -1,0 +1,138 @@
+//! Steady-state **batched** decode must be allocation-free.
+//!
+//! The batched analogue of `zero_alloc.rs`: a counting global allocator
+//! wraps the system allocator; after one full batch round has warmed the
+//! per-worker [`BatchDecodeWorkspace`] (and the scheduler's backlog ring),
+//! every further round — scheduler grouping, staging each lane's front
+//! half, the fused K-wide solve, and scattering the results back into
+//! reused output packets — must perform **zero** heap allocations.
+//!
+//! This lives in its own integration-test binary with a single `#[test]`
+//! so no concurrent test can pollute the allocation counter.
+
+use cs_codec::Codebook;
+use cs_core::{
+    BatchDecodeWorkspace, BatchScheduler, DecodedPacket, Decoder, Encoder, SolverPolicy,
+    SystemConfig,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counts allocations (not deallocations: retiring a buffer is benign,
+/// taking a fresh one is the defect being guarded against).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn synthetic_packet(n: usize, phase: f64) -> Vec<i16> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64;
+            let spike = (-((t - 0.3 + phase) * 40.0).powi(2)).exp()
+                + (-((t - 0.8 + phase) * 40.0).powi(2)).exp();
+            (900.0 * spike + 60.0 * (t * 12.0).sin()) as i16
+        })
+        .collect()
+}
+
+#[test]
+fn steady_state_batched_decode_allocates_nothing() {
+    const K: usize = 4;
+    const ROUNDS: usize = 6;
+
+    let config = SystemConfig::paper_default();
+    let codebook = Arc::new(
+        Codebook::from_counts(&vec![1; config.alphabet()], config.alphabet()).unwrap(),
+    );
+
+    // K independent lanes (think: four leads across two patients), each
+    // with its own DPCM + warm-start state, all sharing one configuration
+    // so the scheduler may fuse them into a single MMV solve.
+    let mut decoders: Vec<Decoder<f32>> = (0..K)
+        .map(|_| {
+            let mut d =
+                Decoder::new(&config, Arc::clone(&codebook), SolverPolicy::default()).unwrap();
+            d.set_warm_start(true);
+            d.set_concealment(true);
+            d
+        })
+        .collect();
+
+    // Pre-encode every lane's stream (reference packet first, then
+    // deltas) so the measured loop is nothing but batching + decode.
+    let wires: Vec<Vec<_>> = (0..K)
+        .map(|lane| {
+            let mut encoder = Encoder::new(&config, Arc::clone(&codebook)).unwrap();
+            (0..ROUNDS)
+                .map(|k| {
+                    let phase = k as f64 * 0.002 + lane as f64 * 0.0007;
+                    encoder.encode_packet(&synthetic_packet(512, phase)).unwrap()
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut sched: BatchScheduler<(usize, usize)> = BatchScheduler::new(K);
+    let mut ws = BatchDecodeWorkspace::for_config(&config, K);
+    let mut batch: Vec<(usize, usize)> = Vec::with_capacity(K);
+    let mut staged: Vec<usize> = Vec::with_capacity(K);
+    let mut outs: Vec<DecodedPacket<f32>> = (0..K).map(|_| DecodedPacket::default()).collect();
+
+    for round in 0..ROUNDS {
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+
+        // Scheduler grouping: one window per lane this round, fused into
+        // a single full-width batch.
+        for lane in 0..K {
+            sched.push((lane, round));
+        }
+        sched.drain_into(&mut batch, |job| job.0);
+        assert_eq!(batch.len(), K);
+
+        ws.begin();
+        staged.clear();
+        for &(lane, window) in &batch {
+            let slot = decoders[lane].begin_batch_lane(&wires[lane][window], &mut ws).unwrap();
+            staged.push(slot);
+        }
+        decoders[batch[0].0].solve_batch(&mut ws);
+        for (&(lane, window), &slot) in batch.iter().zip(&staged) {
+            decoders[lane].finish_batch_lane(slot, window as u64, &mut ws, &mut outs[lane]);
+        }
+
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        if round > 0 {
+            assert_eq!(
+                after - before,
+                0,
+                "steady-state batch round {} allocated {} times",
+                round,
+                after - before
+            );
+        }
+        for out in &outs {
+            assert_eq!(out.samples.len(), 512);
+            assert!(!out.concealed);
+        }
+    }
+}

@@ -2,11 +2,13 @@
 //! OMP, and least-squares debiasing.
 
 mod amp;
+mod batch;
 mod debias;
 mod omp;
 mod shrinkage;
 
 pub use amp::{amp, AmpConfig, AmpResult};
+pub use batch::{fista_warm_batch_ws, fista_warm_batch_ws_observed};
 pub use debias::{debias, DebiasConfig};
 pub use omp::{omp, OmpConfig, OmpResult};
 pub use shrinkage::{

@@ -53,6 +53,39 @@ pub trait Sensing<T: Real> {
         x
     }
 
+    /// Computes `Y = ΦX` for `k` lane-major signal blocks: lane `l`'s
+    /// signal occupies `x[l·N .. (l+1)·N]` and its measurements land in
+    /// `y[l·M .. (l+1)·M]`. The default loops [`Sensing::apply_into`] per
+    /// lane, so batched output is bit-identical to the sequential path by
+    /// construction; implementors may override to amortize index walks
+    /// across lanes, but must preserve each lane's exact operation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols() * k` or `y.len() != self.rows() * k`.
+    fn apply_block_into(&self, x: &[T], k: usize, y: &mut [T]) {
+        assert_eq!(x.len(), self.cols() * k, "apply_block_into: x length mismatch");
+        assert_eq!(y.len(), self.rows() * k, "apply_block_into: y length mismatch");
+        for (xl, yl) in x.chunks_exact(self.cols()).zip(y.chunks_exact_mut(self.rows())) {
+            self.apply_into(xl, yl);
+        }
+    }
+
+    /// Computes `X = ΦᴴY` for `k` lane-major measurement blocks (adjoint
+    /// twin of [`Sensing::apply_block_into`], same layout and bit-identity
+    /// contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != self.rows() * k` or `x.len() != self.cols() * k`.
+    fn adjoint_block_into(&self, y: &[T], k: usize, x: &mut [T]) {
+        assert_eq!(y.len(), self.rows() * k, "adjoint_block_into: y length mismatch");
+        assert_eq!(x.len(), self.cols() * k, "adjoint_block_into: x length mismatch");
+        for (yl, xl) in y.chunks_exact(self.rows()).zip(x.chunks_exact_mut(self.cols())) {
+            self.adjoint_into(yl, xl);
+        }
+    }
+
     /// Materializes Φ row-major — intended for diagnostics and tests, not
     /// for the hot path.
     fn to_dense(&self) -> Vec<T> {
@@ -87,6 +120,14 @@ impl<T: Real, S: Sensing<T> + ?Sized> Sensing<T> for &S {
 
     fn adjoint_into(&self, y: &[T], x: &mut [T]) {
         (**self).adjoint_into(y, x)
+    }
+
+    fn apply_block_into(&self, x: &[T], k: usize, y: &mut [T]) {
+        (**self).apply_block_into(x, k, y)
+    }
+
+    fn adjoint_block_into(&self, y: &[T], k: usize, x: &mut [T]) {
+        (**self).adjoint_block_into(y, k, x)
     }
 }
 
@@ -464,6 +505,43 @@ impl<T: Real> Sensing<T> for SparseBinarySensing {
             *xv = gather_sum(y, self.column_support(j)) * scale;
         }
     }
+
+    fn apply_block_into(&self, x: &[T], k: usize, y: &mut [T]) {
+        assert_eq!(x.len(), self.n * k, "apply_block_into: x length mismatch");
+        assert_eq!(y.len(), self.m * k, "apply_block_into: y length mismatch");
+        // MMV gather: walk the CSR index stream once per batch and reuse
+        // each row's support slice across the K lanes. Per lane this is the
+        // identical `gather_sum` over the identical support as the scalar
+        // `apply_into`, so the output is bit-for-bit the sequential result —
+        // only the (row, lane) visiting order changes, and each output
+        // element's reduction is self-contained.
+        let scale = T::from_f64(self.nonzero_value());
+        let mut lo = self.row_ptr[0] as usize;
+        for i in 0..self.m {
+            let hi = self.row_ptr[i + 1] as usize;
+            let support = &self.row_cols[lo..hi];
+            for lane in 0..k {
+                y[lane * self.m + i] =
+                    gather_sum(&x[lane * self.n..(lane + 1) * self.n], support) * scale;
+            }
+            lo = hi;
+        }
+    }
+
+    fn adjoint_block_into(&self, y: &[T], k: usize, x: &mut [T]) {
+        assert_eq!(y.len(), self.m * k, "adjoint_block_into: y length mismatch");
+        assert_eq!(x.len(), self.n * k, "adjoint_block_into: x length mismatch");
+        // Same amortization for the CSC direction: one column-support walk
+        // feeds all K lanes' gathers.
+        let scale = T::from_f64(self.nonzero_value());
+        for j in 0..self.n {
+            let support = self.column_support(j);
+            for lane in 0..k {
+                x[lane * self.n + j] =
+                    gather_sum(&y[lane * self.m..(lane + 1) * self.m], support) * scale;
+            }
+        }
+    }
 }
 
 /// `Σ src[idx]` with four independent accumulators: a single running sum
@@ -754,6 +832,34 @@ mod tests {
                     "CSR vs CSC row {} (d={}): {} vs {}", i, d, y_csr[i], y_csc[i]);
                 prop_assert!((y_csr[i] - y_dense[i]).abs() < 1e-9,
                     "CSR vs dense row {} (d={}): {} vs {}", i, d, y_csr[i], y_dense[i]);
+            }
+        }
+
+        #[test]
+        fn prop_block_kernels_bitwise_match_scalar(
+            seed in any::<u64>(),
+            k in 1_usize..9,
+        ) {
+            let (m, n, d) = (24, 48, 6);
+            let phi = SparseBinarySensing::new(m, n, d, seed).unwrap();
+            let x: Vec<f64> = (0..n * k)
+                .map(|i| ((i as f64) * 0.29).sin() * 10.0)
+                .collect();
+            let mut y_block = vec![0.0_f64; m * k];
+            phi.apply_block_into(&x, k, &mut y_block);
+            for lane in 0..k {
+                let y_seq: Vec<f64> = phi.apply(&x[lane * n..(lane + 1) * n]);
+                for (a, b) in y_block[lane * m..(lane + 1) * m].iter().zip(&y_seq) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "apply lane {} diverged", lane);
+                }
+            }
+            let mut x_block = vec![0.0_f64; n * k];
+            phi.adjoint_block_into(&y_block, k, &mut x_block);
+            for lane in 0..k {
+                let x_seq: Vec<f64> = phi.adjoint(&y_block[lane * m..(lane + 1) * m]);
+                for (a, b) in x_block[lane * n..(lane + 1) * n].iter().zip(&x_seq) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "adjoint lane {} diverged", lane);
+                }
             }
         }
 

@@ -77,6 +77,29 @@ pub fn prometheus(snap: &TelemetrySnapshot) -> String {
             );
         }
     }
+    // Batch occupancy only appears once a batched solve has run, so
+    // sequential deployments export no empty family.
+    if snap.batch_occupancy.count() > 0 {
+        out.push_str("# HELP cs_batch_occupancy Lanes per batched FISTA solve\n");
+        out.push_str("# TYPE cs_batch_occupancy histogram\n");
+        let hist = &snap.batch_occupancy;
+        let mut cumulative = 0u64;
+        for (i, &c) in hist.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cumulative += c;
+            let _ = writeln!(
+                out,
+                "cs_batch_occupancy_bucket{{le=\"{}\"}} {}",
+                bucket_upper(i),
+                cumulative
+            );
+        }
+        let _ = writeln!(out, "cs_batch_occupancy_bucket{{le=\"+Inf\"}} {}", hist.count());
+        let _ = writeln!(out, "cs_batch_occupancy_sum {}", hist.sum_ns());
+        let _ = writeln!(out, "cs_batch_occupancy_count {}", hist.count());
+    }
     out.push_str("# HELP cs_worker_packets_total Packets decoded per fleet worker\n");
     out.push_str("# TYPE cs_worker_packets_total counter\n");
     for (worker, &packets) in snap.worker_packets.iter().enumerate() {
@@ -177,9 +200,20 @@ pub fn json_line(snap: &TelemetrySnapshot) -> String {
         first = false;
         let _ = write!(out, "\"{}\":{count}", op.name());
     }
+    out.push('}');
+    if snap.batch_occupancy.count() > 0 {
+        let hist = &snap.batch_occupancy;
+        let _ = write!(
+            out,
+            ",\"batch_occupancy\":{{\"count\":{},\"mean\":{:.2},\"max\":{}}}",
+            hist.count(),
+            hist.mean_ns(),
+            hist.max_ns()
+        );
+    }
     let _ = write!(
         out,
-        "}},\"journal\":{{\"buffered\":{},\"pushed\":{},\"dropped\":{}}}}}",
+        ",\"journal\":{{\"buffered\":{},\"pushed\":{},\"dropped\":{}}}}}",
         snap.journal_len, snap.journal_pushed, snap.journal_dropped
     );
     out
@@ -320,6 +354,28 @@ mod tests {
         assert!(text.contains("cs_archive_total{op=\"compact\"} 0"));
         let line = reg.json_line();
         assert!(line.contains("\"archive\":{\"append\":2,\"torn_tail\":1}"));
+    }
+
+    #[test]
+    fn batch_occupancy_exported_in_both_formats() {
+        let reg = sample_registry();
+        for lanes in [4, 4, 2, 8] {
+            reg.record_batch_occupancy(lanes);
+        }
+        let text = reg.prometheus();
+        assert!(text.contains("# TYPE cs_batch_occupancy histogram"));
+        assert!(text.contains("cs_batch_occupancy_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("cs_batch_occupancy_count 4"));
+        assert!(text.contains("cs_batch_occupancy_sum 18"));
+        let line = reg.json_line();
+        assert!(line.contains("\"batch_occupancy\":{\"count\":4,\"mean\":4.50,\"max\":8}"));
+        let open = line.matches('{').count();
+        let close = line.matches('}').count();
+        assert_eq!(open, close);
+        // Without any batched solve, neither format mentions occupancy.
+        let off = sample_registry();
+        assert!(!off.prometheus().contains("cs_batch_occupancy"));
+        assert!(!off.json_line().contains("batch_occupancy"));
     }
 
     #[test]

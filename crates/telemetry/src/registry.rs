@@ -35,6 +35,10 @@ struct Inner {
     workers: [AtomicU64; MAX_WORKERS],
     faults: [AtomicU64; FaultKind::COUNT],
     archive: [AtomicU64; ArchiveOp::COUNT],
+    /// Batched-solve width distribution (raw lane counts, not durations):
+    /// occupancy `k` records the value `k`, so the histogram's mean is the
+    /// fleet's average batch fill.
+    batch_occupancy: Histogram,
     journal: Journal,
 }
 
@@ -94,6 +98,7 @@ impl TelemetryRegistry {
                 workers: std::array::from_fn(|_| AtomicU64::new(0)),
                 faults: std::array::from_fn(|_| AtomicU64::new(0)),
                 archive: std::array::from_fn(|_| AtomicU64::new(0)),
+                batch_occupancy: Histogram::new(),
                 journal: Journal::new(capacity),
             }),
         }
@@ -193,6 +198,19 @@ impl TelemetryRegistry {
         self.inner.archive[op.index()].load(Ordering::Relaxed)
     }
 
+    /// Records the lane occupancy of one batched solve (no-op when
+    /// disabled). The histogram stores raw widths, not durations.
+    pub fn record_batch_occupancy(&self, lanes: usize) {
+        if self.is_enabled() {
+            self.inner.batch_occupancy.record_ns(lanes as u64);
+        }
+    }
+
+    /// The live batched-solve occupancy histogram.
+    pub fn batch_occupancy(&self) -> &Histogram {
+        &self.inner.batch_occupancy
+    }
+
     /// Appends a convergence trace to the journal (no-op when disabled).
     pub fn record_solve(&self, trace: SolveTrace) {
         if self.is_enabled() {
@@ -219,6 +237,7 @@ impl TelemetryRegistry {
             worker_packets: self.worker_packets(MAX_WORKERS),
             faults: FaultKind::ALL.map(|k| (k, self.fault_count(k))),
             archive_ops: ArchiveOp::ALL.map(|o| (o, self.archive_count(o))),
+            batch_occupancy: self.inner.batch_occupancy.snapshot(),
             journal_len: self.inner.journal.len(),
             journal_pushed: self.inner.journal.pushed(),
             journal_dropped: self.inner.journal.dropped(),
@@ -239,6 +258,8 @@ pub struct TelemetrySnapshot {
     pub faults: [(FaultKind, u64); FaultKind::COUNT],
     /// Per-op archive counts, in [`ArchiveOp::ALL`] order.
     pub archive_ops: [(ArchiveOp, u64); ArchiveOp::COUNT],
+    /// Batched-solve lane-occupancy distribution (raw widths).
+    pub batch_occupancy: HistogramSnapshot,
     /// Traces currently buffered in the journal.
     pub journal_len: usize,
     /// Traces ever offered to the journal.
@@ -362,6 +383,22 @@ mod tests {
         off.set_enabled(false);
         off.record_fault(FaultKind::Duplicate);
         assert_eq!(off.fault_count(FaultKind::Duplicate), 0);
+    }
+
+    #[test]
+    fn batch_occupancy_records_raw_widths() {
+        let reg = TelemetryRegistry::new();
+        reg.record_batch_occupancy(4);
+        reg.record_batch_occupancy(8);
+        assert_eq!(reg.batch_occupancy().count(), 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.batch_occupancy.count(), 2);
+        assert_eq!(snap.batch_occupancy.sum_ns(), 12);
+
+        let off = TelemetryRegistry::new();
+        off.set_enabled(false);
+        off.record_batch_occupancy(4);
+        assert_eq!(off.batch_occupancy().count(), 0);
     }
 
     #[test]

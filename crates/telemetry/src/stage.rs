@@ -30,6 +30,10 @@ pub enum Stage {
     /// per-solve iteration count and final residual additionally land in
     /// the event journal.
     FistaSolve,
+    /// Coordinator: one K-wide batched (MMV) FISTA solve amortizing the
+    /// operator's index walks across grouped lanes; the batch width
+    /// additionally lands in the `cs_batch_occupancy` histogram.
+    BatchSolve,
     /// Coordinator: the inverse wavelet transform `x̂ = Ψᵀα` back to
     /// samples.
     WaveletSynthesis,
@@ -53,7 +57,7 @@ pub enum Stage {
 
 impl Stage {
     /// Number of stages (the registry's per-stage array length).
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 14;
 
     /// Every stage, in wire order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -64,6 +68,7 @@ impl Stage {
         Stage::HuffmanDecode,
         Stage::DiffDecode,
         Stage::FistaSolve,
+        Stage::BatchSolve,
         Stage::WaveletSynthesis,
         Stage::Reassembly,
         Stage::IngestValidate,
@@ -89,6 +94,7 @@ impl Stage {
             Stage::HuffmanDecode => "huffman_decode",
             Stage::DiffDecode => "diff_decode",
             Stage::FistaSolve => "fista_solve",
+            Stage::BatchSolve => "batch_solve",
             Stage::WaveletSynthesis => "wavelet_synthesis",
             Stage::Reassembly => "reassembly",
             Stage::IngestValidate => "ingest_validate",

@@ -16,11 +16,24 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
 
-# The zero-alloc test runs in the debug suite above too, but the claim
-# that matters is about the optimized decoder, so pin it in release.
+# The zero-alloc tests run in the debug suite above too, but the claim
+# that matters is about the optimized decoder, so pin them in release —
+# the sequential steady state and the batched (MMV) steady state.
 cargo test -q --release -p cs-core --test zero_alloc
+cargo test -q --release -p cs-core --test zero_alloc_batch
+
+# Batch-vs-sequential equivalence under the optimizer: bit-exactness is
+# the MMV path's contract, and fast-math-style regressions only show up
+# in release codegen.
+cargo test -q --release --test numerical_equivalence
 
 scripts/bench_snapshot.sh --quick
+
+# The quick snapshot doubles as the batched-bench smoke: fail if the
+# MMV benches stopped producing rows (a silent rename would otherwise
+# leave the committed baseline comparing against nothing).
+grep -q '"fleet_throughput/fleet_batch/8"' target/BENCH_decode_quick.json
+grep -q '"batched_fista/batch_8"' target/BENCH_decode_quick.json
 
 # Telemetry smoke: one tiny fleet (~2 s of signal) with the live
 # registry and both exporters; fails if the scrape comes out empty.

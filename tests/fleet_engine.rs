@@ -147,6 +147,148 @@ fn warm_start_reduces_mean_iterations() {
     );
 }
 
+/// White-ish noise: dense in the wavelet domain, so FISTA needs far more
+/// iterations than on the smooth spike trains — a straggler lane.
+fn noisy(npackets: usize, seed: u64) -> Vec<i16> {
+    let mut state = seed | 1;
+    (0..npackets * N)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 48) as i16) / 64
+        })
+        .collect()
+}
+
+/// With warm starts off, the batched MMV path must be bit-exact against
+/// the sequential path at every width: batching fuses the operator walks
+/// across lanes but never reassociates any lane's arithmetic, and the
+/// per-column convergence masks preserve each lane's iteration count.
+#[test]
+fn batched_fleet_bit_exact_vs_sequential() {
+    let (config, codebook) = setup();
+    let inputs: Vec<Vec<i16>> = (0..4).map(|s| ecg_like(3, s as f64 * 0.03)).collect();
+    let streams: Vec<FleetStream<'_>> = inputs
+        .iter()
+        .map(|i| FleetStream { leads: vec![i, i] })
+        .collect();
+
+    let run = |batch: usize| {
+        let fleet = FleetConfig { workers: 1, batch, ..FleetConfig::default() };
+        let mut out: Vec<Vec<(u64, u8, usize, Vec<f64>)>> = vec![Vec::new(); inputs.len()];
+        run_fleet::<f64, _>(
+            &config,
+            Arc::clone(&codebook),
+            &streams,
+            SolverPolicy::default(),
+            &fleet,
+            |p| {
+                out[p.stream].push((
+                    p.packet.index,
+                    p.channel,
+                    p.packet.iterations,
+                    p.packet.samples.clone(),
+                ))
+            },
+        )
+        .unwrap();
+        out
+    };
+
+    let sequential = run(1);
+    for k in [2, 4, 8] {
+        let batched = run(k);
+        for (stream, (b, s)) in batched.iter().zip(&sequential).enumerate() {
+            assert_eq!(b.len(), s.len(), "stream {stream} length at K={k}");
+            for ((bi, bc, bit, bs), (si, sc, sit, ss)) in b.iter().zip(s) {
+                assert_eq!((bi, bc), (si, sc), "stream {stream} reordered at K={k}");
+                assert_eq!(bit, sit, "stream {stream} window {bi} iterations at K={k}");
+                assert!(
+                    bs.iter().zip(ss).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "stream {stream} window {bi} lead {bc} not bit-exact at K={k}"
+                );
+            }
+        }
+    }
+}
+
+/// One straggler lane in a batch (dense noise, slow to converge) must not
+/// inflate its batchmates' iteration counts: the convergence mask freezes
+/// each converged column while the straggler keeps iterating, so every
+/// lane's count equals its sequential one exactly.
+#[test]
+fn straggler_lane_does_not_inflate_batchmates() {
+    let (config, codebook) = setup();
+    let hard = noisy(3, 0xDEAD);
+    let easies: Vec<Vec<i16>> = (0..3).map(|s| ecg_like(3, s as f64 * 0.02)).collect();
+    let mut streams: Vec<FleetStream<'_>> = vec![FleetStream::single(&hard)];
+    streams.extend(easies.iter().map(|i| FleetStream::single(i)));
+
+    let run = |batch: usize| {
+        let fleet = FleetConfig { workers: 1, batch, ..FleetConfig::default() };
+        let mut iters: Vec<Vec<(u64, usize)>> = vec![Vec::new(); streams.len()];
+        run_fleet::<f64, _>(
+            &config,
+            Arc::clone(&codebook),
+            &streams,
+            SolverPolicy::default(),
+            &fleet,
+            |p| iters[p.stream].push((p.packet.index, p.packet.iterations)),
+        )
+        .unwrap();
+        iters
+    };
+
+    let sequential = run(1);
+    let batched = run(4);
+
+    // The noise lane genuinely straggles past every smooth lane…
+    let total = |v: &[(u64, usize)]| v.iter().map(|(_, i)| i).sum::<usize>();
+    for easy in 1..streams.len() {
+        assert!(
+            total(&sequential[0]) > total(&sequential[easy]),
+            "noise lane ({}) must out-iterate smooth lane {easy} ({})",
+            total(&sequential[0]),
+            total(&sequential[easy])
+        );
+    }
+    // …yet batching next to it changes nothing: per-lane windows arrive in
+    // the same order with the same iteration counts.
+    assert_eq!(batched, sequential, "straggler leaked into batchmates");
+}
+
+/// Batching must not disturb the fleet's load accounting: with stream
+/// affinity, equal-length streams split evenly over the workers whatever
+/// the batch width.
+#[test]
+fn batched_fleet_keeps_worker_load_balanced() {
+    let (config, codebook) = setup();
+    let inputs: Vec<Vec<i16>> = (0..6).map(|s| ecg_like(3, s as f64 * 0.015)).collect();
+    let streams: Vec<FleetStream<'_>> =
+        inputs.iter().map(|i| FleetStream::single(i)).collect();
+    let fleet = FleetConfig { workers: 2, batch: 4, ..FleetConfig::default() };
+    let report = run_fleet::<f32, _>(
+        &config,
+        codebook,
+        &streams,
+        SolverPolicy::default(),
+        &fleet,
+        |_| {},
+    )
+    .unwrap();
+
+    assert_eq!(report.packets_decoded, 18);
+    let max = *report.worker_packets.iter().max().unwrap();
+    let min = *report.worker_packets.iter().min().unwrap();
+    assert_eq!(
+        max - min,
+        0,
+        "worker imbalance under batching: {:?}",
+        report.worker_packets
+    );
+}
+
 /// A corrupt packet mid-traffic must abort the run with a stream-attributed
 /// fleet error — and the run must terminate (no deadlocked producers or
 /// workers) even with minimal queue capacity.

@@ -8,7 +8,9 @@
 //! one-line `name ... time: [min median mean max]` report. No statistics
 //! engine, plots or HTML reports. `min` leads because on small shared
 //! hosts it is the statistic least distorted by scheduler steal; compare
-//! builds on `min`, read `median`/`mean` as a noise gauge.
+//! builds on `min`, read `median`/`mean` as a noise gauge. A substring
+//! filter narrows a run to matching benches (`cargo bench -- <filter>`
+//! or `CRITERION_FILTER=<filter>`).
 
 #![forbid(unsafe_code)]
 
@@ -62,6 +64,7 @@ impl From<String> for BenchmarkId {
 pub struct Criterion {
     warm_up_time: Duration,
     measurement_time: Duration,
+    filter: Option<String>,
 }
 
 impl Default for Criterion {
@@ -76,6 +79,7 @@ impl Default for Criterion {
         Criterion {
             warm_up_time: Duration::from_millis(ms / 3),
             measurement_time: Duration::from_millis(ms),
+            filter: std::env::var("CRITERION_FILTER").ok().filter(|s| !s.is_empty()),
         }
     }
 }
@@ -98,8 +102,14 @@ impl Criterion {
         self
     }
 
-    /// Accepted for API compatibility (upstream reads CLI args).
-    pub fn configure_from_args(self) -> Self {
+    /// Reads the substring filter upstream takes on the command line
+    /// (`cargo bench -- <filter>`); flags are ignored. The
+    /// `CRITERION_FILTER` environment variable is an equivalent spelling
+    /// for harnesses that cannot thread argv through.
+    pub fn configure_from_args(mut self) -> Self {
+        if let Some(filter) = std::env::args().skip(1).find(|a| !a.starts_with('-')) {
+            self.filter = Some(filter);
+        }
         self
     }
 
@@ -211,6 +221,11 @@ impl Bencher {
 }
 
 fn run_one(criterion: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    if let Some(filter) = &criterion.filter {
+        if !label.contains(filter.as_str()) {
+            return;
+        }
+    }
     // Warm-up pass, discarded.
     let mut warm = Bencher {
         samples: Vec::new(),
