@@ -1,23 +1,28 @@
 //! Telemetry overhead budget: the observed pipeline (live registry,
-//! spans on every stage, solve traces journaled) must cost < 2 % of
-//! throughput against the same pipeline with the disabled registry.
+//! spans on every stage, solve traces journaled, and the end-to-end
+//! trace path — capture stamp plus per-emission SLO accounting) must
+//! cost < 2 % of throughput against the same pipeline with the
+//! disabled registry.
 //!
 //! The two arms run interleaved (disabled, enabled, disabled, ...) so
 //! slow drift on the host hits both equally, and the verdict compares
-//! the median round of each arm. Exits non-zero over budget.
+//! the **minimum** round of each arm — the same statistic
+//! `BENCH_decode.json` pins, because on small shared hosts median and
+//! mean absorb scheduler steal that dwarfs a 2 % effect. Exits
+//! non-zero over budget.
 //!
 //! ```text
 //! cargo bench -p cs-bench --bench telemetry_overhead
 //! ```
 
 use cs_core::{run_streaming_observed, uniform_codebook, SolverPolicy, SystemConfig};
-use cs_telemetry::TelemetryRegistry;
+use cs_telemetry::{TelemetryRegistry, TraceContext};
 use std::sync::Arc;
 use std::time::Instant;
 
 const N: usize = 512;
-const FRAMES: usize = 4;
-const ROUNDS: usize = 7;
+const FRAMES: usize = 8;
+const ROUNDS: usize = 9;
 const ITERS_PER_ROUND: usize = 2;
 const BUDGET_PERCENT: f64 = 2.0;
 
@@ -46,16 +51,21 @@ fn round(
             samples,
             SolverPolicy::default(),
             telemetry,
-            |_| {},
+            // The fleet collector's per-emission work, mirrored here so
+            // the budget covers the trace path: capture stamp (skipped
+            // when disabled, like the producers) + SLO/e2e accounting.
+            |p| {
+                let captured = if telemetry.is_enabled() { telemetry.now_ns() } else { 0 };
+                let _ = telemetry.record_emit(&TraceContext::new(0, 0, p.index, captured));
+            },
         )
         .expect("streaming run");
     }
     started.elapsed().as_secs_f64()
 }
 
-fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    xs[xs.len() / 2]
+fn fastest(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
 }
 
 fn main() {
@@ -77,21 +87,22 @@ fn main() {
     }
 
     let packets = (FRAMES * ITERS_PER_ROUND) as f64;
-    let off_med = median(t_off);
-    let on_med = median(t_on);
-    let overhead = (on_med - off_med) / off_med * 100.0;
+    let off_min = fastest(&t_off);
+    let on_min = fastest(&t_on);
+    let overhead = (on_min - off_min) / off_min * 100.0;
     let snapshot = on.snapshot();
     let observed: u64 = snapshot.stages.iter().map(|(_, h)| h.count()).sum();
 
     println!("# telemetry_overhead — observed pipeline vs disabled registry");
     println!(
-        "disabled registry : {:>8.2} packets/s  (median of {ROUNDS} rounds)",
-        packets / off_med
+        "disabled registry : {:>8.2} packets/s  (fastest of {ROUNDS} rounds)",
+        packets / off_min
     );
     println!(
-        "live registry     : {:>8.2} packets/s  ({observed} span records, {} solve traces)",
-        packets / on_med,
-        snapshot.journal_pushed
+        "live registry     : {:>8.2} packets/s  ({observed} span records, {} solve traces, {} emissions)",
+        packets / on_min,
+        snapshot.journal_pushed,
+        snapshot.slo.patients.iter().map(|p| p.emits).sum::<u64>()
     );
     println!("overhead          : {overhead:>8.2} %  (budget {BUDGET_PERCENT} %)");
 

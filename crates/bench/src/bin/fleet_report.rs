@@ -20,8 +20,15 @@
 //! codebook is trained from the same `--records/--seconds` corpus, so
 //! replay with the settings the session was recorded under.
 //!
+//! `--serve ADDR` (e.g. `--serve 127.0.0.1:9090`, or port `0` for an
+//! ephemeral port) binds a live scrape endpoint on the same registry
+//! *before* the runs start — `GET /metrics`, `/healthz` and `/tracez`
+//! are pollable while the fleet decodes — and parks the process after
+//! the report so collectors can keep scraping. Kill it to exit.
+//!
 //! ```text
-//! cargo run --release -p cs-bench --bin fleet_report [--full] [--telemetry] [--replay DIR]
+//! cargo run --release -p cs-bench --bin fleet_report \
+//!     [--full] [--telemetry] [--replay DIR] [--serve ADDR]
 //! ```
 
 use cs_archive::Archive;
@@ -35,7 +42,8 @@ use cs_metrics::{worker_imbalance, FleetStats, StreamStats};
 use cs_platform::{
     analyze_fleet, CoordinatorSpec, FaultSpec, GilbertElliottParams, LossyLink, SolveSample,
 };
-use cs_telemetry::TelemetryRegistry;
+use cs_telemetry::{MetricsServer, TelemetryRegistry};
+use std::io::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -68,6 +76,7 @@ fn run(
 ) -> (FleetReport, Vec<StreamStats>, Vec<Vec<SolveSample>>) {
     let mut stats = vec![StreamStats::new(); streams.len()];
     let mut solves = vec![Vec::new(); streams.len()];
+    let deadline = telemetry.slo_config().deadline;
     let report = run_fleet_observed::<f32, _>(
         config,
         Arc::clone(codebook),
@@ -81,6 +90,9 @@ fn run(
                 p.packet.solve_time.as_secs_f64(),
                 p.packet.warm_started,
             );
+            if let Some(e2e) = p.e2e {
+                stats[p.stream].record_e2e(e2e.as_secs_f64(), e2e > deadline);
+            }
             solves[p.stream].push(SolveSample {
                 iterations: p.packet.iterations,
                 solve_time: p.packet.solve_time,
@@ -154,14 +166,75 @@ fn stage_table(registry: &TelemetryRegistry) {
     }
 }
 
+/// The per-patient SLO panel from the live registry's burn-rate engine.
+fn slo_panel(registry: &TelemetryRegistry) {
+    let slo = registry.slo_snapshot();
+    if slo.patients.is_empty() {
+        return;
+    }
+    println!("== Per-patient SLO ==");
+    println!(
+        "deadline budget         : {:>8.3} s  ({} patients active)",
+        slo.deadline_ns as f64 / 1e9,
+        slo.patients.len()
+    );
+    println!(
+        "{:<8} {:>9} {:>8} {:>8} {:>10} {:>10} {:>11}",
+        "patient", "emits", "misses", "lanes", "fast burn", "slow burn", "health"
+    );
+    for p in &slo.patients {
+        println!(
+            "{:<8} {:>9} {:>8} {:>8} {:>10.2} {:>10.2} {:>11}",
+            p.patient,
+            p.emits,
+            p.deadline_misses,
+            p.lanes.len(),
+            p.fast_burn,
+            p.slow_burn,
+            p.health.name()
+        );
+    }
+}
+
+/// `--serve ADDR`: binds the scrape endpoint on `registry` and announces
+/// it. Bound *before* any decode runs so collectors can watch live.
+fn bind_server(settings: &RunSettings, registry: &TelemetryRegistry) -> Option<MetricsServer> {
+    let addr = settings.serve.as_deref()?;
+    let server = MetricsServer::bind(addr, registry.clone()).expect("bind metrics server");
+    println!(
+        "serving http://{0}/metrics  http://{0}/healthz  http://{0}/tracez",
+        server.local_addr()
+    );
+    // The smoke harness parses the announced port from a pipe: flush past
+    // block buffering before the long decode phase starts.
+    std::io::stdout().flush().ok();
+    Some(server)
+}
+
+/// With `--serve`, the report is a long-running scrape target: park after
+/// printing so collectors keep a live endpoint. Without it, fall through.
+fn park_if_serving(server: Option<MetricsServer>) {
+    if let Some(server) = server {
+        println!(
+            "report complete; still serving http://{}/metrics — kill to exit",
+            server.local_addr()
+        );
+        std::io::stdout().flush().ok();
+        loop {
+            std::thread::park();
+        }
+    }
+}
+
 /// `--replay DIR`: the wire-feed report over an archived session.
 fn replay_report(
     dir: &str,
     config: &SystemConfig,
     codebook: &Arc<cs_codec::Codebook>,
     settings: &RunSettings,
+    registry: &TelemetryRegistry,
 ) {
-    let registry = TelemetryRegistry::new();
+    let registry = registry.clone();
     let (archive, recovery) =
         Archive::open_observed(dir, registry.clone()).expect("open archive");
     let patients = archive.patients();
@@ -177,6 +250,7 @@ fn replay_report(
         .map(|&p| archive.replay_stream(p).expect("replay stream"))
         .collect();
     let mut stats = vec![StreamStats::new(); traffic.len()];
+    let deadline = registry.slo_config().deadline;
     let wire_report = run_fleet_wire::<f32, _>(
         config,
         Arc::clone(codebook),
@@ -190,6 +264,9 @@ fn replay_report(
                 p.packet.solve_time.as_secs_f64(),
                 p.packet.warm_started,
             );
+            if let Some(e2e) = p.e2e {
+                stats[p.stream].record_e2e(e2e.as_secs_f64(), e2e > deadline);
+            }
         },
     )
     .expect("replay fleet run");
@@ -203,6 +280,13 @@ fn replay_report(
         fleet.solve_time_p99() * 1e3,
         fleet.iterations.mean()
     );
+    println!(
+        "e2e p50/p99             : {:>8.2} / {:.2} ms  ({} deadline misses)",
+        fleet.e2e_p50() * 1e3,
+        fleet.e2e_p99() * 1e3,
+        fleet.deadline_misses
+    );
+    slo_panel(&registry);
     println!("== Telemetry (live registry) ==");
     stage_table(&registry);
     if settings.telemetry {
@@ -239,8 +323,15 @@ fn main() {
         .map(|p| p.to_vec());
     let codebook = Arc::new(train_codebook(&config, training).expect("training succeeds"));
 
+    // One live registry for the whole report; with `--serve` it is
+    // scrapeable from before the first decode until the process is
+    // killed.
+    let registry = TelemetryRegistry::new();
+    let server = bind_server(&settings, &registry);
+
     if let Some(dir) = settings.replay.clone() {
-        replay_report(&dir, &config, &codebook, &settings);
+        replay_report(&dir, &config, &codebook, &settings, &registry);
+        park_if_serving(server);
         return;
     }
 
@@ -269,9 +360,8 @@ fn main() {
     let sequential_wall = started.elapsed();
     let sequential_rate = sequential_packets as f64 / sequential_wall.as_secs_f64();
 
-    // The cold run decodes against a live registry; the stage table and
+    // The cold run decodes against the live registry; the stage table and
     // per-worker counts below come from it, not from the callbacks.
-    let registry = TelemetryRegistry::new();
     let fleet_cfg = FleetConfig::default();
     let (cold_report, cold_stats, solves) =
         run(&streams, &config, &codebook, &fleet_cfg, &registry);
@@ -284,8 +374,16 @@ fn main() {
         &TelemetryRegistry::disabled(),
     );
 
-    let cold = FleetStats::from_streams(&cold_stats);
+    let mut cold = FleetStats::from_streams(&cold_stats);
     let warm = FleetStats::from_streams(&warm_stats);
+    {
+        let slo = registry.slo_snapshot();
+        cold.set_health_counts(
+            slo.count_in(cs_telemetry::HealthState::Healthy),
+            slo.count_in(cs_telemetry::HealthState::Degraded),
+            slo.count_in(cs_telemetry::HealthState::Stalled),
+        );
+    }
     let fleet_rate = cold_report.packets_decoded as f64 / cold_report.wall_time.as_secs_f64();
 
     println!("== Fleet topology ==");
@@ -311,6 +409,16 @@ fn main() {
         cold_report.workers, fleet_rate, cold_report.packets_decoded, cold_report.wall_time
     );
     println!("speedup                 : {:>8.2} ×", fleet_rate / sequential_rate);
+    println!(
+        "e2e p50/p99 (cold)      : {:>8.2} / {:.2} ms  ({} deadline misses)",
+        cold.e2e_p50() * 1e3,
+        cold.e2e_p99() * 1e3,
+        cold.deadline_misses
+    );
+    println!(
+        "patient health          : {:>6} healthy, {} degraded, {} stalled",
+        cold.healthy, cold.degraded, cold.stalled
+    );
 
     println!("== Warm-start FISTA ==");
     println!(
@@ -380,6 +488,7 @@ fn main() {
     )
     .expect("wire fleet run");
     fault_panel("lossy wire: burst BER 1e-3, 5 % drop", &wire_report);
+    slo_panel(&registry);
 
     let capacity = analyze_fleet(&CoordinatorSpec::iphone_3gs(), cold_report.workers, &solves);
     println!("== Pool capacity (iPhone-3GS budget model) ==");
@@ -419,4 +528,5 @@ fn main() {
         println!("== JSONL snapshot ==");
         println!("{}", registry.json_line());
     }
+    park_if_serving(server);
 }

@@ -97,6 +97,10 @@ pub struct RunSettings {
     /// Drive the run from an archived session (`--replay <dir>`) instead
     /// of a freshly synthesized corpus, in binaries that support it.
     pub replay: Option<String>,
+    /// Serve the live registry over HTTP (`--serve ADDR`, e.g.
+    /// `--serve 127.0.0.1:0`) in binaries that support it: `GET /metrics`
+    /// (Prometheus), `/healthz` (SLO verdict), `/tracez` (solve traces).
+    pub serve: Option<String>,
 }
 
 impl RunSettings {
@@ -107,6 +111,7 @@ impl RunSettings {
             seconds: 16.0,
             telemetry: false,
             replay: None,
+            serve: None,
         }
     }
 
@@ -119,12 +124,13 @@ impl RunSettings {
             seconds: 60.0,
             telemetry: false,
             replay: None,
+            serve: None,
         }
     }
 
-    /// Parses `--records N`, `--seconds S`, `--full`, `--telemetry` and
-    /// `--replay DIR` from process arguments, starting from the quick
-    /// defaults.
+    /// Parses `--records N`, `--seconds S`, `--full`, `--telemetry`,
+    /// `--replay DIR` and `--serve ADDR` from process arguments, starting
+    /// from the quick defaults.
     pub fn from_args() -> Self {
         let mut settings = RunSettings::quick();
         let args: Vec<String> = std::env::args().collect();
@@ -136,11 +142,18 @@ impl RunSettings {
                     settings = RunSettings::full();
                     settings.telemetry = quick.telemetry;
                     settings.replay = quick.replay;
+                    settings.serve = quick.serve;
                 }
                 "--telemetry" => settings.telemetry = true,
                 "--replay" => {
                     if let Some(dir) = args.get(i + 1) {
                         settings.replay = Some(dir.clone());
+                        i += 1;
+                    }
+                }
+                "--serve" => {
+                    if let Some(addr) = args.get(i + 1) {
+                        settings.serve = Some(addr.clone());
                         i += 1;
                     }
                 }

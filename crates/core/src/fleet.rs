@@ -52,7 +52,7 @@ use crate::stream::SHARED_BUFFER_PACKETS;
 use cs_codec::{Codebook, CodecError};
 use cs_dsp::Real;
 use cs_recovery::SpectralCache;
-use cs_telemetry::{FaultKind, Stage, TelemetryRegistry};
+use cs_telemetry::{FaultKind, Stage, TelemetryRegistry, TraceContext};
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -158,6 +158,11 @@ pub struct FleetPacket<T: Real> {
     /// [`PacketOutcome::Decoded`] on the raw/encoded paths; the wire-feed
     /// path additionally emits concealed and quarantined windows.
     pub outcome: PacketOutcome,
+    /// End-to-end latency from capture (packetize/arrival time at the
+    /// producer) to in-order emission by the collector. `None` when the
+    /// run's [`TelemetryRegistry`] is disabled — stamping is gated on the
+    /// registry so the fast path stays a single relaxed load.
+    pub e2e: Option<Duration>,
     /// The reconstruction and its solver statistics.
     pub packet: DecodedPacket<T>,
 }
@@ -236,20 +241,27 @@ impl FleetReport {
 }
 
 /// A unit of decode work: one tagged wire packet with its global
-/// per-stream sequence number.
+/// per-stream sequence number and capture timestamp (registry-monotonic
+/// nanoseconds at packetize time; `0` when telemetry is disabled).
 struct Job {
     stream: usize,
     seq: u64,
+    captured_ns: u64,
     packet: ChannelPacket,
 }
 
-/// What workers (and erroring producers) send the collector.
+/// What workers (and erroring producers) send the collector. `captured_ns`
+/// rides from the producer's stamp; `emitted_ns` is stamped when the
+/// worker hands the window to the result channel, so the collector can
+/// split reorder-buffer dwell from upstream time.
 enum FleetMsg<T: Real> {
     Decoded {
         stream: usize,
         seq: u64,
         channel: u8,
         worker: usize,
+        captured_ns: u64,
+        emitted_ns: u64,
         packet: DecodedPacket<T>,
     },
     Failed {
@@ -448,7 +460,15 @@ where
                 // it crosses the channel by ownership).
                 let mut scratch = DecodeWorkspace::for_config(config);
                 let mut sibling_buf: Vec<T> = Vec::new();
-                for Job { stream, seq, packet } in jobs.iter() {
+                for Job { stream, seq, captured_ns, packet } in jobs.iter() {
+                    // Queue wait: time from packetize to dequeue — pure
+                    // queue pressure, as distinct from solver cost.
+                    if telemetry.is_enabled() {
+                        telemetry.record_stage_ns(
+                            Stage::QueueWait,
+                            telemetry.now_ns().saturating_sub(captured_ns),
+                        );
+                    }
                     // Cross-lead warm start: sibling leads observe the
                     // same heart over the same window, so lead 0's
                     // solution for this frame is the best available seed
@@ -500,11 +520,15 @@ where
                     match decoder.decode_packet_with(&packet.packet, &mut scratch, &mut decoded) {
                         Ok(()) => {
                             telemetry.record_worker_packet(worker_id);
+                            let emitted_ns =
+                                if telemetry.is_enabled() { telemetry.now_ns() } else { 0 };
                             let msg = FleetMsg::Decoded {
                                 stream,
                                 seq,
                                 channel: packet.channel,
                                 worker: worker_id,
+                                captured_ns,
+                                emitted_ns,
                                 packet: decoded,
                             };
                             if results.send(msg).is_err() {
@@ -531,8 +555,8 @@ where
             let stalls = &stalls;
             let telemetry = telemetry.clone();
             scope.spawn(move || {
-                let send = |seq: u64, packet: ChannelPacket| -> bool {
-                    let mut job = Job { stream, seq, packet };
+                let send = |seq: u64, captured_ns: u64, packet: ChannelPacket| -> bool {
+                    let mut job = Job { stream, seq, captured_ns, packet };
                     match jobs.try_send(job) {
                         Ok(()) => true,
                         Err(crossbeam::channel::TrySendError::Full(back)) => {
@@ -546,7 +570,9 @@ where
                 match feed {
                     Feed::Encoded(packets) => {
                         for (seq, packet) in packets.iter().enumerate() {
-                            if !send(seq as u64, packet.clone()) {
+                            let captured_ns =
+                                if telemetry.is_enabled() { telemetry.now_ns() } else { 0 };
+                            if !send(seq as u64, captured_ns, packet.clone()) {
                                 return;
                             }
                         }
@@ -574,6 +600,10 @@ where
                             .min()
                             .unwrap_or(0);
                         for frame in 0..frames {
+                            // Packetize time: one stamp per frame, shared
+                            // by its leads — they leave the mote together.
+                            let captured_ns =
+                                if telemetry.is_enabled() { telemetry.now_ns() } else { 0 };
                             let window: Vec<&[i16]> = input
                                 .leads
                                 .iter()
@@ -591,7 +621,7 @@ where
                             };
                             for (ch, packet) in tagged.into_iter().enumerate() {
                                 let seq = (frame * channels + ch) as u64;
-                                if !send(seq, packet) {
+                                if !send(seq, captured_ns, packet) {
                                     return;
                                 }
                             }
@@ -606,18 +636,29 @@ where
         drop(job_txs);
 
         // --- Collector: per-stream in-order reassembly -----------------
-        let mut pending: Vec<BTreeMap<u64, (u8, DecodedPacket<T>)>> =
+        // Pending slot: (channel, packet, captured_ns, emitted_ns).
+        type PendingSlot<T> = (u8, DecodedPacket<T>, u64, u64);
+        let mut pending: Vec<BTreeMap<u64, PendingSlot<T>>> =
             (0..nstreams).map(|_| BTreeMap::new()).collect();
         let mut next_seq = vec![0u64; nstreams];
         for msg in res_rx.iter() {
             match msg {
-                FleetMsg::Decoded { stream, seq, channel, worker, packet } => {
+                FleetMsg::Decoded {
+                    stream,
+                    seq,
+                    channel,
+                    worker,
+                    captured_ns,
+                    emitted_ns,
+                    packet,
+                } => {
                     let _span = telemetry.span(Stage::Reassembly);
                     worker_packets[worker] += 1;
-                    pending[stream].insert(seq, (channel, packet));
-                    while let Some((channel, packet)) =
+                    pending[stream].insert(seq, (channel, packet, captured_ns, emitted_ns));
+                    while let Some((channel, packet, captured_ns, emitted_ns)) =
                         pending[stream].remove(&next_seq[stream])
                     {
+                        let seq = next_seq[stream];
                         next_seq[stream] += 1;
                         let summary = &mut summaries[stream];
                         summary.packets += 1;
@@ -628,10 +669,29 @@ where
                         packets_decoded += 1;
                         total_decode += packet.solve_time;
                         max_decode = max_decode.max(packet.solve_time);
+                        // Emit-deliver dwell (worker send → in-order
+                        // emission), then the end-to-end record that
+                        // feeds per-patient histograms and the SLO engine.
+                        let mut e2e = None;
+                        if telemetry.is_enabled() {
+                            telemetry.record_stage_ns(
+                                Stage::EmitDeliver,
+                                telemetry.now_ns().saturating_sub(emitted_ns),
+                            );
+                            e2e = telemetry
+                                .record_emit(&TraceContext::new(
+                                    u32::try_from(stream).unwrap_or(u32::MAX),
+                                    channel,
+                                    seq,
+                                    captured_ns,
+                                ))
+                                .map(|rec| Duration::from_nanos(rec.e2e_ns));
+                        }
                         let delivered = FleetPacket {
                             stream,
                             channel,
                             outcome: PacketOutcome::Decoded,
+                            e2e,
                             packet,
                         };
                         on_packet(&delivered);
@@ -705,6 +765,17 @@ fn batched_fleet_worker<T: Real>(
     let mut batch: Vec<Job> = Vec::with_capacity(width);
     let mut staged: Vec<usize> = Vec::with_capacity(width);
     let mut sibling_buf: Vec<T> = Vec::new();
+    // Queue wait is measured at receive time — the batch linger that
+    // follows is accounted separately, so the two pressures (upstream
+    // backlog vs. deliberate batching delay) stay distinguishable.
+    let note_queue_wait = |job: &Job| {
+        if telemetry.is_enabled() {
+            telemetry.record_stage_ns(
+                Stage::QueueWait,
+                telemetry.now_ns().saturating_sub(job.captured_ns),
+            );
+        }
+    };
     'rounds: loop {
         // Fill policy: block only when nothing at all is held (a lone
         // straggler stream still decodes, at occupancy 1, instead of
@@ -727,11 +798,17 @@ fn batched_fleet_worker<T: Real>(
                 break;
             }
             match jobs.try_recv() {
-                Ok(job) => sched.push(job),
+                Ok(job) => {
+                    note_queue_wait(&job);
+                    sched.push(job);
+                }
                 Err(crossbeam::channel::TryRecvError::Empty) => {
                     if sched.is_idle() {
                         match jobs.recv() {
-                            Ok(job) => sched.push(job),
+                            Ok(job) => {
+                                note_queue_wait(&job);
+                                sched.push(job);
+                            }
                             Err(_) => break 'rounds,
                         }
                     } else {
@@ -742,7 +819,10 @@ fn batched_fleet_worker<T: Real>(
                             break;
                         }
                         match jobs.recv_timeout(deadline - now) {
-                            Ok(job) => sched.push(job),
+                            Ok(job) => {
+                                note_queue_wait(&job);
+                                sched.push(job);
+                            }
                             Err(crossbeam::channel::RecvTimeoutError::Timeout) => break,
                             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
                         }
@@ -754,6 +834,17 @@ fn batched_fleet_worker<T: Real>(
                     }
                     break;
                 }
+            }
+        }
+        // One linger record per round that actually lingered: how long
+        // this partial batch deliberately waited for batchmates.
+        if telemetry.is_enabled() {
+            if let Some(deadline) = linger_deadline {
+                let lingered = Instant::now().saturating_duration_since(deadline - BATCH_LINGER);
+                telemetry.record_stage_ns(
+                    Stage::BatchLinger,
+                    u64::try_from(lingered.as_nanos()).unwrap_or(u64::MAX),
+                );
             }
         }
         sched.drain_into(&mut batch, |j| (j.stream, j.packet.channel));
@@ -824,11 +915,14 @@ fn batched_fleet_worker<T: Real>(
             let mut decoded = DecodedPacket::default();
             decoder.finish_batch_lane(lane, job.packet.packet.index, &mut ws, &mut decoded);
             telemetry.record_worker_packet(worker_id);
+            let emitted_ns = if telemetry.is_enabled() { telemetry.now_ns() } else { 0 };
             let msg = FleetMsg::Decoded {
                 stream: job.stream,
                 seq: job.seq,
                 channel: job.packet.channel,
                 worker: worker_id,
+                captured_ns: job.captured_ns,
+                emitted_ns,
                 packet: decoded,
             };
             if results.send(msg).is_err() {
@@ -838,9 +932,12 @@ fn batched_fleet_worker<T: Real>(
     }
 }
 
-/// A unit of wire-feed work: one frame exactly as it came off the link.
+/// A unit of wire-feed work: one frame exactly as it came off the link,
+/// stamped with its arrival time (registry-monotonic nanoseconds; `0`
+/// when telemetry is disabled).
 struct WireJob {
     stream: usize,
+    captured_ns: u64,
     bytes: Vec<u8>,
 }
 
@@ -857,6 +954,11 @@ enum WireMsg<T: Real> {
         emit_seq: u64,
         channel: u8,
         worker: usize,
+        /// Arrival stamp of the frame this window came from; concealed
+        /// windows carry the stamp of the arrival that exposed the gap.
+        captured_ns: u64,
+        /// When the worker handed this window to the result channel.
+        emitted_ns: u64,
         outcome: PacketOutcome,
         packet: DecodedPacket<T>,
     },
@@ -883,7 +985,9 @@ struct WireWorker<'e, T: Real> {
     quarantine: &'e Mutex<QuarantineRing>,
     chaos_fired: &'e AtomicBool,
     lanes: HashMap<(usize, u8), Decoder<T>>,
-    seqs: HashMap<(usize, u8), Reassembler<EncodedPacket>>,
+    /// Reassembler payload carries the frame's arrival stamp alongside
+    /// the packet, so capture time survives reordering.
+    seqs: HashMap<(usize, u8), Reassembler<(EncodedPacket, u64)>>,
     emit_seq: HashMap<usize, u64>,
     scratch: DecodeWorkspace<T>,
     results: crossbeam::channel::Sender<WireMsg<T>>,
@@ -902,6 +1006,7 @@ struct WireWorker<'e, T: Real> {
 struct PendingEmit {
     stream: usize,
     channel: u8,
+    captured_ns: u64,
     kind: PendingKind,
 }
 
@@ -927,8 +1032,16 @@ impl<T: Real> WireWorker<'_, T> {
 
     /// Validates one arrived frame and advances its lane. Returns `false`
     /// when the collector hung up (shutdown).
-    fn ingest(&mut self, stream: usize, bytes: &[u8]) -> bool {
+    fn ingest(&mut self, stream: usize, bytes: &[u8], captured_ns: u64) -> bool {
         self.counters.add_frame();
+        // Queue wait: producer stamp → worker dequeue, before any
+        // validation work is charged to this frame.
+        if self.telemetry.is_enabled() {
+            self.telemetry.record_stage_ns(
+                Stage::QueueWait,
+                self.telemetry.now_ns().saturating_sub(captured_ns),
+            );
+        }
         let parsed = {
             let _span = self.telemetry.span(Stage::IngestValidate);
             parse_frame(bytes)
@@ -959,7 +1072,7 @@ impl<T: Real> WireWorker<'_, T> {
             .entry((stream, info.lane))
             .or_insert_with(|| Reassembler::new(self.fleet.reorder_window));
         let mut events = Vec::new();
-        if let Err(reject) = lane.push(info.index, packet, &mut events) {
+        if let Err(reject) = lane.push(info.index, (packet, captured_ns), &mut events) {
             match reject {
                 PushReject::Duplicate => {
                     self.counters.add_duplicate();
@@ -972,24 +1085,28 @@ impl<T: Real> WireWorker<'_, T> {
             }
             return true;
         }
-        self.handle_events(stream, info.lane, events)
+        self.handle_events(stream, info.lane, events, captured_ns)
     }
 
-    /// Emits every sequenced event for one lane.
+    /// Emits every sequenced event for one lane. `fallback_captured` is
+    /// the stamp attributed to events with no frame of their own (a loss
+    /// is discovered by a later arrival — or by `flush` at end of input —
+    /// so the concealment inherits that trigger's capture time).
     fn handle_events(
         &mut self,
         stream: usize,
         channel: u8,
-        events: Vec<SequencedEvent<EncodedPacket>>,
+        events: Vec<SequencedEvent<(EncodedPacket, u64)>>,
+        fallback_captured: u64,
     ) -> bool {
         let batched = self.fleet.batch.max(1) > 1;
         for event in events {
             let alive = match event {
-                SequencedEvent::Deliver(seq, packet) => {
+                SequencedEvent::Deliver(seq, (packet, captured_ns)) => {
                     if batched {
-                        self.stage_supervised(stream, channel, seq, packet)
+                        self.stage_supervised(stream, channel, seq, packet, captured_ns)
                     } else {
-                        self.decode_supervised(stream, channel, seq, packet)
+                        self.decode_supervised(stream, channel, seq, packet, captured_ns)
                     }
                 }
                 SequencedEvent::Lost(seq) => {
@@ -1006,6 +1123,7 @@ impl<T: Real> WireWorker<'_, T> {
                         self.pending.push(PendingEmit {
                             stream,
                             channel,
+                            captured_ns: fallback_captured,
                             kind: PendingKind::Conceal {
                                 seq,
                                 outcome: ConcealmentReason::Loss.into(),
@@ -1013,7 +1131,13 @@ impl<T: Real> WireWorker<'_, T> {
                         });
                         true
                     } else {
-                        self.conceal_slot(stream, channel, seq, ConcealmentReason::Loss.into())
+                        self.conceal_slot(
+                            stream,
+                            channel,
+                            seq,
+                            ConcealmentReason::Loss.into(),
+                            fallback_captured,
+                        )
                     }
                 }
                 SequencedEvent::Resync { .. } => {
@@ -1046,6 +1170,7 @@ impl<T: Real> WireWorker<'_, T> {
         channel: u8,
         wire_seq: u64,
         packet: EncodedPacket,
+        captured_ns: u64,
     ) -> bool {
         // One window per lane per batch: a lane's second window depends
         // on its first, so it flushes the batch and leads the next one.
@@ -1075,6 +1200,7 @@ impl<T: Real> WireWorker<'_, T> {
                 self.pending.push(PendingEmit {
                     stream,
                     channel,
+                    captured_ns,
                     kind: PendingKind::Finish { lane, index: wire_seq },
                 });
                 if self.staged.len() >= self.fleet.batch.max(1) {
@@ -1089,6 +1215,7 @@ impl<T: Real> WireWorker<'_, T> {
                 self.pending.push(PendingEmit {
                     stream,
                     channel,
+                    captured_ns,
                     kind: PendingKind::Conceal {
                         seq: wire_seq,
                         outcome: ConcealmentReason::Desync.into(),
@@ -1112,6 +1239,7 @@ impl<T: Real> WireWorker<'_, T> {
                 self.pending.push(PendingEmit {
                     stream,
                     channel,
+                    captured_ns,
                     kind: PendingKind::Conceal {
                         seq: wire_seq,
                         outcome: PacketOutcome::Quarantined,
@@ -1144,6 +1272,7 @@ impl<T: Real> WireWorker<'_, T> {
                 self.pending.push(PendingEmit {
                     stream,
                     channel,
+                    captured_ns,
                     kind: PendingKind::Conceal {
                         seq: wire_seq,
                         outcome: PacketOutcome::Quarantined,
@@ -1170,7 +1299,7 @@ impl<T: Real> WireWorker<'_, T> {
         }
         let mut i = 0;
         while i < self.pending.len() {
-            let PendingEmit { stream, channel, kind } = self.pending[i];
+            let PendingEmit { stream, channel, captured_ns, kind } = self.pending[i];
             i += 1;
             let alive = match kind {
                 PendingKind::Finish { lane, index } => {
@@ -1189,10 +1318,10 @@ impl<T: Real> WireWorker<'_, T> {
                             self.telemetry.record_fault(FaultKind::DeadlineDegraded);
                         }
                     }
-                    self.emit(stream, channel, PacketOutcome::Decoded, out)
+                    self.emit(stream, channel, PacketOutcome::Decoded, captured_ns, out)
                 }
                 PendingKind::Conceal { seq, outcome } => {
-                    self.conceal_slot(stream, channel, seq, outcome)
+                    self.conceal_slot(stream, channel, seq, outcome, captured_ns)
                 }
             };
             if !alive {
@@ -1215,6 +1344,7 @@ impl<T: Real> WireWorker<'_, T> {
         channel: u8,
         wire_seq: u64,
         packet: EncodedPacket,
+        captured_ns: u64,
     ) -> bool {
         if self.lane(stream, channel).is_err() {
             return false; // construction failure already reported
@@ -1242,7 +1372,7 @@ impl<T: Real> WireWorker<'_, T> {
                         self.telemetry.record_fault(FaultKind::DeadlineDegraded);
                     }
                 }
-                self.emit(stream, channel, PacketOutcome::Decoded, decoded)
+                self.emit(stream, channel, PacketOutcome::Decoded, captured_ns, decoded)
             }
             Ok(Err(PipelineError::Codec(CodecError::MissingReference))) => {
                 // The lane is desynchronized (an upstream loss ate its
@@ -1250,7 +1380,13 @@ impl<T: Real> WireWorker<'_, T> {
                 // the next reference resynchronizes the DPCM loop.
                 self.counters.add_concealed_desync();
                 self.telemetry.record_fault(FaultKind::ConcealedDesync);
-                self.conceal_slot(stream, channel, wire_seq, ConcealmentReason::Desync.into())
+                self.conceal_slot(
+                    stream,
+                    channel,
+                    wire_seq,
+                    ConcealmentReason::Desync.into(),
+                    captured_ns,
+                )
             }
             Ok(Err(e)) => {
                 // The frame passed the CRC but poisoned its decoder — a
@@ -1269,7 +1405,7 @@ impl<T: Real> WireWorker<'_, T> {
                 if let Some(d) = self.lanes.get_mut(&(stream, channel)) {
                     d.desynchronize();
                 }
-                self.conceal_slot(stream, channel, wire_seq, PacketOutcome::Quarantined)
+                self.conceal_slot(stream, channel, wire_seq, PacketOutcome::Quarantined, captured_ns)
             }
             Err(panic) => {
                 // Supervisor: quarantine the offender, then restart the
@@ -1291,7 +1427,7 @@ impl<T: Real> WireWorker<'_, T> {
                 });
                 self.lanes.clear();
                 self.scratch = DecodeWorkspace::for_config(self.config);
-                self.conceal_slot(stream, channel, wire_seq, PacketOutcome::Quarantined)
+                self.conceal_slot(stream, channel, wire_seq, PacketOutcome::Quarantined, captured_ns)
             }
         }
     }
@@ -1303,6 +1439,7 @@ impl<T: Real> WireWorker<'_, T> {
         channel: u8,
         wire_seq: u64,
         outcome: PacketOutcome,
+        captured_ns: u64,
     ) -> bool {
         if self.lane(stream, channel).is_err() {
             return false;
@@ -1316,7 +1453,7 @@ impl<T: Real> WireWorker<'_, T> {
             }
             decoder.conceal_packet_with(wire_seq, &mut self.scratch, &mut out);
         }
-        self.emit(stream, channel, outcome, out)
+        self.emit(stream, channel, outcome, captured_ns, out)
     }
 
     /// Ensures the lane decoder exists; reports construction errors.
@@ -1350,17 +1487,21 @@ impl<T: Real> WireWorker<'_, T> {
         stream: usize,
         channel: u8,
         outcome: PacketOutcome,
+        captured_ns: u64,
         packet: DecodedPacket<T>,
     ) -> bool {
         let seq = self.emit_seq.entry(stream).or_insert(0);
         let emit_seq = *seq;
         *seq += 1;
+        let emitted_ns = if self.telemetry.is_enabled() { self.telemetry.now_ns() } else { 0 };
         self.results
             .send(WireMsg::Emit {
                 stream,
                 emit_seq,
                 channel,
                 worker: self.worker_id,
+                captured_ns,
+                emitted_ns,
                 outcome,
                 packet,
             })
@@ -1371,13 +1512,16 @@ impl<T: Real> WireWorker<'_, T> {
     /// gaps. Tail losses (frames after the last arrival) are undetectable
     /// without an end-of-stream marker and stay unemitted.
     fn flush(&mut self) -> bool {
+        // End-of-input concealments have no triggering arrival; their
+        // capture time is "now" (zero queue blame, honest e2e).
+        let fallback = if self.telemetry.is_enabled() { self.telemetry.now_ns() } else { 0 };
         let keys: Vec<(usize, u8)> = self.seqs.keys().copied().collect();
         for (stream, channel) in keys {
             let mut events = Vec::new();
             if let Some(lane) = self.seqs.get_mut(&(stream, channel)) {
                 lane.flush(&mut events);
             }
-            if !self.handle_events(stream, channel, events) {
+            if !self.handle_events(stream, channel, events, fallback) {
                 return false;
             }
         }
@@ -1579,8 +1723,8 @@ where
                     let mut linger_deadline: Option<Instant> = None;
                     loop {
                         match jobs.try_recv() {
-                            Ok(WireJob { stream, bytes }) => {
-                                if !worker.ingest(stream, &bytes) {
+                            Ok(WireJob { stream, captured_ns, bytes }) => {
+                                if !worker.ingest(stream, &bytes, captured_ns) {
                                     return;
                                 }
                                 if worker.staged_len() == 0 {
@@ -1596,10 +1740,10 @@ where
                                         .get_or_insert_with(|| Instant::now() + BATCH_LINGER);
                                     let now = Instant::now();
                                     if now < deadline {
-                                        if let Ok(WireJob { stream, bytes }) =
+                                        if let Ok(WireJob { stream, captured_ns, bytes }) =
                                             jobs.recv_timeout(deadline - now)
                                         {
-                                            if !worker.ingest(stream, &bytes) {
+                                            if !worker.ingest(stream, &bytes, captured_ns) {
                                                 return;
                                             }
                                             if worker.staged_len() == 0 {
@@ -1609,13 +1753,26 @@ where
                                         }
                                     }
                                 }
+                                // The partial batch is done waiting: record
+                                // how long it deliberately lingered before
+                                // solving below occupancy.
+                                if worker.telemetry.is_enabled() {
+                                    if let Some(deadline) = linger_deadline {
+                                        let lingered = Instant::now()
+                                            .saturating_duration_since(deadline - BATCH_LINGER);
+                                        worker.telemetry.record_stage_ns(
+                                            Stage::BatchLinger,
+                                            u64::try_from(lingered.as_nanos()).unwrap_or(u64::MAX),
+                                        );
+                                    }
+                                }
                                 linger_deadline = None;
                                 if !worker.flush_batch() {
                                     return;
                                 }
                                 match jobs.recv() {
-                                    Ok(WireJob { stream, bytes }) => {
-                                        if !worker.ingest(stream, &bytes) {
+                                    Ok(WireJob { stream, captured_ns, bytes }) => {
+                                        if !worker.ingest(stream, &bytes, captured_ns) {
                                             return;
                                         }
                                     }
@@ -1631,8 +1788,8 @@ where
                     worker.flush(); // reassembler tails stage through the batched path
                     worker.flush_batch();
                 } else {
-                    for WireJob { stream, bytes } in jobs.iter() {
-                        if !worker.ingest(stream, &bytes) {
+                    for WireJob { stream, captured_ns, bytes } in jobs.iter() {
+                        if !worker.ingest(stream, &bytes, captured_ns) {
                             return;
                         }
                     }
@@ -1646,6 +1803,7 @@ where
             let jobs = job_txs[stream % workers].clone();
             let results = res_tx.clone();
             let stalls = &stalls;
+            let telemetry = telemetry.clone();
             scope.spawn(move || {
                 for bytes in frames {
                     // Write-before-decode: the frame reaches durable
@@ -1665,7 +1823,11 @@ where
                             return;
                         }
                     }
-                    let mut job = WireJob { stream, bytes: bytes.clone() };
+                    // Arrival stamp: the wire path's "capture" is the
+                    // moment the frame came off the link.
+                    let captured_ns =
+                        if telemetry.is_enabled() { telemetry.now_ns() } else { 0 };
+                    let mut job = WireJob { stream, captured_ns, bytes: bytes.clone() };
                     match jobs.try_send(job) {
                         Ok(()) => continue,
                         Err(crossbeam::channel::TrySendError::Full(back)) => {
@@ -1684,19 +1846,30 @@ where
         drop(job_txs);
 
         // --- Collector: per-stream in-order emission --------------------
-        type Slot<T> = (u8, PacketOutcome, DecodedPacket<T>);
+        type Slot<T> = (u8, PacketOutcome, DecodedPacket<T>, u64, u64);
         let mut pending: Vec<BTreeMap<u64, Slot<T>>> =
             (0..nstreams).map(|_| BTreeMap::new()).collect();
         let mut next_seq = vec![0u64; nstreams];
         for msg in res_rx.iter() {
             match msg {
-                WireMsg::Emit { stream, emit_seq, channel, worker, outcome, packet } => {
+                WireMsg::Emit {
+                    stream,
+                    emit_seq,
+                    channel,
+                    worker,
+                    captured_ns,
+                    emitted_ns,
+                    outcome,
+                    packet,
+                } => {
                     let _span = telemetry.span(Stage::Reassembly);
                     worker_packets[worker] += 1;
-                    pending[stream].insert(emit_seq, (channel, outcome, packet));
-                    while let Some((channel, outcome, packet)) =
+                    pending[stream]
+                        .insert(emit_seq, (channel, outcome, packet, captured_ns, emitted_ns));
+                    while let Some((channel, outcome, packet, captured_ns, emitted_ns)) =
                         pending[stream].remove(&next_seq[stream])
                     {
+                        let seq = next_seq[stream];
                         next_seq[stream] += 1;
                         let summary = &mut summaries[stream];
                         summary.packets += 1;
@@ -1707,7 +1880,22 @@ where
                         packets_decoded += 1;
                         total_decode += packet.solve_time;
                         max_decode = max_decode.max(packet.solve_time);
-                        let delivered = FleetPacket { stream, channel, outcome, packet };
+                        let mut e2e = None;
+                        if telemetry.is_enabled() {
+                            telemetry.record_stage_ns(
+                                Stage::EmitDeliver,
+                                telemetry.now_ns().saturating_sub(emitted_ns),
+                            );
+                            e2e = telemetry
+                                .record_emit(&TraceContext::new(
+                                    u32::try_from(stream).unwrap_or(u32::MAX),
+                                    channel,
+                                    seq,
+                                    captured_ns,
+                                ))
+                                .map(|rec| Duration::from_nanos(rec.e2e_ns));
+                        }
+                        let delivered = FleetPacket { stream, channel, outcome, e2e, packet };
                         on_packet(&delivered);
                     }
                 }

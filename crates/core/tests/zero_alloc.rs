@@ -1,9 +1,17 @@
-//! Steady-state decode must be allocation-free.
+//! Steady-state decode must be allocation-free — **with tracing on**.
 //!
 //! A counting global allocator wraps the system allocator; after the first
 //! packet has warmed a worker's [`DecodeWorkspace`], every further
 //! `decode_packet_with` into a reused output must perform **zero** heap
 //! allocations — the acceptance criterion of the workspace migration.
+//!
+//! The decoder runs against a **live** telemetry registry and the
+//! measured loop also exercises the end-to-end trace path (capture
+//! stamp → [`TelemetryRegistry::record_emit`] into the SLO engine), so
+//! the guarantee covers observed production decodes, not just the
+//! disabled-registry fast path: stage spans, the solve-trace journal
+//! ring, the e2e histograms and the burn windows are all fixed-size
+//! atomics after construction.
 //!
 //! This lives in its own integration-test binary with a single `#[test]`
 //! so no concurrent test can pollute the allocation counter.
@@ -12,6 +20,7 @@ use cs_codec::Codebook;
 use cs_core::{
     parse_frame, DecodeWorkspace, DecodedPacket, Decoder, Encoder, SolverPolicy, SystemConfig,
 };
+use cs_telemetry::{TelemetryRegistry, TraceContext};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -64,6 +73,11 @@ fn steady_state_decode_allocates_nothing() {
     decoder.set_warm_start(true);
     decoder.set_concealment(true);
 
+    // Trace the steady state: a live registry (journal ring preallocated
+    // at construction) observing every stage span and solve trace.
+    let registry = TelemetryRegistry::new();
+    decoder.set_telemetry(registry.clone());
+
     // Pre-encode the whole stream (reference packet first, then deltas)
     // and pre-serialize the wire frames, so the measurement loop below
     // runs nothing but frame validation + decode.
@@ -85,7 +99,14 @@ fn steady_state_decode_allocates_nothing() {
         // it must not allocate either.
         let (info, _) = parse_frame(bytes).unwrap();
         assert_eq!(info.index, wire.index);
+        // The full trace context rides the packet: capture stamp at
+        // "packetize", emit accounting (e2e histogram + SLO burn
+        // windows) after the decode — all fixed-size atomics.
+        let captured = registry.now_ns();
         decoder.decode_packet_with(wire, &mut ws, &mut out).unwrap();
+        registry
+            .record_emit(&TraceContext::new(0, 0, out.index, captured))
+            .expect("live registry records emissions");
         let after = ALLOCATIONS.load(Ordering::Relaxed);
         assert_eq!(
             after - before,
@@ -110,4 +131,11 @@ fn steady_state_decode_allocates_nothing() {
     assert_eq!(after - before, 0, "concealment allocated {} times", after - before);
     assert_eq!(out.samples.len(), 512);
     assert!(out.concealed);
+
+    // The registry really was live: every decode journaled a solve trace
+    // and every measured packet fed the SLO engine — this test must not
+    // silently regress to the disabled-registry fast path.
+    assert_eq!(registry.journal().pushed(), 6, "one solve trace per decode");
+    assert_eq!(registry.e2e(0).snapshot().count(), 5, "one e2e sample per measured packet");
+    assert_eq!(registry.slo_snapshot().patients.len(), 1);
 }

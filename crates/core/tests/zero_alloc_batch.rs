@@ -1,4 +1,5 @@
-//! Steady-state **batched** decode must be allocation-free.
+//! Steady-state **batched** decode must be allocation-free — with a
+//! live telemetry registry tracing every lane.
 //!
 //! The batched analogue of `zero_alloc.rs`: a counting global allocator
 //! wraps the system allocator; after one full batch round has warmed the
@@ -15,6 +16,7 @@ use cs_core::{
     BatchDecodeWorkspace, BatchScheduler, DecodedPacket, Decoder, Encoder, SolverPolicy,
     SystemConfig,
 };
+use cs_telemetry::{TelemetryRegistry, TraceContext};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -67,13 +69,18 @@ fn steady_state_batched_decode_allocates_nothing() {
 
     // K independent lanes (think: four leads across two patients), each
     // with its own DPCM + warm-start state, all sharing one configuration
-    // so the scheduler may fuse them into a single MMV solve.
+    // so the scheduler may fuse them into a single MMV solve. Every lane
+    // records into one live registry — the traced batched steady state
+    // must hold the zero-allocation guarantee too.
+    let registry = TelemetryRegistry::new();
     let mut decoders: Vec<Decoder<f32>> = (0..K)
-        .map(|_| {
+        .map(|lane| {
             let mut d =
                 Decoder::new(&config, Arc::clone(&codebook), SolverPolicy::default()).unwrap();
             d.set_warm_start(true);
             d.set_concealment(true);
+            d.set_telemetry(registry.clone());
+            d.set_telemetry_labels(0, lane as u8);
             d
         })
         .collect();
@@ -103,6 +110,7 @@ fn steady_state_batched_decode_allocates_nothing() {
 
         // Scheduler grouping: one window per lane this round, fused into
         // a single full-width batch.
+        let captured = registry.now_ns();
         for lane in 0..K {
             sched.push((lane, round));
         }
@@ -118,6 +126,11 @@ fn steady_state_batched_decode_allocates_nothing() {
         decoders[batch[0].0].solve_batch(&mut ws);
         for (&(lane, window), &slot) in batch.iter().zip(&staged) {
             decoders[lane].finish_batch_lane(slot, window as u64, &mut ws, &mut outs[lane]);
+            // Collector-side emit accounting: e2e histogram + SLO burn
+            // windows, fixed-size atomics on the traced path.
+            registry
+                .record_emit(&TraceContext::new(0, lane as u8, window as u64, captured))
+                .expect("live registry records emissions");
         }
 
         let after = ALLOCATIONS.load(Ordering::Relaxed);
@@ -135,4 +148,9 @@ fn steady_state_batched_decode_allocates_nothing() {
             assert!(!out.concealed);
         }
     }
+
+    // The registry really was live across every round (guards against
+    // silently regressing to the disabled-registry fast path).
+    assert_eq!(registry.journal().pushed(), (ROUNDS * K) as u64);
+    assert_eq!(registry.e2e(0).snapshot().count(), (ROUNDS * K) as u64);
 }

@@ -22,6 +22,12 @@ pub struct StreamStats {
     /// Log2 histogram of solve times in nanoseconds — what the quantile
     /// accessors read.
     pub solve_hist: HistogramSnapshot,
+    /// Log2 histogram of end-to-end latencies (capture → in-order
+    /// emission) in nanoseconds. Empty when the run carried no trace
+    /// context (telemetry disabled).
+    pub e2e_hist: HistogramSnapshot,
+    /// Packets whose end-to-end latency exceeded the SLO deadline.
+    pub deadline_misses: u64,
     /// Packets whose solve was seeded from the previous estimate.
     pub warm_started: u64,
 }
@@ -41,9 +47,28 @@ impl StreamStats {
         self.warm_started += u64::from(warm_started);
     }
 
+    /// Adds one packet's end-to-end observation (additive to [`record`]:
+    /// e2e is only available on traced runs, so it rides separately).
+    ///
+    /// [`record`]: StreamStats::record
+    pub fn record_e2e(&mut self, e2e_secs: f64, deadline_missed: bool) {
+        self.e2e_hist.record_ns((e2e_secs * NS_PER_SEC) as u64);
+        self.deadline_misses += u64::from(deadline_missed);
+    }
+
     /// Packets observed.
     pub fn packets(&self) -> u64 {
         self.iterations.count()
+    }
+
+    /// Median end-to-end latency in seconds (log2-bucket resolution).
+    pub fn e2e_p50(&self) -> f64 {
+        self.e2e_hist.quantile(0.50) as f64 / NS_PER_SEC
+    }
+
+    /// 99th-percentile end-to-end latency in seconds.
+    pub fn e2e_p99(&self) -> f64 {
+        self.e2e_hist.quantile(0.99) as f64 / NS_PER_SEC
     }
 
     /// Median solve time in seconds (log2-bucket resolution).
@@ -91,6 +116,19 @@ pub struct FleetStats {
     pub solve_time: Summary,
     /// Merged log2 histogram of solve times in nanoseconds.
     pub solve_hist: HistogramSnapshot,
+    /// Merged log2 histogram of end-to-end latencies in nanoseconds.
+    pub e2e_hist: HistogramSnapshot,
+    /// Deadline-missing packets across the fleet.
+    pub deadline_misses: u64,
+    /// Patients currently Healthy per the SLO engine. Zero until
+    /// [`FleetStats::set_health_counts`] is fed from a telemetry SLO
+    /// snapshot — stream merging alone cannot know burn-rate state.
+    pub healthy: u64,
+    /// Patients currently Degraded (burn rate over threshold in both the
+    /// fast and slow windows).
+    pub degraded: u64,
+    /// Patients currently Stalled (no emission within the stall window).
+    pub stalled: u64,
     /// Warm-started packets across the fleet.
     pub warm_started: u64,
 }
@@ -106,14 +144,33 @@ impl FleetStats {
             fleet.iterations.merge(&s.iterations);
             fleet.solve_time.merge(&s.solve_time);
             fleet.solve_hist.merge(&s.solve_hist);
+            fleet.e2e_hist.merge(&s.e2e_hist);
+            fleet.deadline_misses += s.deadline_misses;
             fleet.warm_started += s.warm_started;
         }
         fleet
     }
 
+    /// Records the per-patient health census from the SLO engine.
+    pub fn set_health_counts(&mut self, healthy: u64, degraded: u64, stalled: u64) {
+        self.healthy = healthy;
+        self.degraded = degraded;
+        self.stalled = stalled;
+    }
+
     /// Total packets across the fleet.
     pub fn packets(&self) -> u64 {
         self.iterations.count()
+    }
+
+    /// Median end-to-end latency in seconds (log2-bucket resolution).
+    pub fn e2e_p50(&self) -> f64 {
+        self.e2e_hist.quantile(0.50) as f64 / NS_PER_SEC
+    }
+
+    /// 99th-percentile end-to-end latency in seconds.
+    pub fn e2e_p99(&self) -> f64 {
+        self.e2e_hist.quantile(0.99) as f64 / NS_PER_SEC
     }
 
     /// Median solve time in seconds (log2-bucket resolution).
@@ -190,6 +247,23 @@ mod tests {
         let fleet = FleetStats::from_streams(&[s, StreamStats::new()]);
         assert_eq!(fleet.solve_hist.count(), 100);
         assert!(fleet.solve_time_p99() >= fleet.solve_time_p50());
+    }
+
+    #[test]
+    fn e2e_observations_ride_separately_from_solve_stats() {
+        let mut s = StreamStats::new();
+        s.record(10, 0.001, false);
+        assert_eq!(s.e2e_hist.count(), 0, "untraced run leaves e2e empty");
+        s.record_e2e(0.004, false);
+        s.record_e2e(3.000, true);
+        assert_eq!(s.e2e_hist.count(), 2);
+        assert_eq!(s.deadline_misses, 1);
+        assert!(s.e2e_p50() >= 0.004 && s.e2e_p99() >= 3.0);
+        let mut fleet = FleetStats::from_streams(&[s, StreamStats::new()]);
+        assert_eq!(fleet.e2e_hist.count(), 2);
+        assert_eq!(fleet.deadline_misses, 1);
+        fleet.set_health_counts(1, 1, 0);
+        assert_eq!((fleet.healthy, fleet.degraded, fleet.stalled), (1, 1, 0));
     }
 
     #[test]

@@ -1,17 +1,86 @@
 //! Exporters: Prometheus text exposition and JSON-Lines snapshots.
 //!
 //! Both render a [`TelemetrySnapshot`], so an export never holds any lock
-//! the recording paths contend on. The formats are hand-rolled — stage
-//! names are a closed set of snake_case identifiers and every value is a
-//! finite number, so no escaping machinery is needed and the crate stays
-//! dependency-free.
+//! the recording paths contend on. The formats are hand-rolled and the
+//! crate stays dependency-free; label values pass through
+//! [`escape_label`] so the output stays spec-conformant even if a label
+//! set ever grows a quote, backslash, or newline (today's sets are
+//! closed snake_case identifiers, so escaping is a no-op in practice —
+//! verified by `tests/prometheus_conformance.rs`).
+//!
+//! Rendering through [`TelemetryRegistry::prometheus`] /
+//! [`TelemetryRegistry::json_line`] is itself observed: render time
+//! lands in the `cs_exporter_render_seconds` histogram (one scrape
+//! behind, since a render can't include its own duration).
 
 use crate::histogram::{bucket_upper, HistogramSnapshot};
 use crate::registry::{TelemetryRegistry, TelemetrySnapshot};
+use crate::slo::HealthState;
 use std::fmt::Write as _;
+use std::time::Instant;
 
 /// The quantiles every exporter and report surface.
 pub const REPORT_QUANTILES: [(f64, &str); 3] = [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")];
+
+/// Escapes a Prometheus label value per the text exposition format:
+/// backslash, double-quote, and line-feed must be backslash-escaped.
+/// Returns the input unchanged (no allocation) when nothing needs
+/// escaping — the common case for this crate's closed label sets.
+pub fn escape_label(value: &str) -> std::borrow::Cow<'_, str> {
+    if !value.contains(['\\', '"', '\n']) {
+        return std::borrow::Cow::Borrowed(value);
+    }
+    let mut out = String::with_capacity(value.len() + 2);
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    std::borrow::Cow::Owned(out)
+}
+
+/// Writes one classic histogram family (cumulative occupied buckets,
+/// `+Inf`, `_sum`, `_count`) with an optional pre-rendered label prefix
+/// like `patient="3",` and a bucket-value-to-`le` mapping.
+fn write_histogram(
+    out: &mut String,
+    family: &str,
+    labels: &str,
+    hist: &HistogramSnapshot,
+    le: impl Fn(u64) -> String,
+    sum: impl Fn(u64) -> String,
+) {
+    let mut cumulative = 0u64;
+    for (i, &c) in hist.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cumulative += c;
+        let _ = writeln!(
+            out,
+            "{family}_bucket{{{labels}le=\"{}\"}} {cumulative}",
+            le(bucket_upper(i))
+        );
+    }
+    let _ = writeln!(out, "{family}_bucket{{{labels}le=\"+Inf\"}} {}", hist.count());
+    // A label-free series is written bare (`x_sum 3`), not as `x_sum{}`.
+    let braces = |s: &str| {
+        if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", s.trim_end_matches(','))
+        }
+    };
+    let _ = writeln!(out, "{family}_sum{} {}", braces(labels), sum(hist.sum_ns()));
+    let _ = writeln!(out, "{family}_count{} {}", braces(labels), hist.count());
+}
+
+fn seconds(ns: u64) -> String {
+    format!("{}", ns as f64 / 1e9)
+}
 
 /// Renders a snapshot in the Prometheus text exposition format.
 ///
@@ -28,37 +97,14 @@ pub fn prometheus(snap: &TelemetrySnapshot) -> String {
         if hist.count() == 0 {
             continue;
         }
-        let mut cumulative = 0u64;
-        for (i, &c) in hist.buckets.iter().enumerate() {
-            if c == 0 {
-                continue;
-            }
-            cumulative += c;
-            let _ = writeln!(
-                out,
-                "cs_stage_latency_ns_bucket{{stage=\"{}\",le=\"{}\"}} {}",
-                stage.name(),
-                bucket_upper(i),
-                cumulative
-            );
-        }
-        let _ = writeln!(
-            out,
-            "cs_stage_latency_ns_bucket{{stage=\"{}\",le=\"+Inf\"}} {}",
-            stage.name(),
-            hist.count()
-        );
-        let _ = writeln!(
-            out,
-            "cs_stage_latency_ns_sum{{stage=\"{}\"}} {}",
-            stage.name(),
-            hist.sum_ns()
-        );
-        let _ = writeln!(
-            out,
-            "cs_stage_latency_ns_count{{stage=\"{}\"}} {}",
-            stage.name(),
-            hist.count()
+        let labels = format!("stage=\"{}\",", escape_label(stage.name()));
+        write_histogram(
+            &mut out,
+            "cs_stage_latency_ns",
+            &labels,
+            hist,
+            |u| u.to_string(),
+            |s| s.to_string(),
         );
     }
     out.push_str("# HELP cs_stage_latency_quantile_ns Per-stage latency quantiles (log2-bucket resolution)\n");
@@ -82,23 +128,14 @@ pub fn prometheus(snap: &TelemetrySnapshot) -> String {
     if snap.batch_occupancy.count() > 0 {
         out.push_str("# HELP cs_batch_occupancy Lanes per batched FISTA solve\n");
         out.push_str("# TYPE cs_batch_occupancy histogram\n");
-        let hist = &snap.batch_occupancy;
-        let mut cumulative = 0u64;
-        for (i, &c) in hist.buckets.iter().enumerate() {
-            if c == 0 {
-                continue;
-            }
-            cumulative += c;
-            let _ = writeln!(
-                out,
-                "cs_batch_occupancy_bucket{{le=\"{}\"}} {}",
-                bucket_upper(i),
-                cumulative
-            );
-        }
-        let _ = writeln!(out, "cs_batch_occupancy_bucket{{le=\"+Inf\"}} {}", hist.count());
-        let _ = writeln!(out, "cs_batch_occupancy_sum {}", hist.sum_ns());
-        let _ = writeln!(out, "cs_batch_occupancy_count {}", hist.count());
+        write_histogram(
+            &mut out,
+            "cs_batch_occupancy",
+            "",
+            &snap.batch_occupancy,
+            |u| u.to_string(),
+            |s| s.to_string(),
+        );
     }
     out.push_str("# HELP cs_worker_packets_total Packets decoded per fleet worker\n");
     out.push_str("# TYPE cs_worker_packets_total counter\n");
@@ -129,6 +166,96 @@ pub fn prometheus(snap: &TelemetrySnapshot) -> String {
     let _ = writeln!(out, "cs_journal_traces{{state=\"buffered\"}} {}", snap.journal_len);
     let _ = writeln!(out, "cs_journal_traces{{state=\"pushed\"}} {}", snap.journal_pushed);
     let _ = writeln!(out, "cs_journal_traces{{state=\"dropped\"}} {}", snap.journal_dropped);
+    // ── End-to-end tracing and SLO families (active patients only). ──
+    if !snap.e2e.is_empty() {
+        out.push_str(
+            "# HELP cs_e2e_latency_seconds Capture-to-emit latency per patient\n",
+        );
+        out.push_str("# TYPE cs_e2e_latency_seconds histogram\n");
+        for (patient, hist) in &snap.e2e {
+            let labels = format!("patient=\"{patient}\",");
+            write_histogram(&mut out, "cs_e2e_latency_seconds", &labels, hist, seconds, seconds);
+        }
+    }
+    if !snap.slo.patients.is_empty() {
+        out.push_str("# HELP cs_deadline_miss_total Emissions that exceeded the end-to-end deadline budget\n");
+        out.push_str("# TYPE cs_deadline_miss_total counter\n");
+        for p in &snap.slo.patients {
+            let _ = writeln!(
+                out,
+                "cs_deadline_miss_total{{patient=\"{}\"}} {}",
+                p.patient, p.deadline_misses
+            );
+        }
+        out.push_str("# HELP cs_lane_freshness_seconds Age of the newest emission per patient lane\n");
+        out.push_str("# TYPE cs_lane_freshness_seconds gauge\n");
+        for p in &snap.slo.patients {
+            for lane in &p.lanes {
+                let _ = writeln!(
+                    out,
+                    "cs_lane_freshness_seconds{{patient=\"{}\",lane=\"{}\"}} {}",
+                    p.patient,
+                    lane.lane,
+                    lane.age_ns as f64 / 1e9
+                );
+            }
+        }
+        out.push_str("# HELP cs_lane_newest_seq Newest emitted sequence number per patient lane\n");
+        out.push_str("# TYPE cs_lane_newest_seq gauge\n");
+        for p in &snap.slo.patients {
+            for lane in &p.lanes {
+                let _ = writeln!(
+                    out,
+                    "cs_lane_newest_seq{{patient=\"{}\",lane=\"{}\"}} {}",
+                    p.patient, lane.lane, lane.newest_seq
+                );
+            }
+        }
+        out.push_str("# HELP cs_slo_burn_rate Error-budget burn rate per patient and window\n");
+        out.push_str("# TYPE cs_slo_burn_rate gauge\n");
+        for p in &snap.slo.patients {
+            let _ = writeln!(
+                out,
+                "cs_slo_burn_rate{{patient=\"{}\",window=\"fast\"}} {}",
+                p.patient, p.fast_burn
+            );
+            let _ = writeln!(
+                out,
+                "cs_slo_burn_rate{{patient=\"{}\",window=\"slow\"}} {}",
+                p.patient, p.slow_burn
+            );
+        }
+        out.push_str("# HELP cs_patient_health Derived SLO health (one-hot over states)\n");
+        out.push_str("# TYPE cs_patient_health gauge\n");
+        for p in &snap.slo.patients {
+            for state in HealthState::ALL {
+                let _ = writeln!(
+                    out,
+                    "cs_patient_health{{patient=\"{}\",state=\"{}\"}} {}",
+                    p.patient,
+                    escape_label(state.name()),
+                    u64::from(p.health == state)
+                );
+            }
+        }
+    }
+    // ── Telemetry self-observation: the exporter in its own output. ──
+    out.push_str("# HELP cs_telemetry_scrapes_total HTTP scrape requests by endpoint\n");
+    out.push_str("# TYPE cs_telemetry_scrapes_total counter\n");
+    // Zeros included: a dashboard alerting on scrape starvation needs an
+    // explicit 0 series from the first render.
+    for (endpoint, count) in &snap.scrapes {
+        let _ = writeln!(
+            out,
+            "cs_telemetry_scrapes_total{{endpoint=\"{}\"}} {count}",
+            escape_label(endpoint.name())
+        );
+    }
+    if snap.render_ns.count() > 0 {
+        out.push_str("# HELP cs_exporter_render_seconds Exporter render time (lags the current render by one scrape)\n");
+        out.push_str("# TYPE cs_exporter_render_seconds histogram\n");
+        write_histogram(&mut out, "cs_exporter_render_seconds", "", &snap.render_ns, seconds, seconds);
+    }
     out
 }
 
@@ -150,9 +277,22 @@ fn stage_json(name: &str, hist: &HistogramSnapshot, out: &mut String) {
 /// Renders a snapshot as one JSON-Lines record (a single line, no
 /// trailing newline). Stages with zero observations and trailing
 /// zero-count workers are elided to keep lines scannable.
+///
+/// Record schema (stable keys, in order): `uptime_s` (seconds since
+/// registry creation), `ts_unix_s` (absolute wall-clock seconds since
+/// the Unix epoch at snapshot time), `stages`, `worker_packets`,
+/// `faults`, `archive`, optional `batch_occupancy`, `e2e` (per-patient
+/// end-to-end latency), `slo` (per-patient health, freshness, burn
+/// rates, lane watermarks), `scrapes` (zero counts elided), optional
+/// `render` (exporter self-observation), `journal`.
 pub fn json_line(snap: &TelemetrySnapshot) -> String {
     let mut out = String::new();
-    let _ = write!(out, "{{\"uptime_s\":{:.3},\"stages\":[", snap.uptime.as_secs_f64());
+    let _ = write!(
+        out,
+        "{{\"uptime_s\":{:.3},\"ts_unix_s\":{:.3},\"stages\":[",
+        snap.uptime.as_secs_f64(),
+        snap.unix_time_s
+    );
     let mut first = true;
     for (stage, hist) in &snap.stages {
         if hist.count() == 0 {
@@ -211,6 +351,74 @@ pub fn json_line(snap: &TelemetrySnapshot) -> String {
             hist.max_ns()
         );
     }
+    out.push_str(",\"e2e\":[");
+    for (i, (patient, hist)) in snap.e2e.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"patient\":{},\"count\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+            patient,
+            hist.count(),
+            hist.quantile(0.50),
+            hist.quantile(0.95),
+            hist.quantile(0.99),
+            hist.max_ns()
+        );
+    }
+    out.push_str("],\"slo\":[");
+    for (i, p) in snap.slo.patients.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"patient\":{},\"health\":\"{}\",\"emits\":{},\"deadline_misses\":{},\"freshness_s\":{:.3},\"fast_burn\":{:.3},\"slow_burn\":{:.3},\"lanes\":[",
+            p.patient,
+            p.health.name(),
+            p.emits,
+            p.deadline_misses,
+            p.freshness_ns as f64 / 1e9,
+            p.fast_burn,
+            p.slow_burn
+        );
+        for (j, lane) in p.lanes.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"lane\":{},\"newest_seq\":{},\"age_s\":{:.3}}}",
+                lane.lane,
+                lane.newest_seq,
+                lane.age_ns as f64 / 1e9
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"scrapes\":{");
+    let mut first = true;
+    for (endpoint, count) in &snap.scrapes {
+        if *count == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\"{}\":{count}", endpoint.name());
+    }
+    out.push('}');
+    if snap.render_ns.count() > 0 {
+        let _ = write!(
+            out,
+            ",\"render\":{{\"count\":{},\"p50_ns\":{},\"max_ns\":{}}}",
+            snap.render_ns.count(),
+            snap.render_ns.quantile(0.50),
+            snap.render_ns.max_ns()
+        );
+    }
     let _ = write!(
         out,
         ",\"journal\":{{\"buffered\":{},\"pushed\":{},\"dropped\":{}}}}}",
@@ -220,14 +428,27 @@ pub fn json_line(snap: &TelemetrySnapshot) -> String {
 }
 
 impl TelemetryRegistry {
-    /// Snapshots the registry and renders it in Prometheus text format.
-    pub fn prometheus(&self) -> String {
-        prometheus(&self.snapshot())
+    fn timed_render(&self, render: impl FnOnce(&TelemetrySnapshot) -> String) -> String {
+        let start = self.is_enabled().then(Instant::now);
+        let out = render(&self.snapshot());
+        if let Some(start) = start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.record_render_ns(ns);
+        }
+        out
     }
 
-    /// Snapshots the registry and renders one JSON-Lines record.
+    /// Snapshots the registry and renders it in Prometheus text format.
+    /// The render itself is timed into `cs_exporter_render_seconds`
+    /// (visible from the *next* render onward).
+    pub fn prometheus(&self) -> String {
+        self.timed_render(prometheus)
+    }
+
+    /// Snapshots the registry and renders one JSON-Lines record; timed
+    /// like [`TelemetryRegistry::prometheus`].
     pub fn json_line(&self) -> String {
-        json_line(&self.snapshot())
+        self.timed_render(json_line)
     }
 }
 
@@ -384,7 +605,79 @@ mod tests {
         let line = reg.json_line();
         assert!(line.contains("\"stages\":[]"));
         assert!(line.contains("\"worker_packets\":[]"));
+        assert!(line.contains("\"e2e\":[]"));
+        assert!(line.contains("\"slo\":[]"));
         let text = reg.prometheus();
         assert!(text.contains("cs_journal_traces{state=\"buffered\"} 0"));
+        // No patient has emitted: the e2e/SLO families stay absent, the
+        // self-observation counters are present as explicit zeros.
+        assert!(!text.contains("cs_e2e_latency_seconds"));
+        assert!(!text.contains("cs_patient_health"));
+        assert!(text.contains("cs_telemetry_scrapes_total{endpoint=\"metrics\"} 0"));
+    }
+
+    #[test]
+    fn e2e_and_slo_families_exported_in_both_formats() {
+        let reg = TelemetryRegistry::with_slo_config(crate::SloConfig {
+            deadline: std::time::Duration::from_millis(2),
+            ..Default::default()
+        });
+        let ctx = crate::TraceContext::new(5, 1, 3, reg.now_ns());
+        reg.record_emit(&ctx).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let stale = crate::TraceContext::new(5, 1, 4, 0);
+        reg.record_emit(&stale).unwrap();
+
+        let text = reg.prometheus();
+        assert!(text.contains("# TYPE cs_e2e_latency_seconds histogram"));
+        assert!(text.contains("cs_e2e_latency_seconds_count{patient=\"5\"} 2"));
+        assert!(text.contains("cs_e2e_latency_seconds_bucket{patient=\"5\",le=\"+Inf\"} 2"));
+        assert!(text.contains("cs_deadline_miss_total{patient=\"5\"} 1"));
+        assert!(text.contains("cs_lane_freshness_seconds{patient=\"5\",lane=\"1\"}"));
+        assert!(text.contains("cs_lane_newest_seq{patient=\"5\",lane=\"1\"} 4"));
+        assert!(text.contains("cs_slo_burn_rate{patient=\"5\",window=\"fast\"}"));
+        assert!(text.contains("cs_slo_burn_rate{patient=\"5\",window=\"slow\"}"));
+        // One miss out of two emits burns both windows far past the
+        // threshold: the one-hot health gauge reads Degraded.
+        assert!(text.contains("cs_patient_health{patient=\"5\",state=\"healthy\"} 0"));
+        assert!(text.contains("cs_patient_health{patient=\"5\",state=\"degraded\"} 1"));
+        assert!(text.contains("cs_patient_health{patient=\"5\",state=\"stalled\"} 0"));
+
+        let line = reg.json_line();
+        assert!(line.contains("\"ts_unix_s\":"));
+        assert!(line.contains("\"e2e\":[{\"patient\":5,\"count\":2"));
+        assert!(line.contains("\"slo\":[{\"patient\":5,\"health\":\"degraded\""));
+        assert!(line.contains("\"deadline_misses\":1"));
+        assert!(line.contains("\"lanes\":[{\"lane\":1,\"newest_seq\":4"));
+        assert!(!line.contains('\n'));
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+    }
+
+    #[test]
+    fn render_time_is_self_observed_one_scrape_behind() {
+        let reg = sample_registry();
+        let first = reg.prometheus();
+        assert!(
+            !first.contains("cs_exporter_render_seconds"),
+            "first render cannot contain its own duration"
+        );
+        let second = reg.prometheus();
+        assert!(second.contains("# TYPE cs_exporter_render_seconds histogram"));
+        assert!(second.contains("cs_exporter_render_seconds_count 1"));
+        assert_eq!(reg.render_times().count(), 2);
+        let line = reg.json_line();
+        assert!(line.contains("\"render\":{\"count\":2"));
+    }
+
+    #[test]
+    fn label_escaping_covers_the_spec_characters() {
+        assert_eq!(escape_label("fista_solve"), "fista_solve");
+        assert!(matches!(
+            escape_label("plain"),
+            std::borrow::Cow::Borrowed(_)
+        ));
+        assert_eq!(escape_label("a\"b"), "a\\\"b");
+        assert_eq!(escape_label("a\\b"), "a\\\\b");
+        assert_eq!(escape_label("a\nb"), "a\\nb");
     }
 }

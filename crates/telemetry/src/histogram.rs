@@ -282,7 +282,25 @@ impl HistogramSnapshot {
     /// * **bucket-accurate** — the true quantile lies in the same log2
     ///   bucket, so the relative error is below 2×.
     ///
-    /// Returns 0 for an empty histogram.
+    /// # Error bound
+    ///
+    /// The reported value is the upper bound `2^{i+1} − 1` of the bucket
+    /// `[2^i, 2^{i+1})` holding the rank-`⌈p·n⌉` observation, clamped
+    /// into `[min_ns(), max_ns()]`. The true quantile `q` lies in the
+    /// same bucket, so `q ≤ quantile(p) < 2·q` — the estimate never
+    /// *under*-reports and over-reports by strictly less than one
+    /// octave. There is no error in degenerate directions: a
+    /// single-sample histogram returns that sample exactly (the clamp
+    /// collapses the bucket to the observed value), `p = 0` returns a
+    /// value `≥ min_ns()` in the minimum's bucket, and `p = 1` returns
+    /// `max_ns()`'s bucket upper clamped to exactly `max_ns()`.
+    ///
+    /// # Edge cases
+    ///
+    /// * empty histogram → 0, for any `p`;
+    /// * `p` = NaN → treated as 0.0 (the minimum-rank quantile), never a
+    ///   panic or a garbage rank;
+    /// * `p` outside `[0, 1]` → clamped.
     pub fn quantile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -379,6 +397,66 @@ mod tests {
             40_000,
             "bucket counts must sum to the total"
         );
+    }
+
+    #[test]
+    fn empty_quantile_is_zero_for_any_p() {
+        let s = HistogramSnapshot::new();
+        for p in [0.0, 0.5, 1.0, -3.0, 42.0, f64::NAN] {
+            assert_eq!(s.quantile(p), 0);
+        }
+    }
+
+    #[test]
+    fn single_sample_quantile_is_exact() {
+        // The clamp into [min, max] collapses the log2 bucket to the one
+        // observed value: a single-sample histogram has zero error.
+        for ns in [0u64, 1, 7, 1023, 1024, 5_000_000_000] {
+            let mut s = HistogramSnapshot::new();
+            s.record_ns(ns);
+            for p in [0.0, 0.25, 0.5, 1.0] {
+                assert_eq!(s.quantile(p), ns, "p={p} ns={ns}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_hit_the_recorded_range() {
+        let mut s = HistogramSnapshot::new();
+        for ns in [10u64, 300, 9_000, 70_000] {
+            s.record_ns(ns);
+        }
+        // p=0 lands in the minimum's bucket [8,16): clamped to ≥ min.
+        let p0 = s.quantile(0.0);
+        assert!((10..16).contains(&p0), "p0 {p0}");
+        // p=1's bucket upper (131071) clamps to exactly the max.
+        assert_eq!(s.quantile(1.0), 70_000);
+    }
+
+    #[test]
+    fn nan_p_is_treated_as_zero_not_garbage() {
+        let mut s = HistogramSnapshot::new();
+        s.record_ns(100);
+        s.record_ns(100_000);
+        assert_eq!(s.quantile(f64::NAN), s.quantile(0.0));
+    }
+
+    #[test]
+    fn quantile_never_underestimates_by_more_than_the_bucket() {
+        // The documented bound: q ≤ quantile(p) < 2q for the true
+        // quantile q, checked against an exact sorted reference.
+        let values: Vec<u64> = (1..=500u64).map(|i| i * i).collect();
+        let mut s = HistogramSnapshot::new();
+        for &v in &values {
+            s.record_ns(v);
+        }
+        for p in [0.01, 0.1, 0.5, 0.9, 0.95, 0.99] {
+            let rank = ((p * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let truth = values[rank - 1];
+            let est = s.quantile(p);
+            assert!(est >= truth, "p={p}: est {est} < truth {truth}");
+            assert!(est < truth * 2, "p={p}: est {est} ≥ 2×truth {truth}");
+        }
     }
 
     #[test]

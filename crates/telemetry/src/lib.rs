@@ -34,14 +34,22 @@ pub mod fault;
 pub mod histogram;
 pub mod journal;
 pub mod registry;
+pub mod serve;
+pub mod slo;
 pub mod stage;
+pub mod trace;
 
 pub use archive::ArchiveOp;
-pub use export::{json_line, prometheus, Every, REPORT_QUANTILES};
+pub use export::{escape_label, json_line, prometheus, Every, REPORT_QUANTILES};
 pub use fault::FaultKind;
 pub use histogram::{bucket_upper, Histogram, HistogramSnapshot, BUCKETS};
 pub use journal::{Journal, SolveTrace};
 pub use registry::{
     Span, TelemetryRegistry, TelemetrySnapshot, DEFAULT_JOURNAL_CAPACITY, MAX_WORKERS,
 };
+pub use serve::{MetricsServer, ScrapeEndpoint};
+pub use slo::{
+    HealthState, LaneWatermark, PatientSlo, SloConfig, SloSnapshot, MAX_LANES, MAX_PATIENTS,
+};
 pub use stage::Stage;
+pub use trace::{tracez_json, EmitRecord, TraceContext, TRACEZ_LIMIT};

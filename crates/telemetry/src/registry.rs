@@ -14,10 +14,13 @@ use crate::archive::ArchiveOp;
 use crate::fault::FaultKind;
 use crate::histogram::{Histogram, HistogramSnapshot};
 use crate::journal::{Journal, SolveTrace};
+use crate::serve::ScrapeEndpoint;
+use crate::slo::{SloConfig, SloEngine, SloSnapshot, MAX_PATIENTS};
 use crate::stage::Stage;
+use crate::trace::{EmitRecord, TraceContext};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Per-worker counter slots. Worker ids beyond this fold back modulo
 /// `MAX_WORKERS`; at the paper's per-stream decode costs a single host
@@ -40,6 +43,14 @@ struct Inner {
     /// fleet's average batch fill.
     batch_occupancy: Histogram,
     journal: Journal,
+    /// Per-patient end-to-end (capture → emit) latency; stream ids fold
+    /// modulo [`MAX_PATIENTS`], mirroring the worker counters.
+    e2e: [Histogram; MAX_PATIENTS],
+    slo: SloEngine,
+    /// Self-observation: scrape hits per HTTP endpoint and exporter
+    /// render times — the telemetry layer appears in its own output.
+    scrapes: [AtomicU64; ScrapeEndpoint::COUNT],
+    render: Histogram,
 }
 
 /// Shared handle to the telemetry recording state.
@@ -90,6 +101,18 @@ impl TelemetryRegistry {
 
     /// A fresh, enabled registry whose journal holds `capacity` traces.
     pub fn with_journal_capacity(capacity: usize) -> Self {
+        TelemetryRegistry::with_capacity_and_slo(capacity, SloConfig::default())
+    }
+
+    /// A fresh, enabled registry with a custom SLO (deadline budget,
+    /// stall threshold, burn windows) and the default journal capacity.
+    pub fn with_slo_config(slo: SloConfig) -> Self {
+        TelemetryRegistry::with_capacity_and_slo(DEFAULT_JOURNAL_CAPACITY, slo)
+    }
+
+    /// A fresh, enabled registry with both knobs. The SLO is fixed at
+    /// construction so the recording path never re-reads configuration.
+    pub fn with_capacity_and_slo(capacity: usize, slo: SloConfig) -> Self {
         TelemetryRegistry {
             inner: Arc::new(Inner {
                 enabled: AtomicBool::new(true),
@@ -100,6 +123,10 @@ impl TelemetryRegistry {
                 archive: std::array::from_fn(|_| AtomicU64::new(0)),
                 batch_occupancy: Histogram::new(),
                 journal: Journal::new(capacity),
+                e2e: std::array::from_fn(|_| Histogram::new()),
+                slo: SloEngine::new(slo),
+                scrapes: std::array::from_fn(|_| AtomicU64::new(0)),
+                render: Histogram::new(),
             }),
         }
     }
@@ -228,11 +255,79 @@ impl TelemetryRegistry {
         self.inner.started.elapsed()
     }
 
+    /// Nanoseconds on this registry's monotonic clock (its creation
+    /// instant is zero) — the time base every [`TraceContext`] and SLO
+    /// watermark uses. Not comparable across registries.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.inner.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// The SLO this registry enforces.
+    pub fn slo_config(&self) -> &SloConfig {
+        self.inner.slo.config()
+    }
+
+    /// Records one delivered packet against the end-to-end latency
+    /// histogram and the SLO engine, returning what was measured.
+    /// Returns `None` (and records nothing) when disabled.
+    pub fn record_emit(&self, ctx: &TraceContext) -> Option<EmitRecord> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let now = self.now_ns();
+        let e2e_ns = now.saturating_sub(ctx.captured_ns);
+        self.inner.e2e[ctx.stream as usize % MAX_PATIENTS].record_ns(e2e_ns);
+        let deadline_missed = e2e_ns > self.inner.slo.deadline_ns();
+        self.inner
+            .slo
+            .record_emit(ctx.stream as usize, ctx.lane as usize, ctx.seq, now, deadline_missed);
+        Some(EmitRecord { e2e_ns, deadline_missed })
+    }
+
+    /// The live end-to-end latency histogram for one patient slot
+    /// (stream ids fold modulo [`MAX_PATIENTS`]).
+    pub fn e2e(&self, patient: usize) -> &Histogram {
+        &self.inner.e2e[patient % MAX_PATIENTS]
+    }
+
+    /// The derived SLO state for every active patient, evaluated now.
+    pub fn slo_snapshot(&self) -> SloSnapshot {
+        self.inner.slo.snapshot(self.now_ns())
+    }
+
+    /// Counts one HTTP scrape against an endpoint (no-op when disabled).
+    pub fn record_scrape(&self, endpoint: ScrapeEndpoint) {
+        if self.is_enabled() {
+            self.inner.scrapes[endpoint.index()].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The running scrape count for one endpoint.
+    pub fn scrape_count(&self, endpoint: ScrapeEndpoint) -> u64 {
+        self.inner.scrapes[endpoint.index()].load(Ordering::Relaxed)
+    }
+
+    /// Records one exporter render duration (no-op when disabled).
+    pub fn record_render_ns(&self, ns: u64) {
+        if self.is_enabled() {
+            self.inner.render.record_ns(ns);
+        }
+    }
+
+    /// The live exporter render-time histogram.
+    pub fn render_times(&self) -> &Histogram {
+        &self.inner.render
+    }
+
     /// A point-in-time copy of every aggregate the registry holds — what
     /// the exporters render.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         TelemetrySnapshot {
             uptime: self.uptime(),
+            unix_time_s: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map_or(0.0, |d| d.as_secs_f64()),
             stages: Stage::ALL.map(|s| (s, self.stage(s).snapshot())),
             worker_packets: self.worker_packets(MAX_WORKERS),
             faults: FaultKind::ALL.map(|k| (k, self.fault_count(k))),
@@ -241,6 +336,17 @@ impl TelemetryRegistry {
             journal_len: self.inner.journal.len(),
             journal_pushed: self.inner.journal.pushed(),
             journal_dropped: self.inner.journal.dropped(),
+            e2e: self
+                .inner
+                .e2e
+                .iter()
+                .enumerate()
+                .filter(|(_, h)| h.count() > 0)
+                .map(|(p, h)| (p, h.snapshot()))
+                .collect(),
+            slo: self.slo_snapshot(),
+            scrapes: ScrapeEndpoint::ALL.map(|e| (e, self.scrape_count(e))),
+            render_ns: self.inner.render.snapshot(),
         }
     }
 }
@@ -250,6 +356,9 @@ impl TelemetryRegistry {
 pub struct TelemetrySnapshot {
     /// Time since registry creation.
     pub uptime: Duration,
+    /// Absolute wall-clock seconds since the Unix epoch at snapshot
+    /// time (0.0 if the system clock predates the epoch).
+    pub unix_time_s: f64,
     /// Per-stage latency histograms, in [`Stage::ALL`] order.
     pub stages: [(Stage, HistogramSnapshot); Stage::COUNT],
     /// Packets decoded per worker slot (length [`MAX_WORKERS`]).
@@ -266,6 +375,15 @@ pub struct TelemetrySnapshot {
     pub journal_pushed: u64,
     /// Traces lost to overflow or contention.
     pub journal_dropped: u64,
+    /// Per-patient end-to-end latency histograms, active slots only.
+    pub e2e: Vec<(usize, HistogramSnapshot)>,
+    /// Derived per-patient SLO state at snapshot time.
+    pub slo: SloSnapshot,
+    /// Per-endpoint HTTP scrape counts, in [`ScrapeEndpoint::ALL`] order.
+    pub scrapes: [(ScrapeEndpoint, u64); ScrapeEndpoint::COUNT],
+    /// Exporter render-time distribution (self-observation; lags the
+    /// current render by one scrape).
+    pub render_ns: HistogramSnapshot,
 }
 
 impl TelemetrySnapshot {
@@ -399,6 +517,67 @@ mod tests {
         off.set_enabled(false);
         off.record_batch_occupancy(4);
         assert_eq!(off.batch_occupancy().count(), 0);
+    }
+
+    #[test]
+    fn record_emit_measures_e2e_and_feeds_the_slo() {
+        let reg = TelemetryRegistry::with_slo_config(SloConfig {
+            deadline: Duration::from_millis(5),
+            ..SloConfig::default()
+        });
+        let ctx = TraceContext::new(3, 1, 7, reg.now_ns());
+        let rec = reg.record_emit(&ctx).expect("enabled registry records");
+        assert!(!rec.deadline_missed, "fresh emit is inside a 5 ms budget");
+        assert_eq!(reg.e2e(3).count(), 1);
+
+        // A capture stamp from the registry's birth, emitted after the
+        // budget has elapsed, busts the deadline.
+        std::thread::sleep(Duration::from_millis(10));
+        let stale = TraceContext::new(3, 1, 8, 0);
+        let rec = reg.record_emit(&stale).unwrap();
+        assert!(rec.deadline_missed);
+        assert!(rec.e2e_ns >= 5_000_000);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.e2e.len(), 1);
+        assert_eq!(snap.e2e[0].0, 3);
+        assert_eq!(snap.e2e[0].1.count(), 2);
+        assert_eq!(snap.slo.patients.len(), 1);
+        assert_eq!(snap.slo.patients[0].deadline_misses, 1);
+        assert_eq!(snap.slo.patients[0].lanes[0].newest_seq, 8);
+    }
+
+    #[test]
+    fn disabled_registry_ignores_emits_and_scrapes() {
+        let reg = TelemetryRegistry::new();
+        reg.set_enabled(false);
+        let ctx = TraceContext::new(0, 0, 0, 0);
+        assert!(reg.record_emit(&ctx).is_none());
+        reg.record_scrape(ScrapeEndpoint::Metrics);
+        reg.record_render_ns(55);
+        assert_eq!(reg.e2e(0).count(), 0);
+        assert_eq!(reg.scrape_count(ScrapeEndpoint::Metrics), 0);
+        assert_eq!(reg.render_times().count(), 0);
+        assert!(reg.slo_snapshot().patients.is_empty());
+    }
+
+    #[test]
+    fn snapshot_stamps_wall_clock_time() {
+        let snap = TelemetryRegistry::new().snapshot();
+        // Any plausible current date is far past 2020-01-01.
+        assert!(snap.unix_time_s > 1_577_836_800.0, "{}", snap.unix_time_s);
+    }
+
+    #[test]
+    fn custom_slo_config_is_honored() {
+        let reg = TelemetryRegistry::with_slo_config(SloConfig {
+            deadline: Duration::ZERO,
+            ..SloConfig::default()
+        });
+        let ctx = TraceContext::new(0, 0, 0, reg.now_ns());
+        let rec = reg.record_emit(&ctx).unwrap();
+        assert!(rec.deadline_missed, "a zero budget makes every emit late");
+        assert_eq!(reg.slo_config().deadline, Duration::ZERO);
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! A minimal HTTP/1.1 scrape endpoint over `std::net::TcpListener`.
+//!
+//! Serves three read-only routes from a shared [`TelemetryRegistry`]:
+//!
+//! * `GET /metrics` — the Prometheus text exposition;
+//! * `GET /healthz` — the aggregate SLO verdict as JSON: `200` while no
+//!   patient is `Stalled`, `503` otherwise, so a stock liveness probe
+//!   needs no body parsing;
+//! * `GET /tracez` — recent journal traces as JSON (newest last).
+//!
+//! Threading model: one accept thread, connections handled **inline** —
+//! scrapes arrive every few seconds from one or two collectors, so a
+//! connection pool would be machinery without a workload. A slow or
+//! stuck client is bounded by a 2 s socket read/write timeout and can
+//! delay, never wedge, the next scrape; the decode fleet itself never
+//! blocks on the server because every route renders from lock-free
+//! snapshots. Scrapes are themselves observed (per-endpoint counters and
+//! a render-time histogram) — the exporter appears in its own output.
+
+use crate::registry::TelemetryRegistry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The scrape surfaces the server counts per-request hits against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScrapeEndpoint {
+    /// `GET /metrics`.
+    Metrics,
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /tracez`.
+    Tracez,
+    /// Anything else (unknown path or method).
+    Other,
+}
+
+impl ScrapeEndpoint {
+    /// Number of endpoints (the registry's counter-array length).
+    pub const COUNT: usize = 4;
+
+    /// Every endpoint, in route order.
+    pub const ALL: [ScrapeEndpoint; ScrapeEndpoint::COUNT] = [
+        ScrapeEndpoint::Metrics,
+        ScrapeEndpoint::Healthz,
+        ScrapeEndpoint::Tracez,
+        ScrapeEndpoint::Other,
+    ];
+
+    /// Dense index into per-endpoint arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name (Prometheus `endpoint` label).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScrapeEndpoint::Metrics => "metrics",
+            ScrapeEndpoint::Healthz => "healthz",
+            ScrapeEndpoint::Tracez => "tracez",
+            ScrapeEndpoint::Other => "other",
+        }
+    }
+}
+
+/// Per-connection socket timeout: bounds how long a slow client can hold
+/// the accept thread.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Maximum request-head bytes read before the request is rejected.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// A running scrape server; shuts down (and joins its thread) on drop.
+///
+/// # Examples
+///
+/// ```
+/// use cs_telemetry::{MetricsServer, TelemetryRegistry};
+///
+/// let registry = TelemetryRegistry::new();
+/// let server = MetricsServer::bind("127.0.0.1:0", registry).unwrap();
+/// println!("scrape http://{}/metrics", server.local_addr());
+/// drop(server); // stops accepting and joins
+/// ```
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `registry` on a background thread.
+    pub fn bind<A: ToSocketAddrs>(addr: A, registry: TelemetryRegistry) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("cs-telemetry-serve".into())
+            .spawn(move || accept_loop(listener, registry, thread_stop))?;
+        Ok(MetricsServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves the actual port after binding `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread. Called by
+    /// `Drop`; explicit form for callers that want the join point.
+    pub fn shutdown(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Wake the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, registry: TelemetryRegistry, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Inline handling: see the module docs for why no pool.
+        let _ = handle_connection(stream, &registry);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, registry: &TelemetryRegistry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() >= MAX_REQUEST_BYTES {
+            return respond(&mut stream, 431, "text/plain; charset=utf-8", "request too large");
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return Ok(()),
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(_) => return Ok(()), // timeout or reset: drop silently
+        }
+    }
+
+    let request_line = head
+        .split(|&b| b == b'\r')
+        .next()
+        .map(|l| String::from_utf8_lossy(l).into_owned())
+        .unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+
+    if method != "GET" {
+        registry.record_scrape(ScrapeEndpoint::Other);
+        return respond(&mut stream, 405, "text/plain; charset=utf-8", "method not allowed");
+    }
+    match path {
+        "/metrics" => {
+            registry.record_scrape(ScrapeEndpoint::Metrics);
+            let body = registry.prometheus();
+            respond(&mut stream, 200, "text/plain; version=0.0.4; charset=utf-8", &body)
+        }
+        "/healthz" => {
+            registry.record_scrape(ScrapeEndpoint::Healthz);
+            let (status, body) = healthz_body(registry);
+            respond(&mut stream, status, "application/json", &body)
+        }
+        "/tracez" => {
+            registry.record_scrape(ScrapeEndpoint::Tracez);
+            let body = crate::trace::tracez_json(&registry.journal().peek());
+            respond(&mut stream, 200, "application/json", &body)
+        }
+        _ => {
+            registry.record_scrape(ScrapeEndpoint::Other);
+            respond(&mut stream, 404, "text/plain; charset=utf-8", "not found")
+        }
+    }
+}
+
+/// The `/healthz` verdict: `(200, …)` while no patient is Stalled,
+/// `(503, …)` otherwise.
+pub fn healthz_body(registry: &TelemetryRegistry) -> (u16, String) {
+    use std::fmt::Write as _;
+    let slo = registry.slo_snapshot();
+    let stalled = slo.any_stalled();
+    let mut body = String::new();
+    let _ = write!(
+        body,
+        "{{\"status\":\"{}\",\"patients\":{},\"healthy\":{},\"degraded\":{},\"stalled\":{}}}",
+        if stalled { "stalled" } else { "ok" },
+        slo.patients.len(),
+        slo.count_in(crate::slo::HealthState::Healthy),
+        slo.count_in(crate::slo::HealthState::Degraded),
+        slo.count_in(crate::slo::HealthState::Stalled),
+    );
+    (if stalled { 503 } else { 200 }, body)
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let status = response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_metrics_healthz_and_tracez() {
+        let registry = TelemetryRegistry::new();
+        registry.record_stage_ns(crate::Stage::FistaSolve, 1_000);
+        registry.record_solve(crate::SolveTrace { seq: 9, ..Default::default() });
+        let server = MetricsServer::bind("127.0.0.1:0", registry.clone()).unwrap();
+        let addr = server.local_addr();
+
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("cs_stage_latency_ns_bucket{stage=\"fista_solve\""));
+
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""));
+
+        let (status, body) = get(addr, "/tracez");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"seq\":9"));
+
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+
+        // The server observed itself: four scrapes across the endpoints.
+        assert_eq!(registry.scrape_count(ScrapeEndpoint::Metrics), 1);
+        assert_eq!(registry.scrape_count(ScrapeEndpoint::Healthz), 1);
+        assert_eq!(registry.scrape_count(ScrapeEndpoint::Tracez), 1);
+        assert_eq!(registry.scrape_count(ScrapeEndpoint::Other), 1);
+        let text = registry.prometheus();
+        assert!(text.contains("cs_telemetry_scrapes_total{endpoint=\"metrics\"} 1"));
+    }
+
+    #[test]
+    fn non_get_is_rejected() {
+        let server =
+            MetricsServer::bind("127.0.0.1:0", TelemetryRegistry::new()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"));
+    }
+
+    #[test]
+    fn shutdown_joins_and_frees_the_port() {
+        let server =
+            MetricsServer::bind("127.0.0.1:0", TelemetryRegistry::new()).unwrap();
+        let addr = server.local_addr();
+        drop(server);
+        // The listener is gone: a fresh bind to the same port succeeds.
+        let rebind = TcpListener::bind(addr);
+        assert!(rebind.is_ok(), "port still held after shutdown: {rebind:?}");
+    }
+}

@@ -53,11 +53,23 @@ pub enum Stage {
     /// Archive: reading frames back out of the store for decode-on-read
     /// replay (recovery scan, index seek and record iteration).
     ArchiveReplay,
+    /// Fleet: time a job spent parked in the bounded worker queue between
+    /// packetize/ingest and the moment a worker dequeued it — queue
+    /// pressure, as distinct from solver cost.
+    QueueWait,
+    /// Fleet: time a staged lane waited for batchmates under the bounded
+    /// partial-batch linger before the fused MMV solve fired (zero on the
+    /// sequential path).
+    BatchLinger,
+    /// Collector: time between a worker finishing a packet and the
+    /// in-order collector delivering it to the consumer — reorder-buffer
+    /// dwell plus collector queueing.
+    EmitDeliver,
 }
 
 impl Stage {
     /// Number of stages (the registry's per-stage array length).
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 17;
 
     /// Every stage, in wire order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -75,6 +87,9 @@ impl Stage {
         Stage::Concealment,
         Stage::ArchiveAppend,
         Stage::ArchiveReplay,
+        Stage::QueueWait,
+        Stage::BatchLinger,
+        Stage::EmitDeliver,
     ];
 
     /// Dense index into per-stage arrays.
@@ -101,6 +116,9 @@ impl Stage {
             Stage::Concealment => "concealment",
             Stage::ArchiveAppend => "archive_append",
             Stage::ArchiveReplay => "archive_replay",
+            Stage::QueueWait => "queue_wait",
+            Stage::BatchLinger => "batch_linger",
+            Stage::EmitDeliver => "emit_deliver",
         }
     }
 }

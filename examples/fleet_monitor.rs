@@ -9,6 +9,27 @@
 //! `SNAPSHOT_EVERY` packets. Exits non-zero if any stream comes up
 //! short of its expected packets (a decode error upstream).
 //!
+//! ## JSONL schema
+//!
+//! Each emitted line is one self-contained JSON object (no trailing
+//! comma, LF-terminated), so `fleet_monitor | jq` works line by line:
+//!
+//! * `uptime_s` — seconds since the registry was created (monotonic);
+//! * `ts_unix_s` — absolute wall-clock seconds since the Unix epoch at
+//!   snapshot time, for correlating lines across hosts and restarts;
+//! * `stages` — per-stage latency quantiles (`p50_ns`/`p95_ns`/...);
+//! * `e2e` — per-patient end-to-end latency quantiles (traced runs);
+//! * `slo` — per-patient health: `health` (healthy/degraded/stalled),
+//!   `emits`, `deadline_misses`, `freshness_s` (age of the newest
+//!   emission), burn rates, and per-lane `{lane, newest_seq, age_s}`
+//!   freshness watermarks;
+//! * `faults`, `workers`, `journal`, `scrapes`, `render` — fault
+//!   counters, per-worker load, trace-journal and exporter
+//!   self-observation.
+//!
+//! The repo-level `jsonl_schema` test parses these lines back; extend
+//! it when adding fields.
+//!
 //! ```text
 //! cargo run --release --example fleet_monitor
 //! ```
@@ -53,6 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut every = Every::new(SNAPSHOT_EVERY);
     let mut short_streams = Vec::new();
     let mut results = Vec::new();
+    let deadline = registry.slo_config().deadline;
     for warm_start in [false, true] {
         let fleet = FleetConfig { warm_start, ..FleetConfig::default() };
         let mut stats = vec![StreamStats::new(); patients];
@@ -70,6 +92,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     p.packet.solve_time.as_secs_f64(),
                     p.packet.warm_started,
                 );
+                if let Some(e2e) = p.e2e {
+                    stats[p.stream].record_e2e(e2e.as_secs_f64(), e2e > deadline);
+                }
                 let frame = p.packet.index as usize;
                 let truth: Vec<f64> = leads[p.stream][frame * n..(frame + 1) * n]
                     .iter()
@@ -130,6 +155,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "warm start: {:5.1} → {:5.1} mean iterations ({saving:.1} % saved)",
         results[0].iterations.mean(),
         results[1].iterations.mean()
+    );
+    let slo = registry.slo_snapshot();
+    println!(
+        "patient health: {} healthy, {} degraded, {} stalled ({} tracked)",
+        slo.count_in(HealthState::Healthy),
+        slo.count_in(HealthState::Degraded),
+        slo.count_in(HealthState::Stalled),
+        slo.patients.len()
     );
     println!("final telemetry: {}", registry.json_line());
 

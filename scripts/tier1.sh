@@ -27,7 +27,10 @@ cargo test -q --release -p cs-core --test zero_alloc_batch
 # in release codegen.
 cargo test -q --release --test numerical_equivalence
 
-scripts/bench_snapshot.sh --quick
+# Bench regression gate: runs the quick snapshot, prints a per-row
+# min_ns delta table against the committed BENCH_decode.json, and fails
+# only on a gross (>25 %) regression — see scripts/bench_check.sh.
+scripts/bench_check.sh
 
 # The quick snapshot doubles as the batched-bench smoke: fail if the
 # MMV benches stopped producing rows (a silent rename would otherwise
@@ -41,6 +44,38 @@ grep -q '"batched_fista/batch_8"' target/BENCH_decode_quick.json
 smoke="$(target/release/fleet_report --records 1 --seconds 2 --telemetry)"
 grep -q 'cs_stage_latency_ns_bucket{stage="fista_solve"' <<<"$smoke"
 grep -q 'cs_fault_total{kind="concealed_loss"' <<<"$smoke"
+
+# HTTP serve smoke: the same short run behind the live /metrics
+# endpoint. The report announces its ephemeral port on stdout before
+# decoding and parks after the report, so scrape it over real TCP with
+# a hard timeout, then kill the parked process.
+serve_log="$(mktemp)"
+target/release/fleet_report --records 1 --seconds 2 --serve 127.0.0.1:0 >"$serve_log" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$serve_log"' EXIT
+for _ in $(seq 50); do
+  grep -q '^serving http://' "$serve_log" && break
+  kill -0 "$serve_pid" 2>/dev/null || { cat "$serve_log" >&2; exit 1; }
+  sleep 0.2
+done
+serve_addr="$(sed -n 's|^serving http://\([^/]*\)/metrics.*|\1|p' "$serve_log" | head -1)"
+[[ -n "$serve_addr" ]] || { echo "tier1: fleet_report --serve never announced its port" >&2; cat "$serve_log" >&2; exit 1; }
+# The e2e gauges only populate once the traced run has emitted packets;
+# poll until the decode finishes (bounded by the loop, 5 s per scrape).
+for i in $(seq 60); do
+  scrape="$(curl -sS --max-time 5 "http://$serve_addr/metrics")"
+  grep -q 'cs_e2e_latency_seconds_bucket{patient="0"' <<<"$scrape" && break
+  [[ "$i" == 60 ]] && { echo "tier1: /metrics never showed e2e latency rows" >&2; exit 1; }
+  sleep 0.5
+done
+grep -q 'cs_patient_health{patient="0",state="healthy"} 1' <<<"$scrape"
+grep -q 'cs_slo_burn_rate{patient="0",window="fast"' <<<"$scrape"
+grep -q 'cs_lane_freshness_seconds{patient="0"' <<<"$scrape"
+health="$(curl -sS --max-time 5 -o /dev/null -w '%{http_code}' "http://$serve_addr/healthz")"
+[[ "$health" == 200 ]] || { echo "tier1: /healthz returned $health for a healthy run" >&2; exit 1; }
+kill "$serve_pid" 2>/dev/null || true
+trap - EXIT
+rm -f "$serve_log"
 
 # Chaos smoke: a short seeded soak of the lossy-wire fleet (the 60 s
 # profile runs out of band; see scripts/chaos.sh).

@@ -92,5 +92,8 @@ pub mod prelude {
     pub use cs_recovery::{fista, ista, omp, KernelMode, ShrinkageConfig, SynthesisOperator};
     pub use cs_sensing::{measurements_for_cr, DenseSensing, Sensing, SparseBinarySensing};
     pub use cs_core::DwtThresholdCodec;
-    pub use cs_telemetry::{Every, SolveTrace, Stage, TelemetryRegistry};
+    pub use cs_telemetry::{
+        Every, HealthState, MetricsServer, SloConfig, SolveTrace, Stage, TelemetryRegistry,
+        TraceContext,
+    };
 }

@@ -51,9 +51,10 @@ fn observed_fleet_populates_every_stage() {
     for stage in Stage::ALL {
         // IngestValidate and Concealment belong to the wire-feed path
         // (`run_fleet_wire`); the archive stages only fire when a durable
-        // sink or replay source is attached; BatchSolve fires only on the
-        // MMV path (`FleetConfig::batch > 1`, pinned below). The
-        // sequential in-process fleet never enters any of them.
+        // sink or replay source is attached; BatchSolve and BatchLinger
+        // fire only on the MMV path (`FleetConfig::batch > 1`, pinned
+        // below). The sequential in-process fleet never enters any of
+        // them.
         if matches!(
             stage,
             Stage::IngestValidate
@@ -61,6 +62,7 @@ fn observed_fleet_populates_every_stage() {
                 | Stage::ArchiveAppend
                 | Stage::ArchiveReplay
                 | Stage::BatchSolve
+                | Stage::BatchLinger
         ) {
             assert_eq!(snapshot.stage(stage).count(), 0, "stage {stage} is not in-process");
             continue;
@@ -88,12 +90,31 @@ fn observed_fleet_populates_every_stage() {
         assert!(!trace.warm_started, "cold fleet must not warm-start");
     }
 
+    // Trace context rode every packet: the collector fed the SLO engine
+    // one emission per packet, per patient, and the e2e histograms and
+    // freshness watermarks are live.
+    let slo = registry.slo_snapshot();
+    assert_eq!(slo.patients.len(), 3, "one SLO slot per patient");
+    for p in &slo.patients {
+        assert_eq!(p.emits, 2, "patient {} emissions", p.patient);
+        assert_eq!(p.deadline_misses, 0, "in-process decode beats a 2 s deadline");
+        assert_eq!(p.health, HealthState::Healthy);
+        assert_eq!(p.lanes.len(), 1, "single-lead stream");
+        assert_eq!(p.lanes[0].newest_seq, 1, "two packets → newest seq 1");
+    }
+    assert_eq!(registry.e2e(0).snapshot().count(), 2);
+
     let scrape = registry.prometheus();
     assert!(scrape.contains("cs_stage_latency_ns_bucket"));
     assert!(scrape.contains("stage=\"fista_solve\""));
+    assert!(scrape.contains("stage=\"queue_wait\""));
+    assert!(scrape.contains("stage=\"emit_deliver\""));
     assert!(scrape.contains("cs_worker_packets_total"));
+    assert!(scrape.contains("cs_e2e_latency_seconds_bucket{patient=\"0\""));
+    assert!(scrape.contains("cs_patient_health{patient=\"0\",state=\"healthy\"} 1"));
     let line = registry.json_line();
     assert!(line.contains("\"stages\"") && !line.contains('\n'));
+    assert!(line.contains("\"slo\":[") && line.contains("\"health\":\"healthy\""));
 }
 
 /// A batched fleet run solves through `Stage::BatchSolve` (one span per
@@ -132,6 +153,14 @@ fn observed_batched_fleet_records_batch_spans() {
     assert_eq!(occupancy.count(), sweeps);
     assert_eq!(occupancy.sum_ns(), packets);
     assert!(registry.prometheus().contains("cs_batch_occupancy_count"));
+    // Trace context survives the batched path: queue wait is measured at
+    // every receive, and the collector still emits one SLO record per
+    // packet (linger rounds depend on arrival interleaving, so only the
+    // per-packet invariants are pinned).
+    assert_eq!(snapshot.stage(Stage::QueueWait).count(), packets);
+    assert_eq!(snapshot.stage(Stage::EmitDeliver).count(), packets);
+    let slo = registry.slo_snapshot();
+    assert_eq!(slo.patients.iter().map(|p| p.emits).sum::<u64>(), packets);
 }
 
 /// Observation must not perturb the numbers: the observed stream decode
