@@ -38,7 +38,7 @@ use cs_core::{
     FleetReport, FleetStream, MultiChannelEncoder, SolverPolicy, SystemConfig,
 };
 use cs_ecg_data::{resample_360_to_256, DatabaseConfig, Record, SyntheticDatabase};
-use cs_metrics::{worker_imbalance, FleetStats, StreamStats};
+use cs_metrics::{exact_percentile, worker_imbalance, FleetStats, StreamStats};
 use cs_platform::{
     analyze_fleet, CoordinatorSpec, FaultSpec, GilbertElliottParams, LossyLink, SolveSample,
 };
@@ -67,21 +67,54 @@ fn fmt_ns(ns: u64) -> String {
     }
 }
 
+/// Per-run solver quality: the flat iteration sample (for exact
+/// quantiles, which the log2 telemetry buckets are too coarse for) plus
+/// the PRD accumulators against the prepared ground-truth leads.
+#[derive(Default)]
+struct RunQuality {
+    iterations: Vec<f64>,
+    err: f64,
+    energy: f64,
+}
+
+impl RunQuality {
+    /// Fleet-wide PRD in percent: `100·√(ΣΣ(x−x̂)² / ΣΣx²)` over every
+    /// decoded window of every lead.
+    fn prd_percent(&self) -> f64 {
+        if self.energy == 0.0 {
+            0.0
+        } else {
+            100.0 * (self.err / self.energy).sqrt()
+        }
+    }
+
+    fn iterations_mean(&self) -> f64 {
+        if self.iterations.is_empty() {
+            0.0
+        } else {
+            self.iterations.iter().sum::<f64>() / self.iterations.len() as f64
+        }
+    }
+}
+
 fn run(
     streams: &[FleetStream<'_>],
     config: &SystemConfig,
     codebook: &Arc<cs_codec::Codebook>,
+    policy: SolverPolicy<f32>,
     fleet: &FleetConfig,
     telemetry: &TelemetryRegistry,
-) -> (FleetReport, Vec<StreamStats>, Vec<Vec<SolveSample>>) {
+) -> (FleetReport, Vec<StreamStats>, Vec<Vec<SolveSample>>, RunQuality) {
     let mut stats = vec![StreamStats::new(); streams.len()];
     let mut solves = vec![Vec::new(); streams.len()];
+    let mut quality = RunQuality::default();
+    let n = config.packet_len();
     let deadline = telemetry.slo_config().deadline;
     let report = run_fleet_observed::<f32, _>(
         config,
         Arc::clone(codebook),
         streams,
-        SolverPolicy::default(),
+        policy,
         fleet,
         telemetry,
         |p| {
@@ -97,10 +130,22 @@ fn run(
                 iterations: p.packet.iterations,
                 solve_time: p.packet.solve_time,
             });
+            quality.iterations.push(p.packet.iterations as f64);
+            if !p.packet.concealed {
+                let lead = streams[p.stream].leads[p.channel as usize];
+                let start = p.packet.index as usize * n;
+                if let Some(x) = lead.get(start..start + n) {
+                    for (&a, &b) in x.iter().zip(&p.packet.samples) {
+                        let (a, b) = (a as f64, b as f64);
+                        quality.err += (a - b) * (a - b);
+                        quality.energy += a * a;
+                    }
+                }
+            }
         },
     )
     .expect("fleet run");
-    (report, stats, solves)
+    (report, stats, solves, quality)
 }
 
 /// The fault-accounting panel shared by the live lossy-wire section and
@@ -363,13 +408,38 @@ fn main() {
     // The cold run decodes against the live registry; the stage table and
     // per-worker counts below come from it, not from the callbacks.
     let fleet_cfg = FleetConfig::default();
-    let (cold_report, cold_stats, solves) =
-        run(&streams, &config, &codebook, &fleet_cfg, &registry);
-    let warm_cfg = FleetConfig { warm_start: true, ..fleet_cfg };
-    let (warm_report, warm_stats, _) = run(
+    let (cold_report, cold_stats, solves, cold_q) = run(
         &streams,
         &config,
         &codebook,
+        SolverPolicy::default(),
+        &fleet_cfg,
+        &registry,
+    );
+    let warm_cfg = FleetConfig { warm_start: true, ..fleet_cfg };
+    let (warm_report, warm_stats, _, warm_q) = run(
+        &streams,
+        &config,
+        &codebook,
+        SolverPolicy::default(),
+        &warm_cfg,
+        &TelemetryRegistry::disabled(),
+    );
+    // The prior-driven runs decode the same traffic warm-started, with
+    // the support-weighted and block-sparse proximal steps respectively.
+    let (_, weighted_stats, _, weighted_q) = run(
+        &streams,
+        &config,
+        &codebook,
+        SolverPolicy::support_prior(),
+        &warm_cfg,
+        &TelemetryRegistry::disabled(),
+    );
+    let (_, _block_stats, _, block_q) = run(
+        &streams,
+        &config,
+        &codebook,
+        SolverPolicy::block_prior(),
         &warm_cfg,
         &TelemetryRegistry::disabled(),
     );
@@ -445,6 +515,52 @@ fn main() {
         "warm wall-clock         : {:>8.2?} (vs cold {:.2?})",
         warm_report.wall_time, cold_report.wall_time
     );
+
+    // Prior-driven solve paths over the same traffic: per-mode iteration
+    // quantiles at integer resolution (the telemetry histograms' log2
+    // buckets would swallow a 20 % shift) and the fleet-wide PRD each
+    // mode reconstructs at. The summary lines under the table are the
+    // ones `scripts/bench_snapshot.sh` parses into BENCH_decode.json.
+    let weighted_fleet = FleetStats::from_streams(&weighted_stats);
+    println!("== Solver priors ==");
+    println!(
+        "{:<10} {:>8} {:>9} {:>8} {:>8} {:>8}",
+        "mode", "packets", "mean it", "p50 it", "p95 it", "PRD %"
+    );
+    for (name, q) in [
+        ("cold", &cold_q),
+        ("warm", &warm_q),
+        ("weighted", &weighted_q),
+        ("block", &block_q),
+    ] {
+        println!(
+            "{:<10} {:>8} {:>9.1} {:>8.0} {:>8.0} {:>8.2}",
+            name,
+            q.iterations.len(),
+            q.iterations_mean(),
+            exact_percentile(&q.iterations, 0.50),
+            exact_percentile(&q.iterations, 0.95),
+            q.prd_percent()
+        );
+    }
+    println!(
+        "weighted mean iterations : {:>7.1}  ({} of {} packets warm-started)",
+        weighted_q.iterations_mean(),
+        weighted_fleet.warm_started,
+        weighted_fleet.packets()
+    );
+    println!(
+        "block mean iterations   : {:>8.1}",
+        block_q.iterations_mean()
+    );
+    println!(
+        "weighted iteration saving: {:>7.1} %  (vs warm baseline)",
+        weighted_fleet.iteration_saving_vs(&warm) * 100.0
+    );
+    println!("cold PRD                : {:>8.2} %", cold_q.prd_percent());
+    println!("warm PRD                : {:>8.2} %", warm_q.prd_percent());
+    println!("weighted PRD            : {:>8.2} %", weighted_q.prd_percent());
+    println!("block PRD               : {:>8.2} %", block_q.prd_percent());
 
     // Robustness picture: the same patients serialized to wire frames and
     // pushed through a hostile link (burst bit errors at mean BER 1e-3,

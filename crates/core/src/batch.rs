@@ -142,6 +142,13 @@ pub struct BatchDecodeWorkspace<T: Real> {
     pub(crate) configs: Vec<ShrinkageConfig<T>>,
     /// Whether each staged lane's solve was seeded from a warm estimate.
     pub(crate) warm_started: Vec<bool>,
+    /// Lane-major per-coefficient ℓ1 weights for the support-prior batch
+    /// path (`lane·n .. (lane+1)·n`); empty unless the policy's prior
+    /// mode stages weights.
+    pub(crate) lane_weights: Vec<T>,
+    /// Whether each staged lane's weights came from its support prior
+    /// (vs the static fallback) — decides the telemetry mode label.
+    pub(crate) prior_used: Vec<bool>,
 }
 
 impl<T: Real> BatchDecodeWorkspace<T> {
@@ -159,6 +166,8 @@ impl<T: Real> BatchDecodeWorkspace<T> {
             solve: BatchWorkspace::with_dims(m, n, width),
             configs: Vec::with_capacity(width),
             warm_started: Vec::with_capacity(width),
+            lane_weights: Vec::with_capacity(width * n),
+            prior_used: Vec::with_capacity(width),
         }
     }
 
@@ -167,6 +176,8 @@ impl<T: Real> BatchDecodeWorkspace<T> {
         self.solve.begin(self.rows, self.cols);
         self.configs.clear();
         self.warm_started.clear();
+        self.lane_weights.clear();
+        self.prior_used.clear();
     }
 
     /// Lanes staged into the current batch so far.

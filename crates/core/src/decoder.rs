@@ -15,16 +15,45 @@ use cs_codec::{symbol_to_value, BitReader, Codebook, DiffConfig, DiffDecoder};
 use cs_dsp::wavelet::{Dwt, Wavelet};
 use cs_dsp::Real;
 use cs_recovery::{
-    fista_warm_batch_ws_observed, fista_warm_ws_observed, fista_weighted_warm_ws_observed,
-    lambda_max_with, lipschitz_constant, top_singular_pair, DeflatedOperator, FistaWorkspace,
-    KernelMode, LinearOperator, ShrinkageConfig, SpectralCache, SpectralEstimate,
-    SynthesisOperator,
+    fista_prior_batch_ws_observed, fista_prior_warm_ws_observed, fista_warm_batch_ws_observed,
+    lambda_max_with, lipschitz_constant, top_singular_pair, BatchPenalty, DeflatedOperator,
+    FistaWorkspace, KernelMode, LinearOperator, ProxSpec, ShrinkageConfig, SpectralCache,
+    SpectralEstimate, SynthesisOperator,
 };
 use cs_sensing::SparseBinarySensing;
-use cs_telemetry::{SolveTrace, Stage, TelemetryRegistry};
+use cs_telemetry::{SolveTrace, SolverMode, Stage, TelemetryRegistry};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Which prior, if any, drives the solver's proximal step.
+///
+/// Priors change the per-packet optimization problem, trading a little
+/// model risk (a stale prior can bias a window) for iteration count. All
+/// prior modes also enable the O'Donoghue–Candès adaptive restart, which
+/// keeps FISTA's convergence guarantee intact under the changed penalty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PriorMode {
+    /// Plain Eq. (3) — bit-exact with the pre-prior decoder.
+    #[default]
+    None,
+    /// Support-weighted ℓ1: each window's estimated support (the
+    /// magnitude-thresholded coefficients of the *previous* solution)
+    /// pays a reduced weight, off-support coefficients full weight
+    /// (Polanía et al., arXiv:1405.4201). Safeguards: weights never reach
+    /// zero ([`SolverPolicy::support_floor`]), the prior is only applied
+    /// when the β-safeguarded warm seed was accepted (a morphology break
+    /// rejects the seed *and* the prior together), and every
+    /// [`SolverPolicy::support_refresh`]-th window solves unweighted to
+    /// re-estimate the support from scratch.
+    Support,
+    /// Block-sparse group-ℓ1 over wavelet-tree groups: detail subbands
+    /// shrink in blocks of [`SolverPolicy::block_size`], the coarse
+    /// approximation band coefficient-wise (Zhang et al.,
+    /// arXiv:1309.7843 motivate block structure for telemonitored
+    /// physiological signals).
+    Block,
+}
 
 /// How the decoder chooses FISTA's parameters per packet.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,6 +83,23 @@ pub struct SolverPolicy<T: Real> {
     /// data-adaptive λ and the spectral deflation already absorb the
     /// baseline bias (see the `probe` history in EXPERIMENTS.md).
     pub penalize_approximation: bool,
+    /// Which prior drives the proximal step (default [`PriorMode::None`],
+    /// bit-exact with the pre-prior decoder).
+    pub prior: PriorMode,
+    /// Support membership cut for [`PriorMode::Support`]: coefficient `i`
+    /// is on-support when `|αᵢ| ≥ support_threshold · max|α|` of the
+    /// previous window's solution.
+    pub support_threshold: T,
+    /// ℓ1 weight paid by on-support coefficients (off-support pay 1).
+    /// Strictly positive — a zero floor would let a stale support lock
+    /// coefficients on forever.
+    pub support_floor: T,
+    /// Solve unweighted every this-many weighted windows, re-estimating
+    /// the support from an unbiased solution.
+    pub support_refresh: usize,
+    /// Detail-subband group width for [`PriorMode::Block`] (the coarse
+    /// approximation band always shrinks coefficient-wise).
+    pub block_size: usize,
 }
 
 impl<T: Real> Default for SolverPolicy<T> {
@@ -66,8 +112,101 @@ impl<T: Real> Default for SolverPolicy<T> {
             residual_tolerance: T::ZERO,
             deflation_factor: T::from_f64(0.15),
             penalize_approximation: true,
+            prior: PriorMode::None,
+            support_threshold: T::from_f64(0.05),
+            support_floor: T::from_f64(0.25),
+            support_refresh: 16,
+            block_size: 4,
         }
     }
+}
+
+impl<T: Real> SolverPolicy<T> {
+    /// The default policy with the support-weighted prior enabled — the
+    /// fleet's fast path.
+    pub fn support_prior() -> Self {
+        SolverPolicy {
+            prior: PriorMode::Support,
+            ..SolverPolicy::default()
+        }
+    }
+
+    /// The default policy with the block-sparse wavelet-tree prior
+    /// enabled.
+    pub fn block_prior() -> Self {
+        SolverPolicy {
+            prior: PriorMode::Block,
+            ..SolverPolicy::default()
+        }
+    }
+}
+
+/// Per-lane support prior: the ℓ1 weight vector estimated from the
+/// previous window's solution, plus the refresh bookkeeping.
+#[derive(Debug, Clone, Default)]
+struct SupportPrior<T: Real> {
+    /// Per-coefficient weights (support → floor, rest → 1, multiplied by
+    /// the decoder's static subband weights). Valid only while `ready`.
+    weights: Vec<T>,
+    /// Weighted solves since the last unweighted refresh.
+    since_refresh: usize,
+    /// Whether `weights` reflect a decoded window.
+    ready: bool,
+}
+
+impl<T: Real> SupportPrior<T> {
+    /// Re-estimates the weights from a freshly decoded solution.
+    /// Steady-state allocation-free: the weight buffer keeps its
+    /// capacity.
+    fn refresh_from(&mut self, solution: &[T], threshold: T, floor: T, static_weights: &[T]) {
+        let max = solution.iter().fold(T::ZERO, |m, &v| m.max(v.abs()));
+        if max == T::ZERO {
+            // An all-zero window carries no support information.
+            self.ready = false;
+            return;
+        }
+        let cut = threshold * max;
+        self.weights.clear();
+        self.weights.extend(solution.iter().enumerate().map(|(i, &v)| {
+            let stat = static_weights.get(i).copied().unwrap_or(T::ONE);
+            if v.abs() >= cut {
+                stat * floor
+            } else {
+                stat
+            }
+        }));
+        self.ready = true;
+    }
+
+    /// Drops the prior — the stream no longer continues from the window
+    /// it was estimated on.
+    fn reset(&mut self) {
+        self.ready = false;
+        self.since_refresh = 0;
+    }
+}
+
+/// Builds the block-prior group partition over the wavelet tree: the
+/// coarse approximation band (the first `n >> levels` coefficients, not
+/// sparse) gets singleton groups — bit-exact with the plain soft
+/// threshold there — and every detail subband is chunked into groups of
+/// `block` (a trailing partial chunk when the band width is not a
+/// multiple).
+fn wavelet_tree_groups(n: usize, levels: usize, block: usize) -> Vec<usize> {
+    let approx = n >> levels;
+    let mut sizes = vec![1; approx];
+    let mut band = approx;
+    for _ in 0..levels {
+        let mut rem = band;
+        while rem > 0 {
+            let g = rem.min(block);
+            sizes.push(g);
+            rem -= g;
+        }
+        band *= 2;
+    }
+    debug_assert_eq!(sizes.iter().sum::<usize>(), n);
+    sizes
 }
 
 /// One reconstructed packet plus its solver statistics (the quantities
@@ -203,6 +342,11 @@ pub struct Decoder<T: Real> {
     deflation_u: Vec<T>,
     /// Per-coefficient ℓ1 weights (empty ⇒ unweighted).
     penalty_weights: Vec<T>,
+    /// Support prior estimated from the previous window (only maintained
+    /// under [`PriorMode::Support`]).
+    prior: SupportPrior<T>,
+    /// Wavelet-tree group partition (empty unless [`PriorMode::Block`]).
+    groups: Vec<usize>,
     policy: SolverPolicy<T>,
     /// Previous packet's coefficient estimate, kept when warm starts are
     /// enabled. Consecutive 2-second ECG packets are highly correlated, so
@@ -288,6 +432,42 @@ impl<T: Real> Decoder<T> {
                 config.alphabet()
             )));
         }
+        match policy.prior {
+            PriorMode::None => {}
+            PriorMode::Support => {
+                let thr = policy.support_threshold.to_f64();
+                let floor = policy.support_floor.to_f64();
+                if !(0.0..1.0).contains(&thr) {
+                    return Err(PipelineError::InvalidConfig(format!(
+                        "support_threshold {thr} outside [0, 1)"
+                    )));
+                }
+                if !(floor > 0.0 && floor <= 1.0) {
+                    return Err(PipelineError::InvalidConfig(format!(
+                        "support_floor {floor} outside (0, 1]"
+                    )));
+                }
+                if policy.support_refresh == 0 {
+                    return Err(PipelineError::InvalidConfig(
+                        "support_refresh must be at least 1".into(),
+                    ));
+                }
+            }
+            PriorMode::Block => {
+                if policy.block_size == 0 {
+                    return Err(PipelineError::InvalidConfig(
+                        "block_size must be at least 1".into(),
+                    ));
+                }
+                if !policy.penalize_approximation {
+                    // The group prox has no per-coefficient zero weights,
+                    // so the subband exemption cannot compose with it.
+                    return Err(PipelineError::InvalidConfig(
+                        "block prior requires penalize_approximation".into(),
+                    ));
+                }
+            }
+        }
         let phi = SparseBinarySensing::new(
             config.measurements(),
             config.packet_len(),
@@ -339,6 +519,11 @@ impl<T: Real> Decoder<T> {
                 .map(|i| if i < coarsest { T::ZERO } else { T::ONE })
                 .collect()
         };
+        let groups = if policy.prior == PriorMode::Block {
+            wavelet_tree_groups(config.packet_len(), config.levels(), policy.block_size)
+        } else {
+            Vec::new()
+        };
         Ok(Decoder {
             config: config.clone(),
             phi,
@@ -348,6 +533,8 @@ impl<T: Real> Decoder<T> {
             lipschitz,
             deflation_u,
             penalty_weights,
+            prior: SupportPrior::default(),
+            groups,
             policy,
             warm: None,
             warm_start: false,
@@ -503,28 +690,33 @@ impl<T: Real> Decoder<T> {
             self.policy.deflation_factor,
         );
         let warm = if warm_started { Some(ws.seed.as_slice()) } else { None };
-        let result = if self.penalty_weights.is_empty() {
-            fista_warm_ws_observed(
-                &deflated,
-                &ws.yd,
-                &cfg,
-                Some(self.lipschitz),
-                warm,
-                &mut ws.solve,
-                &self.telemetry,
-            )
-        } else {
-            fista_weighted_warm_ws_observed(
-                &deflated,
-                &ws.yd,
-                &cfg,
-                Some(self.lipschitz),
+        let (prox, mode) = self.select_prox(warm_started);
+        let restart = self.policy.prior != PriorMode::None;
+        let result = fista_prior_warm_ws_observed(
+            &deflated,
+            &ws.yd,
+            &cfg,
+            Some(self.lipschitz),
+            prox,
+            restart,
+            warm,
+            &mut ws.solve,
+            &self.telemetry,
+        );
+        self.telemetry.record_solver_iterations(mode, result.iterations);
+        if self.policy.prior == PriorMode::Support {
+            self.prior.since_refresh = if mode == SolverMode::Weighted {
+                self.prior.since_refresh + 1
+            } else {
+                0
+            };
+            self.prior.refresh_from(
+                &result.solution,
+                self.policy.support_threshold,
+                self.policy.support_floor,
                 &self.penalty_weights,
-                warm,
-                &mut ws.solve,
-                &self.telemetry,
-            )
-        };
+            );
+        }
         let (stream, channel) = self.telemetry_labels;
         self.telemetry.record_solve(SolveTrace {
             stream,
@@ -579,6 +771,32 @@ impl<T: Real> Decoder<T> {
             ws.solve.recycle_solution(result.solution);
         }
         Ok(())
+    }
+
+    /// Picks the proximal operator (and its telemetry mode label) for one
+    /// solve. The support prior only applies when the β-safeguarded warm
+    /// seed was accepted — a rejected seed means the windows decorrelated,
+    /// exactly when the previous support would mislead — and is suspended
+    /// on the periodic unweighted refresh tick.
+    fn select_prox(&self, warm_started: bool) -> (ProxSpec<'_, T>, SolverMode) {
+        match self.policy.prior {
+            PriorMode::Block => (ProxSpec::Group(&self.groups), SolverMode::Block),
+            PriorMode::Support
+                if warm_started
+                    && self.prior.ready
+                    && self.prior.since_refresh < self.policy.support_refresh =>
+            {
+                (ProxSpec::WeightedL1(&self.prior.weights), SolverMode::Weighted)
+            }
+            _ => {
+                let mode = if warm_started { SolverMode::Warm } else { SolverMode::Cold };
+                if self.penalty_weights.is_empty() {
+                    (ProxSpec::L1, mode)
+                } else {
+                    (ProxSpec::WeightedL1(&self.penalty_weights), mode)
+                }
+            }
+        }
     }
 
     /// The per-lane front half of a decode — everything before the
@@ -722,6 +940,24 @@ impl<T: Real> Decoder<T> {
         let lane = batch.solve.stage_lane(&batch.scalar.yd, warm);
         batch.configs.push(cfg);
         batch.warm_started.push(warm_started);
+        // Under the support prior every lane stages a weight vector (the
+        // batch penalty is uniform per-lane weighted; an all-ones or
+        // static fallback is bit-identical to the lane's unweighted
+        // solve), and remembers whether its prior actually drove it.
+        if self.policy.prior == PriorMode::Support {
+            let (prox, mode) = self.select_prox(warm_started);
+            let used_prior = mode == SolverMode::Weighted;
+            match prox {
+                ProxSpec::WeightedL1(w) => batch.lane_weights.extend_from_slice(w),
+                _ => {
+                    let n = self.config.packet_len();
+                    batch.lane_weights.extend(std::iter::repeat_n(T::ONE, n));
+                }
+            }
+            batch.prior_used.push(used_prior);
+        } else {
+            batch.prior_used.push(false);
+        }
         Ok(lane)
     }
 
@@ -739,19 +975,41 @@ impl<T: Real> Decoder<T> {
             &self.deflation_u,
             self.policy.deflation_factor,
         );
-        let weights = if self.penalty_weights.is_empty() {
-            None
-        } else {
-            Some(self.penalty_weights.as_slice())
-        };
-        fista_warm_batch_ws_observed(
-            &deflated,
-            &batch.configs,
-            weights,
-            Some(self.lipschitz),
-            &mut batch.solve,
-            &self.telemetry,
-        );
+        match self.policy.prior {
+            PriorMode::None => {
+                let weights = if self.penalty_weights.is_empty() {
+                    None
+                } else {
+                    Some(self.penalty_weights.as_slice())
+                };
+                fista_warm_batch_ws_observed(
+                    &deflated,
+                    &batch.configs,
+                    weights,
+                    Some(self.lipschitz),
+                    &mut batch.solve,
+                    &self.telemetry,
+                );
+            }
+            PriorMode::Support => fista_prior_batch_ws_observed(
+                &deflated,
+                &batch.configs,
+                BatchPenalty::PerLane(&batch.lane_weights),
+                true,
+                Some(self.lipschitz),
+                &mut batch.solve,
+                &self.telemetry,
+            ),
+            PriorMode::Block => fista_prior_batch_ws_observed(
+                &deflated,
+                &batch.configs,
+                BatchPenalty::Group(&self.groups),
+                true,
+                Some(self.lipschitz),
+                &mut batch.solve,
+                &self.telemetry,
+            ),
+        }
     }
 
     /// The per-lane back half of a batched decode: journals the solve
@@ -775,6 +1033,26 @@ impl<T: Real> Decoder<T> {
         let iterations = batch.solve.iterations(lane);
         let converged = batch.solve.converged(lane);
         let residual_norm = batch.solve.residual_norm(lane);
+        let mode = match self.policy.prior {
+            PriorMode::Block => SolverMode::Block,
+            PriorMode::Support if batch.prior_used[lane] => SolverMode::Weighted,
+            _ if warm_started => SolverMode::Warm,
+            _ => SolverMode::Cold,
+        };
+        self.telemetry.record_solver_iterations(mode, iterations);
+        if self.policy.prior == PriorMode::Support {
+            self.prior.since_refresh = if mode == SolverMode::Weighted {
+                self.prior.since_refresh + 1
+            } else {
+                0
+            };
+            self.prior.refresh_from(
+                batch.solve.solution(lane),
+                self.policy.support_threshold,
+                self.policy.support_floor,
+                &self.penalty_weights,
+            );
+        }
         let (stream, channel) = self.telemetry_labels;
         self.telemetry.record_solve(SolveTrace {
             stream,
@@ -831,6 +1109,9 @@ impl<T: Real> Decoder<T> {
     pub fn desynchronize(&mut self) {
         self.diff.desynchronize();
         self.warm = None;
+        // The support prior was estimated on a window the stream no
+        // longer continues from.
+        self.prior.reset();
     }
 
     /// Re-synthesizes a lost window from the last retained coefficient
@@ -994,6 +1275,145 @@ mod tests {
         };
         // Both policies must produce clinically comparable output.
         assert!((prd(&a.samples) - prd(&b.samples)).abs() < 5.0);
+    }
+
+    /// Streams `count` windows of a slowly drifting beat through both
+    /// decoders and returns (total iterations, worst PRD) per decoder.
+    fn stream_windows(
+        enc: &mut Encoder,
+        decoders: &mut [&mut Decoder<f64>],
+        count: usize,
+    ) -> Vec<(usize, f64)> {
+        let mut totals = vec![(0usize, 0f64); decoders.len()];
+        for w in 0..count {
+            let x = synthetic_packet(512, w as f64 * 0.003);
+            let wire = enc.encode_packet(&x).unwrap();
+            let den: f64 = x.iter().map(|&a| (a as f64) * (a as f64)).sum();
+            for (slot, dec) in decoders.iter_mut().enumerate() {
+                let out = dec.decode_packet(&wire).unwrap();
+                let num: f64 = x
+                    .iter()
+                    .zip(&out.samples)
+                    .map(|(&a, &b)| (a as f64 - b) * (a as f64 - b))
+                    .sum();
+                let prd = (num / den).sqrt() * 100.0;
+                totals[slot].0 += out.iterations;
+                totals[slot].1 = totals[slot].1.max(prd);
+            }
+        }
+        totals
+    }
+
+    #[test]
+    fn support_prior_policy_matches_plain_quality() {
+        let config = SystemConfig::paper_default();
+        let cb = Arc::new(Codebook::from_counts(&vec![1; 512], 512).unwrap());
+        let mut enc = Encoder::new(&config, Arc::clone(&cb)).unwrap();
+        let mut plain: Decoder<f64> =
+            Decoder::new(&config, Arc::clone(&cb), SolverPolicy::default()).unwrap();
+        let mut prior: Decoder<f64> =
+            Decoder::new(&config, cb, SolverPolicy::support_prior()).unwrap();
+        plain.set_warm_start(true);
+        prior.set_warm_start(true);
+        prior.set_telemetry(TelemetryRegistry::new());
+
+        let totals = stream_windows(&mut enc, &mut [&mut plain, &mut prior], 6);
+        let (plain_iters, plain_prd) = totals[0];
+        let (prior_iters, prior_prd) = totals[1];
+        assert!(prior_prd < plain_prd + 3.0, "prior PRD {prior_prd} vs plain {plain_prd}");
+        // The prior path must not cost materially more iterations than
+        // the warm baseline (the ≥20 % win is pinned in release by the
+        // solver_priors suite; debug builds only sanity-check direction).
+        assert!(
+            prior_iters <= plain_iters + plain_iters / 10,
+            "prior {prior_iters} iterations vs plain {plain_iters}"
+        );
+        // Weighted solves actually happened and were labelled as such.
+        let snap = prior.telemetry().snapshot();
+        let weighted = snap
+            .solver_iterations
+            .iter()
+            .find(|(m, _)| *m == SolverMode::Weighted)
+            .map(|(_, h)| h.count())
+            .unwrap();
+        assert!(weighted > 0, "no weighted-mode solves recorded");
+    }
+
+    #[test]
+    fn block_prior_policy_matches_plain_quality() {
+        let config = SystemConfig::paper_default();
+        let cb = Arc::new(Codebook::from_counts(&vec![1; 512], 512).unwrap());
+        let mut enc = Encoder::new(&config, Arc::clone(&cb)).unwrap();
+        let mut plain: Decoder<f64> =
+            Decoder::new(&config, Arc::clone(&cb), SolverPolicy::default()).unwrap();
+        let mut block: Decoder<f64> =
+            Decoder::new(&config, cb, SolverPolicy::block_prior()).unwrap();
+        plain.set_warm_start(true);
+        block.set_warm_start(true);
+
+        let totals = stream_windows(&mut enc, &mut [&mut plain, &mut block], 4);
+        let (_, plain_prd) = totals[0];
+        let (_, block_prd) = totals[1];
+        assert!(block_prd < plain_prd + 5.0, "block PRD {block_prd} vs plain {plain_prd}");
+    }
+
+    #[test]
+    fn desynchronize_drops_the_support_prior() {
+        let config = SystemConfig::builder().reference_interval(2).build().unwrap();
+        let cb = Arc::new(
+            Codebook::from_counts(&vec![1; config.alphabet()], config.alphabet()).unwrap(),
+        );
+        let mut enc = Encoder::new(&config, Arc::clone(&cb)).unwrap();
+        let mut dec: Decoder<f64> =
+            Decoder::new(&config, cb, SolverPolicy::support_prior()).unwrap();
+        dec.set_warm_start(true);
+        let x = synthetic_packet(512, 0.0);
+        let _ = dec.decode_packet(&enc.encode_packet(&x).unwrap()).unwrap();
+        assert!(dec.prior.ready);
+        dec.desynchronize();
+        assert!(!dec.prior.ready);
+        assert_eq!(dec.prior.since_refresh, 0);
+    }
+
+    #[test]
+    fn prior_policy_validation_rejects_bad_parameters() {
+        let config = SystemConfig::paper_default();
+        let cb = Arc::new(Codebook::from_counts(&vec![1; 512], 512).unwrap());
+        let bad = [
+            SolverPolicy {
+                support_threshold: 1.5,
+                ..SolverPolicy::support_prior()
+            },
+            SolverPolicy {
+                support_floor: 0.0,
+                ..SolverPolicy::support_prior()
+            },
+            SolverPolicy {
+                support_refresh: 0,
+                ..SolverPolicy::support_prior()
+            },
+            SolverPolicy {
+                block_size: 0,
+                ..SolverPolicy::block_prior()
+            },
+            SolverPolicy {
+                penalize_approximation: false,
+                ..SolverPolicy::block_prior()
+            },
+        ];
+        for policy in bad {
+            let dec: Result<Decoder<f64>, _> = Decoder::new(&config, Arc::clone(&cb), policy);
+            assert!(dec.is_err(), "policy {policy:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn wavelet_tree_groups_tile_the_vector() {
+        let sizes = wavelet_tree_groups(512, 5, 4);
+        assert_eq!(sizes.iter().sum::<usize>(), 512);
+        // Approximation band: 512 >> 5 = 16 singletons.
+        assert!(sizes[..16].iter().all(|&s| s == 1));
+        assert!(sizes[16..].iter().all(|&s| s == 4));
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Steady-state **batched prior-driven** decode must be allocation-free.
+//!
+//! The prior analogue of `zero_alloc_batch.rs`: K support-prior lanes
+//! fused into one MMV solve with per-lane ℓ1 weight vectors. After one
+//! full batch round has warmed the per-worker [`BatchDecodeWorkspace`] —
+//! including the lane-major weight staging buffer and every lane's
+//! support-prior weights — each further round (staging, the K-wide
+//! per-lane-weighted solve, prior re-estimation per lane) must perform
+//! **zero** heap allocations.
+//!
+//! This lives in its own integration-test binary with a single `#[test]`
+//! so no concurrent test can pollute the allocation counter.
+
+use cs_codec::Codebook;
+use cs_core::{
+    BatchDecodeWorkspace, BatchScheduler, DecodedPacket, Decoder, Encoder, SolverPolicy,
+    SystemConfig,
+};
+use cs_telemetry::TelemetryRegistry;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counts allocations (not deallocations: retiring a buffer is benign,
+/// taking a fresh one is the defect being guarded against).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn synthetic_packet(n: usize, phase: f64) -> Vec<i16> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64;
+            let spike = (-((t - 0.3 + phase) * 40.0).powi(2)).exp()
+                + (-((t - 0.8 + phase) * 40.0).powi(2)).exp();
+            (900.0 * spike + 60.0 * (t * 12.0).sin()) as i16
+        })
+        .collect()
+}
+
+#[test]
+fn steady_state_batched_prior_decode_allocates_nothing() {
+    const K: usize = 4;
+    const ROUNDS: usize = 6;
+
+    let config = SystemConfig::paper_default();
+    let codebook = Arc::new(
+        Codebook::from_counts(&vec![1; config.alphabet()], config.alphabet()).unwrap(),
+    );
+    let registry = TelemetryRegistry::new();
+
+    let mut decoders: Vec<Decoder<f32>> = (0..K)
+        .map(|lane| {
+            let mut d =
+                Decoder::new(&config, Arc::clone(&codebook), SolverPolicy::support_prior())
+                    .unwrap();
+            d.set_warm_start(true);
+            d.set_telemetry(registry.clone());
+            d.set_telemetry_labels(0, lane as u8);
+            d
+        })
+        .collect();
+
+    let wires: Vec<Vec<_>> = (0..K)
+        .map(|lane| {
+            let mut encoder = Encoder::new(&config, Arc::clone(&codebook)).unwrap();
+            (0..ROUNDS)
+                .map(|k| {
+                    let phase = k as f64 * 0.002 + lane as f64 * 0.0007;
+                    encoder.encode_packet(&synthetic_packet(512, phase)).unwrap()
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut sched: BatchScheduler<(usize, usize)> = BatchScheduler::new(K);
+    let mut ws = BatchDecodeWorkspace::for_config(&config, K);
+    let mut batch: Vec<(usize, usize)> = Vec::with_capacity(K);
+    let mut staged: Vec<usize> = Vec::with_capacity(K);
+    let mut outs: Vec<DecodedPacket<f32>> = (0..K).map(|_| DecodedPacket::default()).collect();
+
+    for round in 0..ROUNDS {
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+
+        for lane in 0..K {
+            sched.push((lane, round));
+        }
+        sched.drain_into(&mut batch, |job| job.0);
+        assert_eq!(batch.len(), K);
+
+        ws.begin();
+        staged.clear();
+        for &(lane, window) in &batch {
+            let slot = decoders[lane].begin_batch_lane(&wires[lane][window], &mut ws).unwrap();
+            staged.push(slot);
+        }
+        decoders[batch[0].0].solve_batch(&mut ws);
+        for (&(lane, window), &slot) in batch.iter().zip(&staged) {
+            decoders[lane].finish_batch_lane(slot, window as u64, &mut ws, &mut outs[lane]);
+        }
+
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        // Round 0 warms the buffers (including each lane's prior weight
+        // vector and the lane-major staging buffer); round 1 is the
+        // first where every lane goes through the weighted path.
+        if round > 1 {
+            assert_eq!(
+                after - before,
+                0,
+                "steady-state prior batch round {} allocated {} times",
+                round,
+                after - before
+            );
+        }
+        for out in &outs {
+            assert_eq!(out.samples.len(), 512);
+        }
+    }
+
+    // The batched weighted path really ran.
+    let snap = registry.snapshot();
+    let weighted = snap
+        .solver_iterations
+        .iter()
+        .find(|(m, _)| m.name() == "weighted")
+        .map(|(_, h)| h.count())
+        .unwrap();
+    assert!(
+        weighted >= ((ROUNDS - 1) * K) as u64,
+        "batched lanes never took the weighted path ({weighted} weighted solves)"
+    );
+}

@@ -28,7 +28,7 @@ mod aggregate;
 mod fleet;
 mod quality;
 
-pub use aggregate::{Summary, SweepPoint, SweepSeries};
+pub use aggregate::{exact_percentile, Summary, SweepPoint, SweepSeries};
 pub use fleet::{worker_imbalance, FleetStats, StreamStats};
 pub use quality::{
     compression_ratio, output_snr, prd, prd_from_snr, prd_masked, prd_mean_removed, snr_from_prd,

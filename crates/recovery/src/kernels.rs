@@ -214,6 +214,98 @@ pub fn soft_threshold_weighted<T: Real>(
     }
 }
 
+/// Group (block) soft thresholding — the prox operator of the group-ℓ1
+/// penalty `λ·Σ_g √|g|·‖α_g‖₂` over a contiguous partition of the
+/// coefficient vector:
+///
+/// ```text
+///   out_g = u_g · max(1 − t·√|g| / ‖u_g‖₂, 0)
+/// ```
+///
+/// `sizes` gives the group lengths in order; they must tile `u` exactly.
+/// The two-pass shape (all group norms into `norms`, then the scaling
+/// sweep) keeps the hot loop free of the sqrt/divide and lets the solver
+/// reuse one per-group scratch buffer across iterations.
+///
+/// Size-1 groups are special-cased through the same branch-free scalar
+/// soft threshold as [`soft_threshold`] (for `|g| = 1` the group prox
+/// *is* the scalar prox), so an all-singleton partition is bit-identical
+/// to the plain ℓ1 kernel — the contract the solver's equivalence tests
+/// pin down.
+///
+/// # Panics
+///
+/// Panics if `t` is negative, `u` and `out` differ in length, `norms` is
+/// shorter than `sizes`, any group is empty, or the sizes don't sum to
+/// `u.len()`.
+pub fn group_soft_threshold<T: Real>(
+    u: &[T],
+    t: T,
+    sizes: &[usize],
+    norms: &mut [T],
+    out: &mut [T],
+    mode: KernelMode,
+) {
+    assert_eq!(u.len(), out.len(), "group_soft_threshold: length mismatch");
+    assert!(t >= T::ZERO, "group_soft_threshold: negative threshold");
+    assert!(
+        norms.len() >= sizes.len(),
+        "group_soft_threshold: norm scratch shorter than group count"
+    );
+    assert_eq!(
+        sizes.iter().sum::<usize>(),
+        u.len(),
+        "group_soft_threshold: group sizes do not tile the vector"
+    );
+    // Pass 1: per-group ℓ2 norms (singletons skip the sqrt entirely).
+    let mut start = 0usize;
+    for (g, &len) in sizes.iter().enumerate() {
+        assert!(len > 0, "group_soft_threshold: empty group");
+        if len > 1 {
+            let block = &u[start..start + len];
+            norms[g] = dot(block, block, mode).sqrt();
+        }
+        start += len;
+    }
+    // Pass 2: scale each group by its shrink factor.
+    let mut start = 0usize;
+    for (g, &len) in sizes.iter().enumerate() {
+        if len == 1 {
+            out[start] = soft_one_branchless(u[start], t);
+            start += 1;
+            continue;
+        }
+        let tg = t * T::from_f64(len as f64).sqrt();
+        // ‖u_g‖ = 0 ⇒ tg/0 is inf (or NaN at t = 0); `max` ignores the
+        // NaN and both cases land on scale 0 — a zero group stays zero.
+        let scale = (T::ONE - tg / norms[g]).max(T::ZERO);
+        let block = &u[start..start + len];
+        let ob = &mut out[start..start + len];
+        match mode {
+            KernelMode::Scalar => {
+                for (o, &ui) in ob.iter_mut().zip(block) {
+                    *o = ui * scale;
+                }
+            }
+            KernelMode::Unrolled4 => {
+                let cu = block.chunks_exact(4);
+                let ru = cu.remainder();
+                let mut co = ob.chunks_exact_mut(4);
+                for (us, os) in cu.zip(&mut co) {
+                    os[0] = us[0] * scale;
+                    os[1] = us[1] * scale;
+                    os[2] = us[2] * scale;
+                    os[3] = us[3] * scale;
+                }
+                for (&ui, oi) in ru.iter().zip(co.into_remainder()) {
+                    *oi = ui * scale;
+                }
+            }
+        }
+        start += len;
+    }
+}
+
 /// FISTA's momentum combination `out = a + beta·(a − a_prev)` (Eq. 6).
 ///
 /// # Panics
@@ -391,6 +483,94 @@ mod tests {
         for i in 8..37 {
             assert_eq!(a[i], c[i]);
         }
+    }
+
+    #[test]
+    fn group_threshold_modes_agree() {
+        for (n, sizes) in [
+            (12, vec![4usize, 4, 4]),
+            (13, vec![1, 4, 3, 5]),
+            (16, vec![16]),
+            (7, vec![1, 1, 1, 1, 1, 1, 1]),
+        ] {
+            let u: Vec<f64> = (0..n).map(|i| ((i * 5 % 11) as f64) - 5.0).collect();
+            let mut norms = vec![0.0; sizes.len()];
+            let mut a = vec![0.0; n];
+            let mut b = vec![0.0; n];
+            group_soft_threshold(&u, 0.7, &sizes, &mut norms, &mut a, KernelMode::Scalar);
+            group_soft_threshold(&u, 0.7, &sizes, &mut norms, &mut b, KernelMode::Unrolled4);
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-12, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_groups_are_bitwise_plain_soft_threshold() {
+        let u: Vec<f64> = (0..41).map(|i| (i as f64 * 0.61).sin() * 3.0).collect();
+        let sizes = vec![1usize; 41];
+        let mut norms = vec![0.0; 41];
+        for mode in [KernelMode::Scalar, KernelMode::Unrolled4] {
+            let mut g = vec![0.0; 41];
+            let mut p = vec![0.0; 41];
+            group_soft_threshold(&u, 1.3, &sizes, &mut norms, &mut g, mode);
+            soft_threshold(&u, 1.3, &mut p, mode);
+            for (x, y) in g.iter().zip(&p) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn group_threshold_is_prox_of_group_norm() {
+        // prox property per group: v minimizes ½‖x−u‖² + t·√|g|·‖x‖₂, so a
+        // handful of candidate scalings of u (the minimizer is collinear
+        // with u) must not beat it.
+        let u = [3.0_f64, -1.0, 2.0, 0.5];
+        let t = 0.9;
+        let mut norms = [0.0];
+        let mut v = [0.0; 4];
+        group_soft_threshold(&u, t, &[4], &mut norms, &mut v, KernelMode::Unrolled4);
+        let tg = t * 2.0; // √4
+        let obj = |x: &[f64]| {
+            let d: f64 = x.iter().zip(&u).map(|(a, b)| (a - b) * (a - b)).sum();
+            let nx: f64 = x.iter().map(|a| a * a).sum::<f64>().sqrt();
+            0.5 * d + tg * nx
+        };
+        for s in [-0.5, 0.0, 0.3, 0.7, 1.0, 1.5] {
+            let cand: Vec<f64> = u.iter().map(|&x| x * s).collect();
+            assert!(obj(&v) <= obj(&cand) + 1e-12, "s={s}");
+        }
+    }
+
+    #[test]
+    fn group_threshold_kills_small_groups_and_keeps_large() {
+        let u = [0.1_f64, -0.1, 10.0, -8.0];
+        let mut norms = [0.0, 0.0];
+        let mut out = [0.0; 4];
+        group_soft_threshold(&u, 1.0, &[2, 2], &mut norms, &mut out, KernelMode::Scalar);
+        // ‖(0.1,−0.1)‖ ≈ 0.14 < √2 ⇒ group zeroed.
+        assert_eq!(&out[..2], &[0.0, -0.0]);
+        // Large group survives with direction preserved.
+        assert!(out[2] > 0.0 && out[3] < 0.0);
+        assert!((out[2] / out[3] - u[2] / u[3]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_threshold_zero_group_stays_zero_even_at_zero_threshold() {
+        let u = [0.0_f64, 0.0, 0.0];
+        let mut norms = [0.0];
+        let mut out = [1.0; 3];
+        group_soft_threshold(&u, 0.0, &[3], &mut norms, &mut out, KernelMode::Unrolled4);
+        assert_eq!(out, [0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "group sizes do not tile")]
+    fn group_threshold_bad_partition_panics() {
+        let mut norms = [0.0];
+        let mut out = [0.0_f64; 4];
+        group_soft_threshold(&[1.0; 4], 0.5, &[3], &mut norms, &mut out, KernelMode::Scalar);
     }
 
     #[test]

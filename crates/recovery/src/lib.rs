@@ -63,14 +63,15 @@ mod workspace;
 
 pub use cache::{SpectralCache, SpectralEstimate};
 pub use workspace::{BatchWorkspace, FistaWorkspace, Workspace};
-pub use kernels::{axpy, dot, momentum_combine, soft_threshold, soft_threshold_weighted, squared_distance, KernelMode};
+pub use kernels::{axpy, dot, group_soft_threshold, momentum_combine, soft_threshold, soft_threshold_weighted, squared_distance, KernelMode};
 pub use lipschitz::{lipschitz_constant, operator_norm, top_singular_pair};
 pub use operator::{DeflatedOperator, DenseOperator, LinearOperator, SynthesisOperator};
 pub use solvers::{
-    amp, debias, fista, fista_backtracking, fista_warm, fista_warm_batch_ws,
-    fista_warm_batch_ws_observed, fista_warm_observed, fista_warm_ws,
-    fista_warm_ws_observed, fista_weighted, fista_weighted_warm, fista_weighted_warm_observed,
-    fista_weighted_warm_ws, fista_weighted_warm_ws_observed, ista, ista_warm, lambda_max,
-    lambda_max_with, omp, DebiasConfig, OmpConfig, OmpResult, ShrinkageConfig, SolverResult,
-    AmpConfig, AmpResult,
+    amp, debias, fista, fista_backtracking, fista_prior_batch_ws, fista_prior_batch_ws_observed,
+    fista_prior_warm_ws, fista_prior_warm_ws_observed, fista_warm, fista_warm_batch_ws,
+    fista_warm_batch_ws_observed, fista_warm_observed,
+    fista_warm_ws, fista_warm_ws_observed, fista_weighted, fista_weighted_warm,
+    fista_weighted_warm_observed, fista_weighted_warm_ws, fista_weighted_warm_ws_observed, ista,
+    ista_warm, lambda_max, lambda_max_with, omp, BatchPenalty, DebiasConfig, OmpConfig, OmpResult,
+    ProxSpec, ShrinkageConfig, SolverResult, AmpConfig, AmpResult,
 };

@@ -20,10 +20,13 @@
 //! therefore match the sequential solver bit-for-bit; the equivalence
 //! suite in `tests/numerical_equivalence.rs` pins this.
 
-use crate::kernels::{momentum_combine, soft_threshold, soft_threshold_weighted, squared_distance};
+use crate::kernels::{
+    group_soft_threshold, momentum_combine, soft_threshold, soft_threshold_weighted,
+    squared_distance,
+};
 use crate::lipschitz::lipschitz_constant;
 use crate::operator::LinearOperator;
-use crate::solvers::shrinkage::ShrinkageConfig;
+use crate::solvers::shrinkage::{gradient_restart, ShrinkageConfig};
 use crate::workspace::BatchWorkspace;
 use cs_dsp::{l2_norm, Real};
 use cs_telemetry::{Stage, TelemetryRegistry};
@@ -39,6 +42,26 @@ use std::time::Instant;
 /// at N = 512, M = 256, f32 this yields 4-lane tiles; tiny test
 /// geometries get the full batch in one tile.
 const TILE_L1_BUDGET_BYTES: usize = 40 * 1024;
+
+/// Which penalty the batched solver applies per lane — the batch-side
+/// mirror of [`ProxSpec`](crate::ProxSpec), extended with a per-lane
+/// weight table so a mixed fleet (each lane carrying its own support
+/// prior) solves in one batch.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchPenalty<'a, T: Real> {
+    /// Plain ℓ1 for every lane.
+    L1,
+    /// One shared weight vector (length `op.cols()`) applied to every
+    /// lane — exactly the old `weights: Some(..)` behavior.
+    Shared(&'a [T]),
+    /// Per-lane weight vectors, lane-major (`weights[lane·n .. (lane+1)·n]`
+    /// — indexed by *lane*, not slot, so freeze compaction never moves
+    /// them).
+    PerLane(&'a [T]),
+    /// One shared contiguous group partition (group-ℓ1 prox) for every
+    /// lane.
+    Group(&'a [usize]),
+}
 
 /// Solves Eq. (3) for every lane staged in `ws` with one batched FISTA
 /// run, sharing the operator's index walks across lanes.
@@ -73,6 +96,39 @@ pub fn fista_warm_batch_ws<T: Real, A: LinearOperator<T>>(
     lipschitz: Option<T>,
     ws: &mut BatchWorkspace<T>,
 ) {
+    let penalty = match weights {
+        Some(w) => BatchPenalty::Shared(w),
+        None => BatchPenalty::L1,
+    };
+    fista_prior_batch_ws(op, configs, penalty, false, lipschitz, ws);
+}
+
+/// The prior-driven batched solver: [`fista_warm_batch_ws`] generalized to
+/// a [`BatchPenalty`] (per-lane support weights, group shrinkage) and an
+/// optional O'Donoghue–Candès adaptive restart.
+///
+/// Momentum is tracked per lane, and the restart test runs on each lane's
+/// own slices with the same arithmetic as the sequential
+/// [`fista_prior_warm_ws`](crate::fista_prior_warm_ws) — a restarting
+/// batch lane matches its sequential solve bit-for-bit, restart or not.
+/// With `BatchPenalty::L1`/`Shared` and `adaptive_restart = false` this is
+/// exactly the old solver (every lane's momentum sequence is the shared
+/// one).
+///
+/// # Panics
+///
+/// Panics under [`fista_warm_batch_ws`]'s conditions, or if the penalty is
+/// inconsistent with the geometry (`Shared` length ≠ `op.cols()`,
+/// `PerLane` length ≠ `lanes · op.cols()`, negative weight, or `Group`
+/// sizes that do not tile `op.cols()`).
+pub fn fista_prior_batch_ws<T: Real, A: LinearOperator<T>>(
+    op: &A,
+    configs: &[ShrinkageConfig<T>],
+    penalty: BatchPenalty<'_, T>,
+    adaptive_restart: bool,
+    lipschitz: Option<T>,
+    ws: &mut BatchWorkspace<T>,
+) {
     let k = ws.lanes;
     let (m, n) = (op.rows(), op.cols());
     assert!(k > 0, "batched solver: no lanes staged");
@@ -87,18 +143,44 @@ pub fn fista_warm_batch_ws<T: Real, A: LinearOperator<T>>(
             "batched solver: objective recording is not supported in batch mode"
         );
     }
-    if let Some(w) = weights {
-        assert_eq!(w.len(), n, "batched solver: weights length mismatch");
-        assert!(
-            w.iter().all(|&v| v >= T::ZERO),
-            "batched solver: negative weight"
-        );
+    match penalty {
+        BatchPenalty::L1 => {}
+        BatchPenalty::Shared(w) => {
+            assert_eq!(w.len(), n, "batched solver: weights length mismatch");
+            assert!(
+                w.iter().all(|&v| v >= T::ZERO),
+                "batched solver: negative weight"
+            );
+        }
+        BatchPenalty::PerLane(w) => {
+            assert_eq!(
+                w.len(),
+                k * n,
+                "batched solver: per-lane weights length mismatch"
+            );
+            assert!(
+                w.iter().all(|&v| v >= T::ZERO),
+                "batched solver: negative weight"
+            );
+        }
+        BatchPenalty::Group(sizes) => {
+            assert_eq!(
+                sizes.iter().sum::<usize>(),
+                n,
+                "batched solver: group sizes do not tile the coefficient vector"
+            );
+        }
     }
 
     let start = Instant::now();
     // Size the iteration blocks (no-op once the workspace has seen this
     // width and geometry — the zero-alloc suite pins it).
     ws.reserve(m, n, k);
+    if let BatchPenalty::Group(sizes) = penalty {
+        if ws.group_norms.len() < sizes.len() {
+            ws.group_norms.resize(sizes.len(), T::ZERO);
+        }
+    }
 
     let l = lipschitz.unwrap_or_else(|| lipschitz_constant(op, 60));
     if l == T::ZERO {
@@ -139,12 +221,17 @@ pub fn fista_warm_batch_ws<T: Real, A: LinearOperator<T>>(
     let per_lane_bytes = (4 * n + 2 * m) * core::mem::size_of::<T>();
     let tile_width = (TILE_L1_BUDGET_BYTES / per_lane_bytes.max(1)).clamp(1, k);
 
+    // Every lane's momentum sequence starts at t₁ = 1, exactly like the
+    // sequential solver. Without restart the sequences stay identical
+    // across lanes (t_k is data-independent), reproducing the old shared
+    // scalar bit-for-bit; with restart each lane walks its own schedule.
+    ws.momentum[..k].fill(T::ONE);
+
     let mut tile_start = 0;
     while tile_start < k {
         let tile_len = tile_width.min(k - tile_start);
         let lo_n = tile_start * n;
         let lo_m = tile_start * m;
-        let mut t = T::ONE;
         let mut active = tile_len;
         let mut iter = 0;
         while active > 0 {
@@ -190,17 +277,32 @@ pub fn fista_warm_batch_ws<T: Real, A: LinearOperator<T>>(
                 let lane = ws.lane_of_slot[s];
                 let mode = configs[lane].kernel;
                 let threshold = ws.threshold[lane];
-                match weights {
-                    Some(w) => soft_threshold_weighted(
+                match penalty {
+                    BatchPenalty::L1 => soft_threshold(
+                        &ws.point[s * n..(s + 1) * n],
+                        threshold,
+                        &mut ws.alpha[s * n..(s + 1) * n],
+                        mode,
+                    ),
+                    BatchPenalty::Shared(w) => soft_threshold_weighted(
                         &ws.point[s * n..(s + 1) * n],
                         threshold,
                         w,
                         &mut ws.alpha[s * n..(s + 1) * n],
                         mode,
                     ),
-                    None => soft_threshold(
+                    BatchPenalty::PerLane(w) => soft_threshold_weighted(
                         &ws.point[s * n..(s + 1) * n],
                         threshold,
+                        &w[lane * n..(lane + 1) * n],
+                        &mut ws.alpha[s * n..(s + 1) * n],
+                        mode,
+                    ),
+                    BatchPenalty::Group(sizes) => group_soft_threshold(
+                        &ws.point[s * n..(s + 1) * n],
+                        threshold,
+                        sizes,
+                        &mut ws.group_norms,
                         &mut ws.alpha[s * n..(s + 1) * n],
                         mode,
                     ),
@@ -250,13 +352,27 @@ pub fn fista_warm_batch_ws<T: Real, A: LinearOperator<T>>(
 
             // Momentum over every lane active this iteration — including
             // ones about to freeze: the sequential loop runs Eq. (5)–(6)
-            // before its `break`, and t_k is data-independent, so one
-            // shared sequence (restarted per tile, as every lane starts at
-            // t₁ = 1) matches every lane's private one.
-            let t_next = (T::ONE + (T::ONE + T::from_f64(4.0) * t * t).sqrt()) * T::HALF;
-            let beta = (t - T::ONE) / t_next;
+            // before its `break`. The adaptive-restart test runs on each
+            // lane's own slices, in the same spot as the sequential loop
+            // (after the prox, before the extrapolation), so per-lane
+            // momentum evolves identically to the lane's private solve.
             for s in tile_start..tile_start + active {
-                let mode = configs[ws.lane_of_slot[s]].kernel;
+                let lane = ws.lane_of_slot[s];
+                let mode = configs[lane].kernel;
+                if adaptive_restart
+                    && gradient_restart(
+                        &ws.point[s * n..(s + 1) * n],
+                        &ws.grad[s * n..(s + 1) * n],
+                        &ws.alpha[s * n..(s + 1) * n],
+                        &ws.alpha_prev[s * n..(s + 1) * n],
+                        inv_l,
+                    )
+                {
+                    ws.momentum[lane] = T::ONE;
+                }
+                let t = ws.momentum[lane];
+                let t_next = (T::ONE + (T::ONE + T::from_f64(4.0) * t * t).sqrt()) * T::HALF;
+                let beta = (t - T::ONE) / t_next;
                 momentum_combine(
                     &ws.alpha[s * n..(s + 1) * n],
                     &ws.alpha_prev[s * n..(s + 1) * n],
@@ -264,8 +380,8 @@ pub fn fista_warm_batch_ws<T: Real, A: LinearOperator<T>>(
                     &mut ws.point[s * n..(s + 1) * n],
                     mode,
                 );
+                ws.momentum[lane] = t_next;
             }
-            t = t_next;
 
             // Compact: swap each freezing lane's slices to the back of the
             // tile's active prefix. Frozen slots are never touched again,
@@ -337,6 +453,22 @@ pub fn fista_warm_batch_ws_observed<T: Real, A: LinearOperator<T>>(
     let _span = telemetry.span(Stage::BatchSolve);
     telemetry.record_batch_occupancy(ws.lanes());
     fista_warm_batch_ws(op, configs, weights, lipschitz, ws);
+}
+
+/// [`fista_prior_batch_ws`] under a [`Stage::BatchSolve`] telemetry span,
+/// with the batch width recorded into the `cs_batch_occupancy` histogram.
+pub fn fista_prior_batch_ws_observed<T: Real, A: LinearOperator<T>>(
+    op: &A,
+    configs: &[ShrinkageConfig<T>],
+    penalty: BatchPenalty<'_, T>,
+    adaptive_restart: bool,
+    lipschitz: Option<T>,
+    ws: &mut BatchWorkspace<T>,
+    telemetry: &TelemetryRegistry,
+) {
+    let _span = telemetry.span(Stage::BatchSolve);
+    telemetry.record_batch_occupancy(ws.lanes());
+    fista_prior_batch_ws(op, configs, penalty, adaptive_restart, lipschitz, ws);
 }
 
 /// Swaps two block slots across every lane-striped buffer (iterates *and*
@@ -490,6 +622,133 @@ mod tests {
             let seq =
                 fista_weighted_warm_ws(&op, &ys[lane], &cfg, Some(9.0), &weights, None, &mut ws);
             assert_lane_matches(&bws, lane, &seq, &format!("weighted lane {lane}"));
+            ws.recycle_solution(seq.solution);
+        }
+    }
+
+    #[test]
+    fn per_lane_weighted_batch_matches_weighted_sequential() {
+        let (op, ys) = instance(16, 32, 9);
+        let cfg = ShrinkageConfig {
+            tolerance: 1e-5,
+            max_iterations: 250,
+            ..ShrinkageConfig::new(0.02)
+        };
+        let n = op.cols();
+        // Three lanes with three distinct weight vectors, lane-major.
+        let weights: Vec<f64> = (0..3 * n)
+            .map(|i| {
+                let (lane, j) = (i / n, i % n);
+                0.25 + (lane as f64) * 0.3 + (j % 5) as f64 * 0.1
+            })
+            .collect();
+        let mut bws = BatchWorkspace::for_operator(&op, 3);
+        bws.begin(op.rows(), op.cols());
+        for y in ys.iter().take(3) {
+            bws.stage_lane(y, None);
+        }
+        fista_prior_batch_ws(
+            &op,
+            &[cfg.clone(), cfg.clone(), cfg.clone()],
+            BatchPenalty::PerLane(&weights),
+            false,
+            Some(9.0),
+            &mut bws,
+        );
+
+        let mut ws = FistaWorkspace::for_operator(&op);
+        for lane in 0..3 {
+            let seq = fista_weighted_warm_ws(
+                &op,
+                &ys[lane],
+                &cfg,
+                Some(9.0),
+                &weights[lane * n..(lane + 1) * n],
+                None,
+                &mut ws,
+            );
+            assert_lane_matches(&bws, lane, &seq, &format!("per-lane weighted lane {lane}"));
+            ws.recycle_solution(seq.solution);
+        }
+    }
+
+    #[test]
+    fn restarting_batch_matches_restarting_sequential() {
+        use crate::solvers::shrinkage::{fista_prior_warm_ws, ProxSpec};
+        let (op, ys) = instance(24, 48, 17);
+        // Spread λ so lanes restart (and freeze) at different iterations.
+        let lambdas = [0.002, 0.05, 0.3];
+        let configs: Vec<ShrinkageConfig<f64>> = (0..3)
+            .map(|lane| ShrinkageConfig {
+                tolerance: 1e-6,
+                max_iterations: 400,
+                ..ShrinkageConfig::new(lambdas[lane])
+            })
+            .collect();
+        let warm: Vec<f64> = (0..48).map(|i| (i as f64 * 0.4).cos() * 0.2).collect();
+        let mut bws = BatchWorkspace::for_operator(&op, 3);
+        bws.begin(op.rows(), op.cols());
+        bws.stage_lane(&ys[0], Some(&warm));
+        bws.stage_lane(&ys[1], None);
+        bws.stage_lane(&ys[2], Some(&warm));
+        fista_prior_batch_ws(&op, &configs, BatchPenalty::L1, true, Some(9.0), &mut bws);
+
+        let mut ws = FistaWorkspace::for_operator(&op);
+        for (lane, warm_start) in [Some(&warm), None, Some(&warm)].into_iter().enumerate() {
+            let seq = fista_prior_warm_ws(
+                &op,
+                &ys[lane],
+                &configs[lane],
+                Some(9.0),
+                ProxSpec::L1,
+                true,
+                warm_start.map(|w| &w[..]),
+                &mut ws,
+            );
+            assert_lane_matches(&bws, lane, &seq, &format!("restart lane {lane}"));
+            ws.recycle_solution(seq.solution);
+        }
+    }
+
+    #[test]
+    fn group_batch_matches_group_sequential() {
+        use crate::solvers::shrinkage::{fista_prior_warm_ws, ProxSpec};
+        let (op, ys) = instance(16, 32, 25);
+        let cfg = ShrinkageConfig {
+            tolerance: 1e-5,
+            max_iterations: 250,
+            ..ShrinkageConfig::new(0.02)
+        };
+        // Mixed partition: singletons up front, 4-wide groups after.
+        let mut sizes = vec![1_usize; 8];
+        sizes.extend(std::iter::repeat(4).take(6));
+        assert_eq!(sizes.iter().sum::<usize>(), op.cols());
+        let mut bws = BatchWorkspace::for_operator(&op, 2);
+        bws.begin(op.rows(), op.cols());
+        bws.stage_lane(&ys[0], None);
+        bws.stage_lane(&ys[1], None);
+        fista_prior_batch_ws(
+            &op,
+            &[cfg.clone(), cfg.clone()],
+            BatchPenalty::Group(&sizes),
+            false,
+            Some(9.0),
+            &mut bws,
+        );
+
+        let mut ws = FistaWorkspace::for_operator(&op);
+        for lane in 0..2 {
+            let seq = fista_prior_warm_ws(
+                &op,
+                &ys[lane],
+                &cfg,
+                Some(9.0),
+                ProxSpec::Group(&sizes),
+                false,
+                None,
+                &mut ws,
+            );
+            assert_lane_matches(&bws, lane, &seq, &format!("group lane {lane}"));
             ws.recycle_solution(seq.solution);
         }
     }

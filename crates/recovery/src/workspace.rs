@@ -128,6 +128,9 @@ pub struct FistaWorkspace<T: Real> {
     pub(crate) point: Vec<T>,
     pub(crate) grad: Vec<T>,
     pub(crate) residual: Vec<T>,
+    /// Per-group norm scratch for the block (group-ℓ1) prox; empty until
+    /// the first group solve, then sized to the group count and reused.
+    pub(crate) group_norms: Vec<T>,
     pub(crate) op_ws: Workspace<T>,
 }
 
@@ -146,6 +149,7 @@ impl<T: Real> FistaWorkspace<T> {
             point: vec![T::ZERO; cols],
             grad: vec![T::ZERO; cols],
             residual: vec![T::ZERO; rows],
+            group_norms: Vec::new(),
             op_ws: Workspace::with_dims(rows, cols),
         }
     }
@@ -245,6 +249,13 @@ pub struct BatchWorkspace<T: Real> {
     pub(crate) residual_target: Vec<T>,
     /// Per-lane soft-threshold levels `λ/L`.
     pub(crate) threshold: Vec<T>,
+    /// Per-lane FISTA momentum scalars `t_k` (lane-indexed). Without
+    /// adaptive restart every lane's sequence is identical; with it, a
+    /// restarting lane resets its own `t` without disturbing batchmates.
+    pub(crate) momentum: Vec<T>,
+    /// Per-group norm scratch for the block prox (shared across lanes —
+    /// the prox sweep is per-slot sequential).
+    pub(crate) group_norms: Vec<T>,
     /// Wall-clock time of the whole batched solve.
     pub(crate) elapsed: Duration,
     pub(crate) op_ws: Workspace<T>,
@@ -298,6 +309,7 @@ impl<T: Real> BatchWorkspace<T> {
         grow(&mut self.residual_norm, k);
         grow(&mut self.residual_target, k);
         grow(&mut self.threshold, k);
+        grow(&mut self.momentum, k);
         self.op_ws.ensure(rows, cols * k);
     }
 

@@ -137,6 +137,26 @@ pub fn prometheus(snap: &TelemetrySnapshot) -> String {
             |s| s.to_string(),
         );
     }
+    // Per-mode solver iteration histograms: only modes that have solved
+    // appear, so an unweighted deployment exports cold/warm only.
+    if snap.solver_iterations.iter().any(|(_, h)| h.count() > 0) {
+        out.push_str("# HELP cs_solver_iterations FISTA iterations per solve by solver mode\n");
+        out.push_str("# TYPE cs_solver_iterations histogram\n");
+        for (mode, hist) in &snap.solver_iterations {
+            if hist.count() == 0 {
+                continue;
+            }
+            let labels = format!("mode=\"{}\",", escape_label(mode.name()));
+            write_histogram(
+                &mut out,
+                "cs_solver_iterations",
+                &labels,
+                hist,
+                |u| u.to_string(),
+                |s| s.to_string(),
+            );
+        }
+    }
     out.push_str("# HELP cs_worker_packets_total Packets decoded per fleet worker\n");
     out.push_str("# TYPE cs_worker_packets_total counter\n");
     for (worker, &packets) in snap.worker_packets.iter().enumerate() {
@@ -281,7 +301,8 @@ fn stage_json(name: &str, hist: &HistogramSnapshot, out: &mut String) {
 /// Record schema (stable keys, in order): `uptime_s` (seconds since
 /// registry creation), `ts_unix_s` (absolute wall-clock seconds since
 /// the Unix epoch at snapshot time), `stages`, `worker_packets`,
-/// `faults`, `archive`, optional `batch_occupancy`, `e2e` (per-patient
+/// `faults`, `archive`, optional `batch_occupancy`, optional
+/// `solver_iterations` (per-mode iteration stats), `e2e` (per-patient
 /// end-to-end latency), `slo` (per-patient health, freshness, burn
 /// rates, lane watermarks), `scrapes` (zero counts elided), optional
 /// `render` (exporter self-observation), `journal`.
@@ -350,6 +371,29 @@ pub fn json_line(snap: &TelemetrySnapshot) -> String {
             hist.mean_ns(),
             hist.max_ns()
         );
+    }
+    if snap.solver_iterations.iter().any(|(_, h)| h.count() > 0) {
+        out.push_str(",\"solver_iterations\":{");
+        let mut first = true;
+        for (mode, hist) in &snap.solver_iterations {
+            if hist.count() == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"mean\":{:.1},\"p50\":{},\"p95\":{}}}",
+                mode.name(),
+                hist.count(),
+                hist.mean_ns(),
+                hist.quantile(0.50),
+                hist.quantile(0.95)
+            );
+        }
+        out.push('}');
     }
     out.push_str(",\"e2e\":[");
     for (i, (patient, hist)) in snap.e2e.iter().enumerate() {
@@ -597,6 +641,33 @@ mod tests {
         let off = sample_registry();
         assert!(!off.prometheus().contains("cs_batch_occupancy"));
         assert!(!off.json_line().contains("batch_occupancy"));
+    }
+
+    #[test]
+    fn solver_iterations_exported_in_both_formats() {
+        let reg = sample_registry();
+        reg.record_solver_iterations(crate::SolverMode::Warm, 200);
+        reg.record_solver_iterations(crate::SolverMode::Warm, 300);
+        reg.record_solver_iterations(crate::SolverMode::Weighted, 120);
+        let text = reg.prometheus();
+        assert!(text.contains("# TYPE cs_solver_iterations histogram"));
+        assert!(text.contains("cs_solver_iterations_bucket{mode=\"warm\",le=\"+Inf\"} 2"));
+        assert!(text.contains("cs_solver_iterations_count{mode=\"warm\"} 2"));
+        assert!(text.contains("cs_solver_iterations_sum{mode=\"warm\"} 500"));
+        assert!(text.contains("cs_solver_iterations_count{mode=\"weighted\"} 1"));
+        // Modes that never solved export no series.
+        assert!(!text.contains("mode=\"cold\""));
+        assert!(!text.contains("mode=\"block\""));
+        let line = reg.json_line();
+        assert!(line.contains("\"solver_iterations\":{\"warm\":{\"count\":2,\"mean\":250.0,"));
+        assert!(line.contains("\"weighted\":{\"count\":1,\"mean\":120.0,"));
+        let open = line.matches('{').count();
+        let close = line.matches('}').count();
+        assert_eq!(open, close);
+        // Without any solves, neither format mentions the family.
+        let off = sample_registry();
+        assert!(!off.prometheus().contains("cs_solver_iterations"));
+        assert!(!off.json_line().contains("solver_iterations"));
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod export;
 pub mod fault;
 pub mod histogram;
 pub mod journal;
+pub mod mode;
 pub mod registry;
 pub mod serve;
 pub mod slo;
@@ -44,6 +45,7 @@ pub use export::{escape_label, json_line, prometheus, Every, REPORT_QUANTILES};
 pub use fault::FaultKind;
 pub use histogram::{bucket_upper, Histogram, HistogramSnapshot, BUCKETS};
 pub use journal::{Journal, SolveTrace};
+pub use mode::SolverMode;
 pub use registry::{
     Span, TelemetryRegistry, TelemetrySnapshot, DEFAULT_JOURNAL_CAPACITY, MAX_WORKERS,
 };

@@ -14,6 +14,7 @@ use crate::archive::ArchiveOp;
 use crate::fault::FaultKind;
 use crate::histogram::{Histogram, HistogramSnapshot};
 use crate::journal::{Journal, SolveTrace};
+use crate::mode::SolverMode;
 use crate::serve::ScrapeEndpoint;
 use crate::slo::{SloConfig, SloEngine, SloSnapshot, MAX_PATIENTS};
 use crate::stage::Stage;
@@ -42,6 +43,10 @@ struct Inner {
     /// occupancy `k` records the value `k`, so the histogram's mean is the
     /// fleet's average batch fill.
     batch_occupancy: Histogram,
+    /// Per-solver-mode iteration counts (raw iterations, not durations):
+    /// a solve of `k` iterations records the value `k` into its mode's
+    /// histogram, so means/percentiles read directly as iterations.
+    solver_iterations: [Histogram; SolverMode::COUNT],
     journal: Journal,
     /// Per-patient end-to-end (capture → emit) latency; stream ids fold
     /// modulo [`MAX_PATIENTS`], mirroring the worker counters.
@@ -122,6 +127,7 @@ impl TelemetryRegistry {
                 faults: std::array::from_fn(|_| AtomicU64::new(0)),
                 archive: std::array::from_fn(|_| AtomicU64::new(0)),
                 batch_occupancy: Histogram::new(),
+                solver_iterations: std::array::from_fn(|_| Histogram::new()),
                 journal: Journal::new(capacity),
                 e2e: std::array::from_fn(|_| Histogram::new()),
                 slo: SloEngine::new(slo),
@@ -238,6 +244,19 @@ impl TelemetryRegistry {
         &self.inner.batch_occupancy
     }
 
+    /// Records the iteration count of one solve against its mode's
+    /// histogram (no-op when disabled). Raw counts, not durations.
+    pub fn record_solver_iterations(&self, mode: SolverMode, iterations: usize) {
+        if self.is_enabled() {
+            self.inner.solver_iterations[mode.index()].record_ns(iterations as u64);
+        }
+    }
+
+    /// The live per-mode iteration histogram.
+    pub fn solver_iterations(&self, mode: SolverMode) -> &Histogram {
+        &self.inner.solver_iterations[mode.index()]
+    }
+
     /// Appends a convergence trace to the journal (no-op when disabled).
     pub fn record_solve(&self, trace: SolveTrace) {
         if self.is_enabled() {
@@ -333,6 +352,8 @@ impl TelemetryRegistry {
             faults: FaultKind::ALL.map(|k| (k, self.fault_count(k))),
             archive_ops: ArchiveOp::ALL.map(|o| (o, self.archive_count(o))),
             batch_occupancy: self.inner.batch_occupancy.snapshot(),
+            solver_iterations: SolverMode::ALL
+                .map(|m| (m, self.inner.solver_iterations[m.index()].snapshot())),
             journal_len: self.inner.journal.len(),
             journal_pushed: self.inner.journal.pushed(),
             journal_dropped: self.inner.journal.dropped(),
@@ -369,6 +390,9 @@ pub struct TelemetrySnapshot {
     pub archive_ops: [(ArchiveOp, u64); ArchiveOp::COUNT],
     /// Batched-solve lane-occupancy distribution (raw widths).
     pub batch_occupancy: HistogramSnapshot,
+    /// Per-mode solver iteration distributions (raw iteration counts), in
+    /// [`SolverMode::ALL`] order.
+    pub solver_iterations: [(SolverMode, HistogramSnapshot); SolverMode::COUNT],
     /// Traces currently buffered in the journal.
     pub journal_len: usize,
     /// Traces ever offered to the journal.

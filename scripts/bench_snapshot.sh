@@ -23,7 +23,10 @@ if [[ "${1:-}" == "--quick" ]]; then
 fi
 
 if [[ $QUICK -eq 1 ]]; then
-  MEASURE_MS=200
+  # 500 ms windows: a quick min over ~10² samples sits above the full
+  # baseline's min-of-10⁴ floor no matter what, but below ~500 ms the
+  # gap swings wildly run-to-run and trips bench_check's fail band.
+  MEASURE_MS=500
   RECORDS=1
   SECONDS_PER_RECORD=4
   OUT=target/BENCH_decode_quick.json
@@ -81,12 +84,22 @@ fleet_json="$(awk '
   /cold solve p50\/p95\/p99/  { p50 = $5; p95 = $7; p99 = $9 }
   /cold mean iterations/      { cold_it = $5 }
   /warm mean iterations/      { warm_it = $5 }
+  /weighted mean iterations/  { weighted_it = $5 }
+  /block mean iterations/     { block_it = $5 }
+  /cold PRD/                  { cold_prd = $4 }
+  /warm PRD/                  { warm_prd = $4 }
+  /weighted PRD/              { weighted_prd = $4 }
+  /block PRD/                 { block_prd = $4 }
   END {
     printf "\"workers\": %d, \"sequential_packets_per_s\": %s, \"fleet_packets_per_s\": %s, ",
       workers, seq, fleet
     printf "\"cold_solve_p50_ms\": %s, \"cold_solve_p95_ms\": %s, \"cold_solve_p99_ms\": %s, ",
       p50, p95, p99
-    printf "\"cold_mean_iterations\": %s, \"warm_mean_iterations\": %s", cold_it, warm_it
+    printf "\"cold_mean_iterations\": %s, \"warm_mean_iterations\": %s, ", cold_it, warm_it
+    printf "\"weighted_mean_iterations\": %s, \"block_mean_iterations\": %s, ",
+      weighted_it, block_it
+    printf "\"cold_prd_percent\": %s, \"warm_prd_percent\": %s, ", cold_prd, warm_prd
+    printf "\"weighted_prd_percent\": %s, \"block_prd_percent\": %s", weighted_prd, block_prd
   }
 ' <<<"$report")"
 

@@ -18,9 +18,17 @@ cargo clippy --workspace -- -D warnings
 
 # The zero-alloc tests run in the debug suite above too, but the claim
 # that matters is about the optimized decoder, so pin them in release —
-# the sequential steady state and the batched (MMV) steady state.
+# the sequential steady state, the batched (MMV) steady state, and the
+# prior-driven (support-weighted / group-prox) steady states.
 cargo test -q --release -p cs-core --test zero_alloc
 cargo test -q --release -p cs-core --test zero_alloc_batch
+cargo test -q --release -p cs-core --test zero_alloc_prior
+cargo test -q --release -p cs-core --test zero_alloc_prior_batch
+
+# Prior-driven solver guarantees under the optimizer: the ≥ 20 %
+# iteration win across the CR sweep at equal-or-better PRD, and bounded
+# degradation on a mid-stream arrhythmic morphology change.
+cargo test -q --release --test solver_priors
 
 # Batch-vs-sequential equivalence under the optimizer: bit-exactness is
 # the MMV path's contract, and fast-math-style regressions only show up
@@ -29,7 +37,7 @@ cargo test -q --release --test numerical_equivalence
 
 # Bench regression gate: runs the quick snapshot, prints a per-row
 # min_ns delta table against the committed BENCH_decode.json, and fails
-# only on a gross (>25 %) regression — see scripts/bench_check.sh.
+# only on a gross (>40 %) regression — see scripts/bench_check.sh.
 scripts/bench_check.sh
 
 # The quick snapshot doubles as the batched-bench smoke: fail if the
