@@ -69,4 +69,6 @@ pub use writer::{
 /// Reserved lane for frames that failed to parse on arrival: the sink
 /// archives their exact bytes here, sequenced by arrival order, so a
 /// post-mortem can replay the damage the wire actually delivered.
-pub const QUARANTINE_LANE: u8 = 0xFF;
+/// (Defined by `cs_core` so wire producers and consumers agree on the
+/// reservation; re-exported here for the archive-facing callers.)
+pub use cs_core::QUARANTINE_LANE;

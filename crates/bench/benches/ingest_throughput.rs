@@ -1,0 +1,105 @@
+//! Criterion bench for the socket ingest transport path: record
+//! reassembly + frame validation throughput in frames/second, across
+//! read-split regimes — one byte at a time (worst-case TCP
+//! fragmentation), a trickle, typical MTU-ish chunks, and fully
+//! coalesced reads.
+//!
+//! The real-time floor is one frame per 2 s per lead; these rates bound
+//! how many motes a single session thread could deframe. The `handoff`
+//! row adds the one deliberate per-frame allocation (the owned
+//! [`cs_core::WireFrame`] buffer handed to the decode queue) so the
+//! transport-only and transport-plus-handoff costs stay separately
+//! visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cs_core::{crc16, parse_frame, WireFrame, FRAME_MAGIC, FRAME_VERSION, HEADER_BYTES};
+use cs_ingest::{encode_record, Deframer};
+
+const FRAMES: usize = 64;
+const PAYLOAD_BYTES: usize = 384; // ≈ CR-50 payload for a 512-sample window
+
+fn make_frame(lane: u8, seq: u32) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(HEADER_BYTES + PAYLOAD_BYTES + 2);
+    frame.push(FRAME_MAGIC);
+    frame.push(FRAME_VERSION);
+    frame.push(lane);
+    frame.push(0x52);
+    frame.extend_from_slice(&seq.to_le_bytes());
+    let bits = (PAYLOAD_BYTES * 8) as u32;
+    frame.extend_from_slice(&bits.to_le_bytes()[..3]);
+    frame.extend((0..PAYLOAD_BYTES).map(|b| (b as u32).wrapping_mul(37).wrapping_add(seq) as u8));
+    let crc = crc16(&frame);
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame
+}
+
+fn wire_stream() -> Vec<u8> {
+    let mut wire = Vec::new();
+    for seq in 0..FRAMES {
+        encode_record(&make_frame((seq % 3) as u8, seq as u32), &mut wire);
+    }
+    wire
+}
+
+/// Push `wire` through a deframer in `split`-byte reads, validating
+/// every record; returns the record count.
+fn deframe_all(wire: &[u8], split: usize, deframer: &mut Deframer) -> usize {
+    let mut records = 0usize;
+    let mut offset = 0usize;
+    while offset < wire.len() {
+        let spare = deframer.spare();
+        let n = split.min(spare.len()).min(wire.len() - offset);
+        spare[..n].copy_from_slice(&wire[offset..offset + n]);
+        deframer.commit(n);
+        offset += n;
+        while let Some(record) = deframer.next_frame() {
+            assert!(parse_frame(record).is_ok());
+            records += 1;
+        }
+    }
+    records
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let wire = wire_stream();
+    let mut group = c.benchmark_group("ingest_throughput");
+    group.throughput(Throughput::Elements(FRAMES as u64));
+
+    for split in [1usize, 17, 1400, usize::MAX] {
+        let label = if split == usize::MAX { "coalesced".to_owned() } else { format!("{split}B") };
+        group.bench_with_input(BenchmarkId::new("deframe", label), &split, |b, &split| {
+            let mut deframer = Deframer::new();
+            b.iter(|| {
+                let records = deframe_all(&wire, split, &mut deframer);
+                assert_eq!(records, FRAMES);
+            })
+        });
+    }
+
+    // Transport plus the decode-queue handoff: the one owned-buffer
+    // allocation per frame the zero-alloc pin permits.
+    group.bench_function(BenchmarkId::new("handoff", "1400B"), |b| {
+        let mut deframer = Deframer::new();
+        b.iter(|| {
+            let mut offset = 0usize;
+            let mut handed = 0usize;
+            while offset < wire.len() {
+                let spare = deframer.spare();
+                let n = 1400.min(spare.len()).min(wire.len() - offset);
+                spare[..n].copy_from_slice(&wire[offset..offset + n]);
+                deframer.commit(n);
+                offset += n;
+                while let Some(record) = deframer.next_frame() {
+                    let frame = WireFrame { stream: 0, bytes: record.to_vec() };
+                    std::hint::black_box(&frame);
+                    handed += 1;
+                }
+            }
+            assert_eq!(handed, FRAMES);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

@@ -24,11 +24,11 @@
 //! cargo run --release -p cs-bench --bin archive_replay [--replay DIR] [--full]
 //! ```
 
-use cs_archive::{Archive, ArchiveConfig, ArchiveSink, QUARANTINE_LANE};
+use cs_archive::{Archive, ArchiveConfig, ArchiveSink};
 use cs_bench::{banner, RunSettings};
 use cs_core::{
     packetize, run_fleet_wire, run_fleet_wire_archived, train_codebook, FleetConfig,
-    MultiChannelEncoder, SolverPolicy, SystemConfig,
+    MultiChannelEncoder, SolverPolicy, SystemConfig, QUARANTINE_LANE,
 };
 use cs_ecg_data::{resample_360_to_256, DatabaseConfig, Record, SyntheticDatabase};
 use cs_metrics::try_prd;

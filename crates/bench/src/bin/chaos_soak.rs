@@ -32,10 +32,10 @@
 //!     [--truncate 0.01] [--signal-seconds 16] [--telemetry]
 //! ```
 
-use cs_archive::{Archive, ArchiveConfig, ArchiveSink, QUARANTINE_LANE};
+use cs_archive::{Archive, ArchiveConfig, ArchiveSink};
 use cs_core::{
     parse_frame, run_fleet_wire, run_fleet_wire_archived, uniform_codebook, FleetConfig,
-    FleetReport, MultiChannelEncoder, PacketOutcome, SolverPolicy, SystemConfig,
+    FleetReport, MultiChannelEncoder, PacketOutcome, SolverPolicy, SystemConfig, QUARANTINE_LANE,
 };
 use cs_ecg_data::{resample_360_to_256, DatabaseConfig, SyntheticDatabase};
 use cs_telemetry::TelemetryRegistry;

@@ -1563,6 +1563,92 @@ pub trait FrameSink: Send {
     fn append_frame(&mut self, stream: usize, bytes: &[u8]) -> std::io::Result<()>;
 }
 
+/// One raw frame addressed to a fleet stream, exactly as a transport
+/// delivered it — the unit of work a streaming frame source hands
+/// [`run_fleet_wire_stream`]. The slice-based [`run_fleet_wire`] adapts
+/// its materialized traffic into the same type internally.
+#[derive(Debug, Clone)]
+pub struct WireFrame {
+    /// Dense fleet stream index. A socket ingest layer maps patient ids
+    /// to dense slots; per-stream collector state grows with the highest
+    /// index seen.
+    pub stream: usize,
+    /// The frame bytes as they came off the link, damage included.
+    pub bytes: Vec<u8>,
+}
+
+/// Decodes wire traffic delivered by a streaming frame source — a
+/// channel of [`WireFrame`]s in transport arrival order — across the
+/// fleet, surviving corruption, loss, duplication, reordering and worker
+/// panics.
+///
+/// This is the socket-facing form of [`run_fleet_wire`]: the engine
+/// consumes frames as they arrive instead of materialized per-stream
+/// slices, so a TCP ingest layer can feed long-lived sessions without
+/// buffering them whole. Frames for one stream must be sent in that
+/// stream's arrival order (interleaving across streams is arbitrary).
+/// The run ends — flushing every staged reassembly tail — when all
+/// senders for `source` have been dropped, so a graceful drain is
+/// "stop feeding, drop the sender, join the engine".
+///
+/// # Errors
+///
+/// Returns [`PipelineError::InvalidConfig`] for zero channel capacity,
+/// and [`PipelineError::Fleet`] only for construction failures — wire
+/// damage never fails the run.
+pub fn run_fleet_wire_stream<T, F>(
+    config: &SystemConfig,
+    codebook: Arc<Codebook>,
+    source: crossbeam::channel::Receiver<WireFrame>,
+    policy: SolverPolicy<T>,
+    fleet: &FleetConfig,
+    telemetry: &TelemetryRegistry,
+    on_packet: F,
+) -> Result<FleetReport, PipelineError>
+where
+    T: Real,
+    F: FnMut(&FleetPacket<T>) + Send,
+{
+    wire_engine_stream(config, codebook, source, 0, policy, fleet, telemetry, None, on_packet)
+}
+
+/// [`run_fleet_wire_stream`] with a durable archive sink on the ingest
+/// path: every arrived frame is appended **before** any worker interprets
+/// a byte of it (write-before-decode), matching
+/// [`run_fleet_wire_archived`].
+///
+/// # Errors
+///
+/// Same contract as [`run_fleet_wire_stream`], plus
+/// [`PipelineError::Fleet`] when the sink reports an I/O failure.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fleet_wire_stream_archived<T, F>(
+    config: &SystemConfig,
+    codebook: Arc<Codebook>,
+    source: crossbeam::channel::Receiver<WireFrame>,
+    policy: SolverPolicy<T>,
+    fleet: &FleetConfig,
+    telemetry: &TelemetryRegistry,
+    sink: &Mutex<dyn FrameSink>,
+    on_packet: F,
+) -> Result<FleetReport, PipelineError>
+where
+    T: Real,
+    F: FnMut(&FleetPacket<T>) + Send,
+{
+    wire_engine_stream(
+        config,
+        codebook,
+        source,
+        0,
+        policy,
+        fleet,
+        telemetry,
+        Some(sink),
+        on_packet,
+    )
+}
+
 /// Decodes wire traffic — frames exactly as a lossy link delivered them —
 /// across the fleet, surviving corruption, loss, duplication, reordering
 /// and worker panics.
@@ -1636,7 +1722,7 @@ fn wire_engine<T, F>(
     fleet: &FleetConfig,
     telemetry: &TelemetryRegistry,
     sink: Option<&Mutex<dyn FrameSink>>,
-    mut on_packet: F,
+    on_packet: F,
 ) -> Result<FleetReport, PipelineError>
 where
     T: Real,
@@ -1650,10 +1736,63 @@ where
             "fleet channel capacity must be positive".into(),
         ));
     }
+    let nstreams = traffic.len();
+    // The slice path is a thin adapter over the streaming engine: one
+    // producer thread per stream replays that stream's arrival order
+    // into the shared feed, so per-stream order is preserved while
+    // streams interleave arbitrarily — exactly what a live transport
+    // delivers.
+    let (feed_tx, feed_rx) =
+        crossbeam::channel::bounded::<WireFrame>(fleet.channel_capacity * nstreams);
+    let mut engine = None;
+    std::thread::scope(|scope| {
+        for (stream, frames) in traffic.iter().enumerate() {
+            let feed = feed_tx.clone();
+            scope.spawn(move || {
+                for bytes in frames {
+                    if feed.send(WireFrame { stream, bytes: bytes.clone() }).is_err() {
+                        return; // engine hung up (failure path)
+                    }
+                }
+            });
+        }
+        drop(feed_tx);
+        engine = Some(wire_engine_stream(
+            config, codebook, feed_rx, nstreams, policy, fleet, telemetry, sink, on_packet,
+        ));
+    });
+    engine.expect("streaming engine ran")
+}
+
+/// The supervised wire-decode engine over a streaming frame source.
+///
+/// `min_streams` pre-sizes the per-stream collector state (and the
+/// report's `streams` vector); indices at or above it grow the state on
+/// first sight, so a socket transport can introduce patients mid-run.
+#[allow(clippy::too_many_arguments)]
+fn wire_engine_stream<T, F>(
+    config: &SystemConfig,
+    codebook: Arc<Codebook>,
+    source: crossbeam::channel::Receiver<WireFrame>,
+    min_streams: usize,
+    policy: SolverPolicy<T>,
+    fleet: &FleetConfig,
+    telemetry: &TelemetryRegistry,
+    sink: Option<&Mutex<dyn FrameSink>>,
+    mut on_packet: F,
+) -> Result<FleetReport, PipelineError>
+where
+    T: Real,
+    F: FnMut(&FleetPacket<T>) + Send,
+{
+    if fleet.channel_capacity == 0 {
+        return Err(PipelineError::InvalidConfig(
+            "fleet channel capacity must be positive".into(),
+        ));
+    }
     let workers = fleet.effective_workers();
     let n = config.packet_len();
     let packet_period = Duration::from_secs_f64(n as f64 / 256.0);
-    let nstreams = traffic.len();
 
     // Enforce the per-solve deadline by capping FISTA's iteration budget;
     // the solver then degrades to its best iterate instead of stalling.
@@ -1674,10 +1813,13 @@ where
     let (job_txs, job_rxs): (Vec<_>, Vec<_>) = (0..workers)
         .map(|_| crossbeam::channel::bounded::<WireJob>(job_depth))
         .unzip();
-    let (res_tx, res_rx) =
-        crossbeam::channel::bounded::<WireMsg<T>>(fleet.channel_capacity * nstreams);
+    // Result buffering scales with the expected fleet width; a source
+    // that never announced one (min_streams == 0) gets a worker-scaled
+    // floor instead.
+    let res_capacity = fleet.channel_capacity * min_streams.max(workers).max(1);
+    let (res_tx, res_rx) = crossbeam::channel::bounded::<WireMsg<T>>(res_capacity);
 
-    let mut summaries = vec![StreamSummary::default(); nstreams];
+    let mut summaries = vec![StreamSummary::default(); min_streams];
     let mut worker_packets = vec![0usize; workers];
     let mut packets_decoded = 0usize;
     let mut total_decode = Duration::ZERO;
@@ -1798,14 +1940,16 @@ where
             }));
         }
 
-        // --- Producers: replay each stream's arrival order -------------
-        for (stream, frames) in traffic.iter().enumerate() {
-            let jobs = job_txs[stream % workers].clone();
+        // --- Dispatcher: drain the frame source onto worker queues -----
+        {
             let results = res_tx.clone();
             let stalls = &stalls;
             let telemetry = telemetry.clone();
+            // The dispatcher owns the job senders: when the source closes
+            // (every feed sender dropped) it returns, the queues
+            // disconnect, and the workers flush their reassembly tails.
             scope.spawn(move || {
-                for bytes in frames {
+                for WireFrame { stream, bytes } in source.iter() {
                     // Write-before-decode: the frame reaches durable
                     // storage before any worker interprets a byte of it,
                     // so even traffic the pipeline will reject survives
@@ -1814,7 +1958,7 @@ where
                         let appended = sink
                             .lock()
                             .expect("archive sink lock")
-                            .append_frame(stream, bytes);
+                            .append_frame(stream, &bytes);
                         if let Err(e) = appended {
                             let _ = results.send(WireMsg::Failed {
                                 stream: Some(stream),
@@ -1827,7 +1971,10 @@ where
                     // moment the frame came off the link.
                     let captured_ns =
                         if telemetry.is_enabled() { telemetry.now_ns() } else { 0 };
-                    let mut job = WireJob { stream, captured_ns, bytes: bytes.clone() };
+                    // Stream affinity: one worker owns a stream's lanes
+                    // for the whole run, so reassembly state never moves.
+                    let jobs = &job_txs[stream % workers];
+                    let mut job = WireJob { stream, captured_ns, bytes };
                     match jobs.try_send(job) {
                         Ok(()) => continue,
                         Err(crossbeam::channel::TrySendError::Full(back)) => {
@@ -1843,13 +1990,12 @@ where
             });
         }
         drop(res_tx);
-        drop(job_txs);
 
         // --- Collector: per-stream in-order emission --------------------
         type Slot<T> = (u8, PacketOutcome, DecodedPacket<T>, u64, u64);
         let mut pending: Vec<BTreeMap<u64, Slot<T>>> =
-            (0..nstreams).map(|_| BTreeMap::new()).collect();
-        let mut next_seq = vec![0u64; nstreams];
+            (0..min_streams).map(|_| BTreeMap::new()).collect();
+        let mut next_seq = vec![0u64; min_streams];
         for msg in res_rx.iter() {
             match msg {
                 WireMsg::Emit {
@@ -1864,6 +2010,13 @@ where
                 } => {
                     let _span = telemetry.span(Stage::Reassembly);
                     worker_packets[worker] += 1;
+                    // A streaming source can introduce streams mid-run;
+                    // collector state grows on first sight.
+                    if stream >= pending.len() {
+                        pending.resize_with(stream + 1, BTreeMap::new);
+                        next_seq.resize(stream + 1, 0);
+                        summaries.resize_with(stream + 1, StreamSummary::default);
+                    }
                     pending[stream]
                         .insert(emit_seq, (channel, outcome, packet, captured_ns, emitted_ns));
                     while let Some((channel, outcome, packet, captured_ns, emitted_ns)) =
@@ -2153,6 +2306,65 @@ mod tests {
         // The rejected frame's slot is a tail gap (undetectable), so only
         // the first window is emitted.
         assert_eq!(report.faults.decoded, 1);
+    }
+
+    #[test]
+    fn streaming_source_matches_slice_path() {
+        let config = SystemConfig::paper_default();
+        let cb = Arc::new(uniform_codebook(512).unwrap());
+        let s0 = ecg_like(3, 512, 0.0);
+        let s1 = ecg_like(3, 512, 0.05);
+        let traffic = vec![wire_frames(&config, &s0), wire_frames(&config, &s1)];
+        let fleet = FleetConfig { workers: 2, ..FleetConfig::default() };
+
+        let mut slice_seen: Vec<(usize, u64)> = Vec::new();
+        run_fleet_wire::<f32, _>(
+            &config,
+            Arc::clone(&cb),
+            &traffic,
+            SolverPolicy::default(),
+            &fleet,
+            &TelemetryRegistry::disabled(),
+            |p| slice_seen.push((p.stream, p.packet.index)),
+        )
+        .unwrap();
+
+        // Stream 1 only starts sending after stream 0 finishes: the
+        // engine must grow collector state for a stream it has never
+        // seen, mid-run, without a fleet-width announcement.
+        let (tx, rx) = crossbeam::channel::bounded::<WireFrame>(4);
+        let mut stream_seen: Vec<(usize, u64)> = Vec::new();
+        let report = std::thread::scope(|scope| {
+            let frames = &traffic;
+            scope.spawn(move || {
+                for (stream, stream_frames) in frames.iter().enumerate() {
+                    for bytes in stream_frames {
+                        tx.send(WireFrame { stream, bytes: bytes.clone() }).unwrap();
+                    }
+                }
+            });
+            run_fleet_wire_stream::<f32, _>(
+                &config,
+                Arc::clone(&cb),
+                rx,
+                SolverPolicy::default(),
+                &fleet,
+                &TelemetryRegistry::disabled(),
+                |p| stream_seen.push((p.stream, p.packet.index)),
+            )
+        })
+        .unwrap();
+
+        assert_eq!(report.packets_decoded, 6);
+        assert_eq!(report.streams.len(), 2);
+        assert_eq!(report.faults.frames, 6);
+        assert_eq!(report.faults.decoded, 6);
+        for stream in 0..2 {
+            let order = |seen: &[(usize, u64)]| {
+                seen.iter().filter(|(s, _)| *s == stream).map(|&(_, i)| i).collect::<Vec<_>>()
+            };
+            assert_eq!(order(&stream_seen), order(&slice_seen), "stream {stream}");
+        }
     }
 
     #[test]

@@ -73,7 +73,8 @@ pub use encoder::Encoder;
 pub use error::PipelineError;
 pub use fleet::{
     run_fleet, run_fleet_encoded, run_fleet_observed, run_fleet_wire, run_fleet_wire_archived,
-    FleetConfig, FleetPacket, FleetReport, FleetStream, FrameSink, StreamSummary,
+    run_fleet_wire_stream, run_fleet_wire_stream_archived, FleetConfig, FleetPacket, FleetReport,
+    FleetStream, FrameSink, StreamSummary, WireFrame,
 };
 pub use ingest::{
     ConcealmentReason, FaultCounters, FaultStats, PacketOutcome, PushReject, QuarantineRecord,
@@ -83,7 +84,7 @@ pub use ingest::{
 pub use multichannel::{ChannelPacket, MultiChannelDecoder, MultiChannelEncoder};
 pub use packet::{
     crc16, parse_frame, EncodedPacket, FrameInfo, PacketKind, FRAME_MAGIC, FRAME_VERSION,
-    HEADER_BYTES, TRAILER_BYTES,
+    HEADER_BYTES, QUARANTINE_LANE, TRAILER_BYTES,
 };
 pub use pipeline::{
     evaluate_stream, evaluate_stream_observed, packetize, train_and_evaluate, PacketReport,

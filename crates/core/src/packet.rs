@@ -49,6 +49,11 @@ pub struct EncodedPacket {
 
 /// First frame byte, chosen to be asymmetric and unlikely in silence.
 pub const FRAME_MAGIC: u8 = 0xC5;
+/// Reserved lane for frames that failed to parse on arrival. No encoder
+/// ever emits it: archival sinks and soak harnesses route unattributable
+/// bytes here, sequenced by arrival order, so a post-mortem can replay
+/// the damage the wire actually delivered.
+pub const QUARANTINE_LANE: u8 = 0xFF;
 /// Current frame format version.
 pub const FRAME_VERSION: u8 = 0x01;
 /// Framed header size in bytes:

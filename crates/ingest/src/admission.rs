@@ -1,0 +1,101 @@
+//! Backpressure-aware admission control.
+//!
+//! The ingest service protects the decode fleet, not the other way
+//! around: when the shared feed queue backs up (workers are saturated)
+//! or the session table is full, *new* connections are refused with a
+//! typed NACK and a `Retry-After` hint instead of being accepted into a
+//! queue that can only grow. Established sessions are never shed by the
+//! controller — their backpressure is the blocking feed send, which
+//! slows the socket instead of dropping diagnostic data.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Session-count and backlog gates for new connections.
+#[derive(Debug)]
+pub struct AdmissionController {
+    max_sessions: usize,
+    shed_backlog: usize,
+    active: AtomicUsize,
+    shed: AtomicU64,
+}
+
+impl AdmissionController {
+    /// A controller admitting up to `max_sessions` concurrent sessions
+    /// while the feed backlog stays below `shed_backlog` frames.
+    pub fn new(max_sessions: usize, shed_backlog: usize) -> Self {
+        AdmissionController {
+            max_sessions,
+            shed_backlog,
+            active: AtomicUsize::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Tries to admit one session given the current feed backlog (frames
+    /// queued toward the decode fleet). On success the session is
+    /// counted until [`release`](Self::release).
+    pub fn try_admit(&self, backlog: usize) -> bool {
+        if backlog >= self.shed_backlog {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let mut current = self.active.load(Ordering::Relaxed);
+        loop {
+            if current >= self.max_sessions {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            match self.active.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Returns an admitted session's slot.
+    pub fn release(&self) {
+        let prev = self.active.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "release without admit");
+    }
+
+    /// Currently admitted sessions.
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Connections refused so far.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_to_capacity_then_sheds_then_recovers() {
+        let ctl = AdmissionController::new(2, 100);
+        assert!(ctl.try_admit(0));
+        assert!(ctl.try_admit(0));
+        assert!(!ctl.try_admit(0), "third session must shed");
+        assert_eq!(ctl.shed_total(), 1);
+        ctl.release();
+        assert!(ctl.try_admit(0), "capacity freed by release");
+        assert_eq!(ctl.active(), 2);
+    }
+
+    #[test]
+    fn backlog_sheds_even_with_session_capacity() {
+        let ctl = AdmissionController::new(8, 10);
+        assert!(ctl.try_admit(9));
+        assert!(!ctl.try_admit(10));
+        assert_eq!(ctl.active(), 1);
+        assert_eq!(ctl.shed_total(), 1);
+    }
+}

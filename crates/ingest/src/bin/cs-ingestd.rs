@@ -1,0 +1,174 @@
+//! cs-ingestd — the socket ingest service in front of a live decode fleet.
+//!
+//! Binds the ingest listener, spins up the streaming wire engine
+//! ([`run_fleet_wire_stream`]) with a worker pool, and serves telemetry
+//! (`/metrics`, `/healthz`, `/tracez`) next door. Runs until stdin
+//! closes or a line reading `drain` arrives, then drains gracefully:
+//! stop accepting, see every session out, flush the engine's staged
+//! windows, and print final accounting as one JSON object.
+//!
+//! ```text
+//! cargo run --release -p cs-ingest --bin cs-ingestd -- \
+//!     [--listen 127.0.0.1:7411] [--metrics 127.0.0.1:9464] \
+//!     [--workers 0] [--feed-capacity 256] [--max-sessions 1024] \
+//!     [--shed-backlog 256] [--handshake-ms 2000] [--idle-ms 30000]
+//! ```
+
+use cs_core::{
+    run_fleet_wire_stream, uniform_codebook, FleetConfig, SolverPolicy, SystemConfig, WireFrame,
+};
+use cs_ingest::{IngestConfig, IngestServer};
+use cs_telemetry::{MetricsServer, TelemetryRegistry};
+use std::io::BufRead;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Settings {
+    listen: String,
+    metrics: String,
+    workers: usize,
+    feed_capacity: usize,
+    ingest: IngestConfig,
+}
+
+impl Settings {
+    fn from_args() -> Settings {
+        let mut s = Settings {
+            listen: "127.0.0.1:7411".to_string(),
+            metrics: "127.0.0.1:9464".to_string(),
+            workers: 0,
+            feed_capacity: 256,
+            ingest: IngestConfig::default(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(flag) = args.next() {
+            let mut value = |name: &str| {
+                args.next().unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--listen" => s.listen = value("--listen"),
+                "--metrics" => s.metrics = value("--metrics"),
+                "--workers" => s.workers = value("--workers").parse().expect("--workers"),
+                "--feed-capacity" => {
+                    s.feed_capacity = value("--feed-capacity").parse().expect("--feed-capacity")
+                }
+                "--max-sessions" => {
+                    s.ingest.max_sessions = value("--max-sessions").parse().expect("--max-sessions")
+                }
+                "--shed-backlog" => {
+                    s.ingest.shed_backlog = value("--shed-backlog").parse().expect("--shed-backlog")
+                }
+                "--handshake-ms" => {
+                    s.ingest.handshake_deadline =
+                        Duration::from_millis(value("--handshake-ms").parse().expect("--handshake-ms"))
+                }
+                "--idle-ms" => {
+                    s.ingest.idle_timeout =
+                        Duration::from_millis(value("--idle-ms").parse().expect("--idle-ms"))
+                }
+                other => panic!("unknown flag {other}; see the module doc for usage"),
+            }
+        }
+        s
+    }
+}
+
+fn main() -> ExitCode {
+    let settings = Settings::from_args();
+    let config = SystemConfig::paper_default();
+    let codebook = match uniform_codebook(config.alphabet()) {
+        Ok(cb) => Arc::new(cb),
+        Err(e) => {
+            eprintln!("cs-ingestd: codebook construction failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let telemetry = TelemetryRegistry::new();
+    let (feed, source) = crossbeam::channel::bounded::<WireFrame>(settings.feed_capacity);
+
+    let engine = {
+        let config = config.clone();
+        let codebook = Arc::clone(&codebook);
+        let telemetry = telemetry.clone();
+        let fleet = FleetConfig { workers: settings.workers, ..FleetConfig::default() };
+        std::thread::spawn(move || {
+            run_fleet_wire_stream::<f32, _>(
+                &config,
+                codebook,
+                source,
+                SolverPolicy::default(),
+                &fleet,
+                &telemetry,
+                |_packet| {},
+            )
+        })
+    };
+
+    let metrics = match MetricsServer::bind(settings.metrics.as_str(), telemetry.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cs-ingestd: metrics bind {} failed: {e}", settings.metrics);
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match IngestServer::bind(
+        settings.listen.as_str(),
+        settings.ingest,
+        telemetry.clone(),
+        feed,
+    ) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cs-ingestd: ingest bind {} failed: {e}", settings.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "cs-ingestd: ingest on {}, metrics on {}; send \"drain\" or close stdin to stop",
+        server.local_addr(),
+        metrics.local_addr()
+    );
+
+    // Block on stdin: EOF or a "drain" line starts the graceful drain.
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "drain" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+
+    let summary = server.drain();
+    let report = match engine.join() {
+        Ok(Ok(report)) => report,
+        Ok(Err(e)) => {
+            eprintln!("cs-ingestd: engine failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        Err(_) => {
+            eprintln!("cs-ingestd: engine thread panicked");
+            return ExitCode::FAILURE;
+        }
+    };
+    let faults = &report.faults;
+    println!(
+        "{{\"sessions\":{},\"patients\":{},\"frames\":{},\"bytes\":{},\"sheds\":{},\
+         \"decoded\":{},\"concealed\":{},\"quarantined\":{},\"rejected\":{},\
+         \"duplicates\":{},\"late\":{},\"windows\":{}}}",
+        summary.sessions,
+        summary.patients,
+        summary.frames,
+        summary.bytes,
+        summary.sheds,
+        faults.decoded,
+        faults.concealed(),
+        faults.quarantined,
+        faults.frame_rejects,
+        faults.duplicates,
+        faults.late,
+        report.packets_decoded,
+    );
+    ExitCode::SUCCESS
+}

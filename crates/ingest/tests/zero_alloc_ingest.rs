@@ -1,0 +1,144 @@
+//! Steady-state per-frame ingest must be allocation-free.
+//!
+//! A counting global allocator wraps the system allocator; after session
+//! setup (one deframer buffer, one control scratch) the per-frame
+//! transport path — read-chunk push, record reassembly, frame
+//! validation, control-record encoding — performs **zero** heap
+//! allocations, whatever the read split. The single deliberate
+//! exception is the decode-queue handoff ([`cs_core::WireFrame`] takes
+//! owned bytes, one `Vec` per frame — the same buffer the in-process
+//! path materializes per frame); it is measured separately here and
+//! pinned at exactly one allocation per frame so a regression in either
+//! direction is caught.
+//!
+//! This lives in its own integration-test binary with a single `#[test]`
+//! so no concurrent test can pollute the allocation counter
+//! (`zero_alloc*.rs` standard, see `crates/core/tests/`).
+
+use cs_core::{crc16, parse_frame, WireFrame, FRAME_MAGIC, FRAME_VERSION, HEADER_BYTES};
+use cs_ingest::{
+    encode_control, encode_record, Control, ControlCode, Deframer, CONTROL_BYTES,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts allocations (not deallocations: retiring a buffer is benign,
+/// taking a fresh one is the defect being guarded against).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn make_frame(lane: u8, seq: u32, payload_len: usize) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(HEADER_BYTES + payload_len + 2);
+    frame.push(FRAME_MAGIC);
+    frame.push(FRAME_VERSION);
+    frame.push(lane);
+    frame.push(0x52);
+    frame.extend_from_slice(&seq.to_le_bytes());
+    let bits = (payload_len * 8) as u32;
+    frame.extend_from_slice(&bits.to_le_bytes()[..3]);
+    frame.extend_from_slice(&vec![0x5A; payload_len]);
+    let crc = crc16(&frame);
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame
+}
+
+#[test]
+fn steady_state_ingest_allocates_nothing() {
+    // Session setup: the wire stream, the deframer, the control scratch.
+    // Allocations are free here.
+    let frames: Vec<Vec<u8>> = (0..64).map(|s| make_frame(0, s, 700)).collect();
+    let mut wire = Vec::new();
+    for frame in &frames {
+        encode_record(frame, &mut wire);
+    }
+    let mut deframer = Deframer::new();
+    let mut control_scratch = [0u8; CONTROL_BYTES];
+
+    // Warm one full cycle (first compaction etc. — nothing should
+    // allocate even here, but the measured loop is the contract).
+    let spare = deframer.spare();
+    spare[..128].copy_from_slice(&wire[..128]);
+    deframer.commit(128);
+    while deframer.next_frame().is_some() {}
+
+    // Measured: the transport path at three read-split extremes.
+    let mut offset = 128usize;
+    let mut records = 0u64;
+    let splits = [1usize, 17, 1400];
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut split_idx = 0usize;
+    while offset < wire.len() {
+        let want = splits[split_idx % splits.len()];
+        split_idx += 1;
+        let spare = deframer.spare();
+        let n = want.min(spare.len()).min(wire.len() - offset);
+        spare[..n].copy_from_slice(&wire[offset..offset + n]);
+        deframer.commit(n);
+        offset += n;
+        while let Some(record) = deframer.next_frame() {
+            // Frame validation borrows; the goodbye encode is stack-only.
+            let parsed = parse_frame(record);
+            assert!(parsed.is_ok());
+            records += 1;
+            encode_control(
+                Control {
+                    code: ControlCode::Goodbye,
+                    retry_after_secs: 0,
+                    count: records as u32,
+                },
+                &mut control_scratch,
+            );
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(records >= 60, "the measured loop must actually stream frames");
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state ingest of {records} records allocated {} times",
+        after - before
+    );
+
+    // The decode-queue handoff is the one owned-buffer boundary: exactly
+    // one allocation per frame, never more.
+    let mut deframer = Deframer::new();
+    let spare = deframer.spare();
+    let take = wire.len().min(spare.len());
+    spare[..take].copy_from_slice(&wire[..take]);
+    deframer.commit(take);
+    let mut handoffs = 0u64;
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    while let Some(record) = deframer.next_frame() {
+        let frame = WireFrame { stream: 0, bytes: record.to_vec() };
+        std::hint::black_box(&frame);
+        handoffs += 1;
+        drop(frame);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(handoffs > 0);
+    assert_eq!(
+        after - before,
+        handoffs,
+        "handoff must cost exactly one allocation per frame"
+    );
+}

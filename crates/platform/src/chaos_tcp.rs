@@ -1,0 +1,394 @@
+//! A socket-level chaos proxy — the TCP analogue of [`crate::LossyLink`].
+//!
+//! [`crate::LossyLink`] damages *frames* before they reach the ingest
+//! path in-process; [`TcpChaosProxy`] damages the *byte stream between
+//! two real sockets*, which is a different fault surface entirely: reads
+//! split at arbitrary boundaries, single-byte trickles, mid-stream
+//! stalls, truncated closes, abortive disconnects, and bit flips that
+//! land anywhere in the TCP payload (framing bytes included, not just
+//! frame bodies). An ingest server sitting behind the proxy therefore
+//! has to prove its incremental deframer, its deadlines, and its
+//! per-connection eviction policies against the damage a real flaky
+//! radio + kernel socket stack produces.
+//!
+//! Faults are seeded ([`cs_sensing::MotePrng`], one stream per
+//! connection derived from the spec seed and the connection index), so a
+//! soak that fails replays byte-for-byte identically.
+//!
+//! Only the client→upstream direction is damaged: the return path
+//! carries the server's control records, and damaging both directions
+//! would make client-side accounting (what *should* have arrived)
+//! ambiguous. Client-visible damage on the return path is exercised
+//! separately by the handshake tests.
+
+use cs_sensing::MotePrng;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-chunk fault probabilities for one proxied connection. Each chunk
+/// the proxy reads off the client socket rolls every fault class
+/// independently; terminal faults (abort, truncated close) end the
+/// connection, the rest damage or delay the chunk and keep going.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcpChaosSpec {
+    /// Probability a chunk is preceded by a forwarding stall.
+    pub stall_probability: f64,
+    /// Length of one forwarding stall.
+    pub stall: Duration,
+    /// Probability a chunk is dribbled one byte per write (split-read
+    /// torture for the receiver's incremental deframer).
+    pub single_byte_probability: f64,
+    /// Probability one random bit in the chunk is flipped.
+    pub bit_flip_probability: f64,
+    /// Probability the connection forwards a random prefix of the chunk
+    /// and then closes the write side cleanly (truncated close).
+    pub truncate_probability: f64,
+    /// Probability the connection is torn down abortively mid-chunk —
+    /// both sockets dropped with data in flight, the closest portable
+    /// analogue of an injected RST.
+    pub abort_probability: f64,
+    /// Base seed; connection `k` derives its own deterministic fault
+    /// stream from it.
+    pub seed: u64,
+}
+
+impl TcpChaosSpec {
+    /// A clean proxy: forwards everything unmodified (useful as a
+    /// baseline and for saturating load tests).
+    pub fn clean(seed: u64) -> Self {
+        TcpChaosSpec {
+            stall_probability: 0.0,
+            stall: Duration::from_millis(0),
+            single_byte_probability: 0.0,
+            bit_flip_probability: 0.0,
+            truncate_probability: 0.0,
+            abort_probability: 0.0,
+            seed,
+        }
+    }
+
+    /// The soak profile: every fault class active at rates that damage a
+    /// meaningful fraction of connections without extinguishing all
+    /// goodput.
+    pub fn hostile(seed: u64) -> Self {
+        TcpChaosSpec {
+            stall_probability: 0.02,
+            stall: Duration::from_millis(30),
+            single_byte_probability: 0.05,
+            bit_flip_probability: 0.03,
+            truncate_probability: 0.005,
+            abort_probability: 0.005,
+            seed,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    connections: AtomicU64,
+    chunks: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_forwarded: AtomicU64,
+    stalls: AtomicU64,
+    single_byte_chunks: AtomicU64,
+    bit_flips: AtomicU64,
+    truncated_closes: AtomicU64,
+    aborts: AtomicU64,
+}
+
+/// Point-in-time fault accounting for a [`TcpChaosProxy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpChaosStats {
+    /// Connections accepted and proxied.
+    pub connections: u64,
+    /// Chunks read off client sockets.
+    pub chunks: u64,
+    /// Bytes read off client sockets.
+    pub bytes_in: u64,
+    /// Bytes actually forwarded upstream (≤ `bytes_in`: aborts and
+    /// truncated closes drop the difference).
+    pub bytes_forwarded: u64,
+    /// Chunks delayed by an injected stall.
+    pub stalls: u64,
+    /// Chunks dribbled one byte per write.
+    pub single_byte_chunks: u64,
+    /// Chunks with one bit flipped.
+    pub bit_flips: u64,
+    /// Connections ended by a truncated close.
+    pub truncated_closes: u64,
+    /// Connections torn down abortively.
+    pub aborts: u64,
+}
+
+/// A running chaos proxy; stops accepting (and joins its accept thread)
+/// on drop. Live per-connection forward threads run to their natural
+/// end — a connection's lifetime belongs to its endpoints, not the
+/// proxy handle.
+#[derive(Debug)]
+pub struct TcpChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<StatsInner>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpChaosProxy {
+    /// Binds `listen` (e.g. `"127.0.0.1:0"`) and proxies every accepted
+    /// connection to `upstream`, applying `spec`'s faults on the
+    /// client→upstream byte stream.
+    pub fn bind<A: ToSocketAddrs>(
+        listen: A,
+        upstream: SocketAddr,
+        spec: TcpChaosSpec,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(StatsInner::default());
+        let thread_stop = Arc::clone(&stop);
+        let thread_stats = Arc::clone(&stats);
+        let handle = std::thread::Builder::new()
+            .name("cs-chaos-proxy".into())
+            .spawn(move || accept_loop(listener, upstream, spec, thread_stats, thread_stop))?;
+        Ok(TcpChaosProxy { addr, stop, stats, handle: Some(handle) })
+    }
+
+    /// The proxy's listening address (clients connect here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current fault accounting.
+    pub fn stats(&self) -> TcpChaosStats {
+        let s = &self.stats;
+        TcpChaosStats {
+            connections: s.connections.load(Ordering::Relaxed),
+            chunks: s.chunks.load(Ordering::Relaxed),
+            bytes_in: s.bytes_in.load(Ordering::Relaxed),
+            bytes_forwarded: s.bytes_forwarded.load(Ordering::Relaxed),
+            stalls: s.stalls.load(Ordering::Relaxed),
+            single_byte_chunks: s.single_byte_chunks.load(Ordering::Relaxed),
+            bit_flips: s.bit_flips.load(Ordering::Relaxed),
+            truncated_closes: s.truncated_closes.load(Ordering::Relaxed),
+            aborts: s.aborts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting new connections and joins the accept thread.
+    pub fn shutdown(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Wake the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    upstream: SocketAddr,
+    spec: TcpChaosSpec,
+    stats: Arc<StatsInner>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut conn_index: u64 = 0;
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(client) = stream else { continue };
+        let Ok(server) = TcpStream::connect(upstream) else { continue };
+        stats.connections.fetch_add(1, Ordering::Relaxed);
+        // Each connection gets its own deterministic fault stream so a
+        // failing soak replays identically regardless of accept order
+        // races between connections.
+        let rng = MotePrng::new(spec.seed.wrapping_add(conn_index.wrapping_mul(0x9E3779B97F4A7C15)));
+        conn_index += 1;
+        let stats = Arc::clone(&stats);
+        let _ = std::thread::Builder::new()
+            .name("cs-chaos-conn".into())
+            .spawn(move || proxy_connection(client, server, spec, rng, stats));
+    }
+}
+
+/// Runs one proxied connection: clean copy upstream→client on a helper
+/// thread, chaos-injected copy client→upstream on this one.
+fn proxy_connection(
+    client: TcpStream,
+    server: TcpStream,
+    spec: TcpChaosSpec,
+    mut rng: MotePrng,
+    stats: Arc<StatsInner>,
+) {
+    let mut client_read = match client.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut server_read = match server.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut client_write = client;
+    let mut server_write = server;
+
+    // Return path: the server's control records pass through unharmed.
+    let return_path = std::thread::Builder::new().name("cs-chaos-return".into()).spawn(move || {
+        let mut buf = [0u8; 2048];
+        loop {
+            match server_read.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    if client_write.write_all(&buf[..n]).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+        let _ = client_write.shutdown(Shutdown::Write);
+    });
+
+    let mut buf = [0u8; 2048];
+    loop {
+        let n = match client_read.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        stats.chunks.fetch_add(1, Ordering::Relaxed);
+        stats.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+        let chunk = &mut buf[..n];
+
+        if rng.next_f64() < spec.abort_probability {
+            // Abortive teardown: both directions die with bytes in
+            // flight. Dropping the sockets mid-transfer is the portable
+            // RST analogue (`set_linger(0)` is not on stable std).
+            stats.aborts.fetch_add(1, Ordering::Relaxed);
+            return; // drops server_write and client_read; return path dies with them
+        }
+        if rng.next_f64() < spec.bit_flip_probability {
+            let bit = rng.next_below((n * 8) as u32) as usize;
+            chunk[bit / 8] ^= 1 << (bit % 8);
+            stats.bit_flips.fetch_add(1, Ordering::Relaxed);
+        }
+        if rng.next_f64() < spec.truncate_probability {
+            let keep = rng.next_below(n as u32) as usize;
+            if server_write.write_all(&chunk[..keep]).is_ok() {
+                stats.bytes_forwarded.fetch_add(keep as u64, Ordering::Relaxed);
+            }
+            stats.truncated_closes.fetch_add(1, Ordering::Relaxed);
+            let _ = server_write.shutdown(Shutdown::Write);
+            break; // keep draining the return path until the server closes
+        }
+        if rng.next_f64() < spec.stall_probability {
+            stats.stalls.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(spec.stall);
+        }
+        if rng.next_f64() < spec.single_byte_probability {
+            stats.single_byte_chunks.fetch_add(1, Ordering::Relaxed);
+            for i in 0..n {
+                if server_write.write_all(&chunk[i..=i]).is_err() {
+                    return;
+                }
+                if server_write.flush().is_err() {
+                    return;
+                }
+                stats.bytes_forwarded.fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            if server_write.write_all(chunk).is_err() {
+                return;
+            }
+            stats.bytes_forwarded.fetch_add(n as u64, Ordering::Relaxed);
+        }
+    }
+    let _ = server_write.shutdown(Shutdown::Write);
+    let _ = return_path.map(|h| h.join());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An echo server good enough to prove the proxy forwards both ways.
+    fn echo_server() -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            // Serve a bounded number of connections, then exit.
+            for stream in listener.incoming().take(4) {
+                let Ok(mut stream) = stream else { continue };
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 1024];
+                    loop {
+                        match stream.read(&mut buf) {
+                            Ok(0) | Err(_) => break,
+                            Ok(n) => {
+                                if stream.write_all(&buf[..n]).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn clean_spec_forwards_bytes_unchanged() {
+        let (upstream, _server) = echo_server();
+        let proxy = TcpChaosProxy::bind("127.0.0.1:0", upstream, TcpChaosSpec::clean(1)).unwrap();
+        let mut conn = TcpStream::connect(proxy.local_addr()).unwrap();
+        conn.write_all(b"hello chaos").unwrap();
+        conn.shutdown(Shutdown::Write).unwrap();
+        let mut back = Vec::new();
+        conn.read_to_end(&mut back).unwrap();
+        assert_eq!(back, b"hello chaos");
+        let stats = proxy.stats();
+        assert_eq!(stats.connections, 1);
+        assert_eq!(stats.bytes_forwarded, 11);
+        assert_eq!(stats.bit_flips + stats.aborts + stats.truncated_closes, 0);
+    }
+
+    #[test]
+    fn hostile_spec_is_deterministic_per_seed() {
+        // Same seed, same single connection → identical fault decisions,
+        // observable as identical damage on a fixed byte stream.
+        let run = |seed| {
+            let (upstream, _server) = echo_server();
+            let spec = TcpChaosSpec { bit_flip_probability: 0.8, ..TcpChaosSpec::clean(seed) };
+            let proxy = TcpChaosProxy::bind("127.0.0.1:0", upstream, spec).unwrap();
+            let mut conn = TcpStream::connect(proxy.local_addr()).unwrap();
+            let payload = [0u8; 32];
+            conn.write_all(&payload).unwrap();
+            conn.shutdown(Shutdown::Write).unwrap();
+            let mut back = Vec::new();
+            conn.read_to_end(&mut back).unwrap();
+            back
+        };
+        let a = run(7);
+        let b = run(7);
+        let c = run(8);
+        assert_eq!(a, b, "same seed must replay identical damage");
+        assert!(a != c || a == [0u8; 32], "different seeds should usually differ");
+    }
+
+    #[test]
+    fn shutdown_frees_the_listen_port() {
+        let (upstream, _server) = echo_server();
+        let proxy = TcpChaosProxy::bind("127.0.0.1:0", upstream, TcpChaosSpec::clean(1)).unwrap();
+        let addr = proxy.local_addr();
+        drop(proxy);
+        assert!(TcpListener::bind(addr).is_ok());
+    }
+}

@@ -259,6 +259,42 @@ pub fn prometheus(snap: &TelemetrySnapshot) -> String {
             }
         }
     }
+    // ── Socket-ingest lifecycle (only once the ingest layer has seen a
+    // session or shed one — fleets fed in-process export nothing). ──
+    if snap.ingest_accepted > 0 || snap.ingest_shed > 0 {
+        out.push_str("# HELP cs_ingest_sessions Live ingest sessions by lifecycle state\n");
+        out.push_str("# TYPE cs_ingest_sessions gauge\n");
+        // Every state explicit, zero or not: a dashboard watching drain
+        // progress needs the 0, not a missing series.
+        for (state, count) in &snap.ingest_sessions {
+            let _ = writeln!(
+                out,
+                "cs_ingest_sessions{{state=\"{}\"}} {count}",
+                escape_label(state.name())
+            );
+        }
+        out.push_str("# HELP cs_ingest_sessions_total Sessions ever admitted to handshaking\n");
+        out.push_str("# TYPE cs_ingest_sessions_total counter\n");
+        let _ = writeln!(out, "cs_ingest_sessions_total {}", snap.ingest_accepted);
+        out.push_str("# HELP cs_ingest_shed_total Sessions refused by the admission controller\n");
+        out.push_str("# TYPE cs_ingest_shed_total counter\n");
+        let _ = writeln!(out, "cs_ingest_shed_total {}", snap.ingest_shed);
+        out.push_str("# HELP cs_ingest_disconnect_total Session terminations by reason\n");
+        out.push_str("# TYPE cs_ingest_disconnect_total counter\n");
+        for (reason, count) in &snap.ingest_disconnects {
+            let _ = writeln!(
+                out,
+                "cs_ingest_disconnect_total{{reason=\"{}\"}} {count}",
+                escape_label(reason.name())
+            );
+        }
+        out.push_str("# HELP cs_ingest_frames_total Frames accepted off ingest sockets\n");
+        out.push_str("# TYPE cs_ingest_frames_total counter\n");
+        let _ = writeln!(out, "cs_ingest_frames_total {}", snap.ingest_frames);
+        out.push_str("# HELP cs_ingest_bytes_total Wire bytes accepted off ingest sockets\n");
+        out.push_str("# TYPE cs_ingest_bytes_total counter\n");
+        let _ = writeln!(out, "cs_ingest_bytes_total {}", snap.ingest_bytes);
+    }
     // ── Telemetry self-observation: the exporter in its own output. ──
     out.push_str("# HELP cs_telemetry_scrapes_total HTTP scrape requests by endpoint\n");
     out.push_str("# TYPE cs_telemetry_scrapes_total counter\n");
@@ -304,8 +340,9 @@ fn stage_json(name: &str, hist: &HistogramSnapshot, out: &mut String) {
 /// `faults`, `archive`, optional `batch_occupancy`, optional
 /// `solver_iterations` (per-mode iteration stats), `e2e` (per-patient
 /// end-to-end latency), `slo` (per-patient health, freshness, burn
-/// rates, lane watermarks), `scrapes` (zero counts elided), optional
-/// `render` (exporter self-observation), `journal`.
+/// rates, lane watermarks), optional `ingest` (socket-session lifecycle,
+/// present once a session was admitted or shed), `scrapes` (zero counts
+/// elided), optional `render` (exporter self-observation), `journal`.
 pub fn json_line(snap: &TelemetrySnapshot) -> String {
     let mut out = String::new();
     let _ = write!(
@@ -441,7 +478,36 @@ pub fn json_line(snap: &TelemetrySnapshot) -> String {
         }
         out.push_str("]}");
     }
-    out.push_str("],\"scrapes\":{");
+    out.push(']');
+    if snap.ingest_accepted > 0 || snap.ingest_shed > 0 {
+        let _ = write!(
+            out,
+            ",\"ingest\":{{\"accepted\":{},\"shed\":{},\"frames\":{},\"bytes\":{},\"sessions\":{{",
+            snap.ingest_accepted, snap.ingest_shed, snap.ingest_frames, snap.ingest_bytes
+        );
+        let mut first = true;
+        for (state, count) in &snap.ingest_sessions {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{count}", state.name());
+        }
+        out.push_str("},\"disconnects\":{");
+        let mut first = true;
+        for (reason, count) in &snap.ingest_disconnects {
+            if *count == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{count}", reason.name());
+        }
+        out.push_str("}}");
+    }
+    out.push_str(",\"scrapes\":{");
     let mut first = true;
     for (endpoint, count) in &snap.scrapes {
         if *count == 0 {
@@ -668,6 +734,44 @@ mod tests {
         let off = sample_registry();
         assert!(!off.prometheus().contains("cs_solver_iterations"));
         assert!(!off.json_line().contains("solver_iterations"));
+    }
+
+    #[test]
+    fn ingest_families_exported_in_both_formats() {
+        let reg = sample_registry();
+        // An inactive ingest layer exports nothing.
+        assert!(!reg.prometheus().contains("cs_ingest_"));
+        assert!(!reg.json_line().contains("\"ingest\""));
+
+        use crate::{IngestDisconnect, IngestState};
+        reg.ingest_session_enter(IngestState::Handshaking);
+        reg.ingest_session_exit(IngestState::Handshaking);
+        reg.ingest_session_enter(IngestState::Streaming);
+        reg.record_ingest_shed();
+        reg.record_ingest_disconnect(IngestDisconnect::SlowLoris);
+        reg.record_ingest_frames(7, 700);
+
+        let text = reg.prometheus();
+        assert!(text.contains("# TYPE cs_ingest_sessions gauge"));
+        assert!(text.contains("cs_ingest_sessions{state=\"handshaking\"} 0"));
+        assert!(text.contains("cs_ingest_sessions{state=\"streaming\"} 1"));
+        assert!(text.contains("cs_ingest_sessions{state=\"draining\"} 0"));
+        assert!(text.contains("cs_ingest_sessions_total 1"));
+        assert!(text.contains("cs_ingest_shed_total 1"));
+        assert!(text.contains("cs_ingest_disconnect_total{reason=\"slow_loris\"} 1"));
+        assert!(text.contains("cs_ingest_disconnect_total{reason=\"client_closed\"} 0"));
+        assert!(text.contains("cs_ingest_frames_total 7"));
+        assert!(text.contains("cs_ingest_bytes_total 700"));
+
+        let line = reg.json_line();
+        assert!(line.contains("\"ingest\":{\"accepted\":1,\"shed\":1,\"frames\":7,\"bytes\":700,"));
+        assert!(line.contains("\"sessions\":{\"handshaking\":0,\"streaming\":1,\"draining\":0}"));
+        assert!(line.contains("\"disconnects\":{\"slow_loris\":1}"));
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+
+        // The gauge saturates instead of wrapping on an unpaired exit.
+        reg.ingest_session_exit(IngestState::Draining);
+        assert_eq!(reg.ingest_sessions(IngestState::Draining), 0);
     }
 
     #[test]

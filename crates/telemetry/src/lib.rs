@@ -32,6 +32,7 @@ pub mod archive;
 pub mod export;
 pub mod fault;
 pub mod histogram;
+pub mod ingest;
 pub mod journal;
 pub mod mode;
 pub mod registry;
@@ -44,6 +45,7 @@ pub use archive::ArchiveOp;
 pub use export::{escape_label, json_line, prometheus, Every, REPORT_QUANTILES};
 pub use fault::FaultKind;
 pub use histogram::{bucket_upper, Histogram, HistogramSnapshot, BUCKETS};
+pub use ingest::{IngestDisconnect, IngestState};
 pub use journal::{Journal, SolveTrace};
 pub use mode::SolverMode;
 pub use registry::{

@@ -12,6 +12,7 @@
 
 use crate::archive::ArchiveOp;
 use crate::fault::FaultKind;
+use crate::ingest::{IngestDisconnect, IngestState};
 use crate::histogram::{Histogram, HistogramSnapshot};
 use crate::journal::{Journal, SolveTrace};
 use crate::mode::SolverMode;
@@ -56,6 +57,15 @@ struct Inner {
     /// render times — the telemetry layer appears in its own output.
     scrapes: [AtomicU64; ScrapeEndpoint::COUNT],
     render: Histogram,
+    /// Socket-ingest lifecycle: live session counts per state (gauge
+    /// semantics — enter/exit), sessions ever accepted, admission sheds,
+    /// terminal disconnect reasons, and accepted frame/byte volume.
+    ingest_states: [AtomicU64; IngestState::COUNT],
+    ingest_accepted: AtomicU64,
+    ingest_shed: AtomicU64,
+    ingest_disconnects: [AtomicU64; IngestDisconnect::COUNT],
+    ingest_frames: AtomicU64,
+    ingest_bytes: AtomicU64,
 }
 
 /// Shared handle to the telemetry recording state.
@@ -133,6 +143,12 @@ impl TelemetryRegistry {
                 slo: SloEngine::new(slo),
                 scrapes: std::array::from_fn(|_| AtomicU64::new(0)),
                 render: Histogram::new(),
+                ingest_states: std::array::from_fn(|_| AtomicU64::new(0)),
+                ingest_accepted: AtomicU64::new(0),
+                ingest_shed: AtomicU64::new(0),
+                ingest_disconnects: std::array::from_fn(|_| AtomicU64::new(0)),
+                ingest_frames: AtomicU64::new(0),
+                ingest_bytes: AtomicU64::new(0),
             }),
         }
     }
@@ -339,6 +355,87 @@ impl TelemetryRegistry {
         &self.inner.render
     }
 
+    /// Marks one ingest session entering a lifecycle `state` (no-op when
+    /// disabled). Pair with [`TelemetryRegistry::ingest_session_exit`];
+    /// entering `Handshaking` also counts toward the sessions-ever-
+    /// accepted total.
+    pub fn ingest_session_enter(&self, state: IngestState) {
+        if self.is_enabled() {
+            self.inner.ingest_states[state.index()].fetch_add(1, Ordering::Relaxed);
+            if state == IngestState::Handshaking {
+                self.inner.ingest_accepted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Marks one ingest session leaving a lifecycle `state`. Saturating:
+    /// an unpaired exit (e.g. telemetry toggled mid-session) clamps at
+    /// zero rather than wrapping the gauge.
+    pub fn ingest_session_exit(&self, state: IngestState) {
+        if self.is_enabled() {
+            let _ = self.inner.ingest_states[state.index()].fetch_update(
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+                |v| v.checked_sub(1),
+            );
+        }
+    }
+
+    /// Live ingest-session count in one lifecycle state.
+    pub fn ingest_sessions(&self, state: IngestState) -> u64 {
+        self.inner.ingest_states[state.index()].load(Ordering::Relaxed)
+    }
+
+    /// Sessions ever admitted to handshaking.
+    pub fn ingest_accepted_total(&self) -> u64 {
+        self.inner.ingest_accepted.load(Ordering::Relaxed)
+    }
+
+    /// Counts one session refused by the admission controller (no-op
+    /// when disabled).
+    pub fn record_ingest_shed(&self) {
+        if self.is_enabled() {
+            self.inner.ingest_shed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Sessions refused by the admission controller.
+    pub fn ingest_shed_total(&self) -> u64 {
+        self.inner.ingest_shed.load(Ordering::Relaxed)
+    }
+
+    /// Counts one terminal session disconnect by reason (no-op when
+    /// disabled).
+    pub fn record_ingest_disconnect(&self, reason: IngestDisconnect) {
+        if self.is_enabled() {
+            self.inner.ingest_disconnects[reason.index()].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The running count for one disconnect reason.
+    pub fn ingest_disconnect_count(&self, reason: IngestDisconnect) -> u64 {
+        self.inner.ingest_disconnects[reason.index()].load(Ordering::Relaxed)
+    }
+
+    /// Counts `frames` accepted frames totalling `bytes` wire bytes off
+    /// ingest sockets (no-op when disabled).
+    pub fn record_ingest_frames(&self, frames: u64, bytes: u64) {
+        if self.is_enabled() {
+            self.inner.ingest_frames.fetch_add(frames, Ordering::Relaxed);
+            self.inner.ingest_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Frames accepted off ingest sockets.
+    pub fn ingest_frames_total(&self) -> u64 {
+        self.inner.ingest_frames.load(Ordering::Relaxed)
+    }
+
+    /// Wire bytes accepted off ingest sockets.
+    pub fn ingest_bytes_total(&self) -> u64 {
+        self.inner.ingest_bytes.load(Ordering::Relaxed)
+    }
+
     /// A point-in-time copy of every aggregate the registry holds — what
     /// the exporters render.
     pub fn snapshot(&self) -> TelemetrySnapshot {
@@ -368,6 +465,13 @@ impl TelemetryRegistry {
             slo: self.slo_snapshot(),
             scrapes: ScrapeEndpoint::ALL.map(|e| (e, self.scrape_count(e))),
             render_ns: self.inner.render.snapshot(),
+            ingest_sessions: IngestState::ALL.map(|s| (s, self.ingest_sessions(s))),
+            ingest_accepted: self.ingest_accepted_total(),
+            ingest_shed: self.ingest_shed_total(),
+            ingest_disconnects: IngestDisconnect::ALL
+                .map(|r| (r, self.ingest_disconnect_count(r))),
+            ingest_frames: self.ingest_frames_total(),
+            ingest_bytes: self.ingest_bytes_total(),
         }
     }
 }
@@ -408,6 +512,20 @@ pub struct TelemetrySnapshot {
     /// Exporter render-time distribution (self-observation; lags the
     /// current render by one scrape).
     pub render_ns: HistogramSnapshot,
+    /// Live ingest-session counts per lifecycle state, in
+    /// [`IngestState::ALL`] order.
+    pub ingest_sessions: [(IngestState, u64); IngestState::COUNT],
+    /// Sessions ever admitted to handshaking.
+    pub ingest_accepted: u64,
+    /// Sessions refused by the admission controller.
+    pub ingest_shed: u64,
+    /// Terminal session disconnects by reason, in
+    /// [`IngestDisconnect::ALL`] order.
+    pub ingest_disconnects: [(IngestDisconnect, u64); IngestDisconnect::COUNT],
+    /// Frames accepted off ingest sockets.
+    pub ingest_frames: u64,
+    /// Wire bytes accepted off ingest sockets.
+    pub ingest_bytes: u64,
 }
 
 impl TelemetrySnapshot {

@@ -11,7 +11,9 @@
 //! Threading model: one accept thread, connections handled **inline** —
 //! scrapes arrive every few seconds from one or two collectors, so a
 //! connection pool would be machinery without a workload. A slow or
-//! stuck client is bounded by a 2 s socket read/write timeout and can
+//! stuck client is bounded by a 2 s socket read/write timeout *and* a
+//! 2 s whole-head deadline (so a byte-at-a-time trickler cannot restart
+//! the per-read clock) and can
 //! delay, never wedge, the next scrape; the decode fleet itself never
 //! blocks on the server because every route renders from lock-free
 //! snapshots. Scrapes are themselves observed (per-endpoint counters and
@@ -66,9 +68,16 @@ impl ScrapeEndpoint {
     }
 }
 
-/// Per-connection socket timeout: bounds how long a slow client can hold
-/// the accept thread.
+/// Per-connection socket timeout: bounds a single blocking read or write.
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Total budget for receiving one request head. The per-read timeout
+/// alone is not enough: a client trickling one byte per just-under-2 s
+/// read would hold the inline accept loop for up to [`MAX_REQUEST_BYTES`]
+/// reads (hours). Every read shrinks its timeout to the remaining
+/// budget, so the whole head phase is bounded by this constant no matter
+/// how the client paces its bytes.
+const HEAD_DEADLINE: Duration = Duration::from_secs(2);
 
 /// Maximum request-head bytes read before the request is rejected.
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
@@ -141,19 +150,37 @@ fn accept_loop(listener: TcpListener, registry: TelemetryRegistry, stop: Arc<Ato
 }
 
 fn handle_connection(mut stream: TcpStream, registry: &TelemetryRegistry) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
 
+    let deadline = std::time::Instant::now() + HEAD_DEADLINE;
     let mut head = Vec::with_capacity(512);
     let mut buf = [0u8; 512];
     while !head.windows(4).any(|w| w == b"\r\n\r\n") {
         if head.len() >= MAX_REQUEST_BYTES {
             return respond(&mut stream, 431, "text/plain; charset=utf-8", "request too large");
         }
+        let now = std::time::Instant::now();
+        if now >= deadline {
+            return respond(&mut stream, 408, "text/plain; charset=utf-8", "request header timeout");
+        }
+        // Each read gets only the remaining head budget, so a client
+        // trickling single bytes cannot restart the clock.
+        stream.set_read_timeout(Some((deadline - now).min(IO_TIMEOUT)))?;
         match stream.read(&mut buf) {
             Ok(0) => return Ok(()),
             Ok(n) => head.extend_from_slice(&buf[..n]),
-            Err(_) => return Ok(()), // timeout or reset: drop silently
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return respond(
+                    &mut stream,
+                    408,
+                    "text/plain; charset=utf-8",
+                    "request header timeout",
+                );
+            }
+            Err(_) => return Ok(()), // reset: drop silently
         }
     }
 
@@ -223,6 +250,7 @@ fn respond(
         200 => "OK",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -298,6 +326,30 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.1 405"));
+    }
+
+    #[test]
+    fn partial_head_stall_is_bounded_by_the_head_deadline() {
+        let server =
+            MetricsServer::bind("127.0.0.1:0", TelemetryRegistry::new()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // One byte, then silence. Before the whole-head deadline this
+        // held the inline accept loop up to IO_TIMEOUT per read for as
+        // many reads as MAX_REQUEST_BYTES allows.
+        stream.write_all(b"G").unwrap();
+        let started = std::time::Instant::now();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 408"), "{response}");
+        assert!(response.contains("Connection: close"), "{response}");
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < HEAD_DEADLINE + IO_TIMEOUT,
+            "stalled head held the server {elapsed:?}"
+        );
+        // The accept loop is immediately serviceable again.
+        let (status, _) = get(server.local_addr(), "/healthz");
+        assert_eq!(status, 200);
     }
 
     #[test]

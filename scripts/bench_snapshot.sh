@@ -4,8 +4,9 @@
 #   scripts/bench_snapshot.sh            # full run, writes ./BENCH_decode.json
 #   scripts/bench_snapshot.sh --quick    # reduced samples, writes target/BENCH_decode_quick.json
 #
-# Runs the three decode hot-path Criterion benches (solver_iteration,
-# sensing_apply, fleet_throughput) plus a seeded fleet_report pass, parses
+# Runs the four hot-path Criterion benches (solver_iteration,
+# sensing_apply, fleet_throughput, ingest_throughput) plus a seeded
+# fleet_report pass, parses
 # the vendored-criterion `time: [min median mean max]` lines and the
 # report's throughput/latency summary, and emits one JSON document. The
 # `min` statistic is the one to compare across commits: these benches run
@@ -47,6 +48,7 @@ bench_lines="$(
   cargo bench -p cs-bench --bench solver_iteration 2>/dev/null
   cargo bench -p cs-bench --bench sensing_apply 2>/dev/null
   cargo bench -p cs-bench --bench fleet_throughput 2>/dev/null
+  cargo bench -p cs-bench --bench ingest_throughput 2>/dev/null
 )"
 
 report="$(target/release/fleet_report --records "$RECORDS" --seconds "$SECONDS_PER_RECORD")"

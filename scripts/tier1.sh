@@ -25,6 +25,11 @@ cargo test -q --release -p cs-core --test zero_alloc_batch
 cargo test -q --release -p cs-core --test zero_alloc_prior
 cargo test -q --release -p cs-core --test zero_alloc_prior_batch
 
+# The ingest transport path makes the same claim one layer down: after
+# session setup, deframe + validate + control encode allocate nothing,
+# and the decode-queue handoff costs exactly one buffer per frame.
+cargo test -q --release -p cs-ingest --test zero_alloc_ingest
+
 # Prior-driven solver guarantees under the optimizer: the ≥ 20 %
 # iteration win across the CR sweep at equal-or-better PRD, and bounded
 # degradation on a mid-stream arrhythmic morphology change.
@@ -45,6 +50,7 @@ scripts/bench_check.sh
 # leave the committed baseline comparing against nothing).
 grep -q '"fleet_throughput/fleet_batch/8"' target/BENCH_decode_quick.json
 grep -q '"batched_fista/batch_8"' target/BENCH_decode_quick.json
+grep -q '"ingest_throughput/deframe/1400B"' target/BENCH_decode_quick.json
 
 # Telemetry smoke: one tiny fleet (~2 s of signal) with the live
 # registry and both exporters; fails if the scrape comes out empty.
@@ -93,3 +99,8 @@ CHAOS_SECONDS="${CHAOS_SECONDS:-5}" scripts/chaos.sh
 # require a lossless recovery scan (the 8-round profile runs out of
 # band; see scripts/archive_crash.sh).
 CRASH_ROUNDS="${CRASH_ROUNDS:-2}" scripts/archive_crash.sh
+
+# Ingest smoke: a 200-mote swarm through the socket service, clean and
+# behind the chaos proxy, with every lifecycle invariant checked (the
+# 1000-mote profile runs out of band; see scripts/ingest_soak.sh).
+SWARM_MOTES="${SWARM_MOTES:-200}" scripts/ingest_soak.sh
