@@ -33,6 +33,7 @@
 
 use cs_archive::Archive;
 use cs_bench::{banner, RunSettings};
+use cs_clinical::{ClinicalConfig, ClinicalEngine, ClinicalEvent};
 use cs_core::{
     packetize, run_fleet_observed, run_fleet_wire, run_streaming, train_codebook, FleetConfig,
     FleetReport, FleetStream, MultiChannelEncoder, SolverPolicy, SystemConfig,
@@ -187,6 +188,62 @@ fn fault_panel(header: &str, wire_report: &FleetReport) {
         faults.resyncs, faults.worker_restarts
     );
     println!("deadline-degraded       : {:>6}", faults.deadline_degraded);
+}
+
+/// The clinical alarm panel: beat census, per-kind alarm accounting,
+/// detection accuracy vs the synthesizer's annotations, and the final
+/// per-patient rhythm picture — all from the live registry the clinical
+/// engine recorded into while the wire fleet decoded.
+fn alarm_panel(registry: &TelemetryRegistry, engine: &ClinicalEngine, events: &[ClinicalEvent]) {
+    use cs_telemetry::{AlarmKind, BeatClass};
+    println!("== Clinical alarms (streaming analysis on decoded windows) ==");
+    let census: Vec<String> = BeatClass::ALL
+        .iter()
+        .filter(|&&c| registry.beat_count(c) > 0)
+        .map(|&c| format!("{} {}", registry.beat_count(c), c.name()))
+        .collect();
+    println!(
+        "beats classified        : {:>6}  ({})",
+        BeatClass::ALL.iter().map(|&c| registry.beat_count(c)).sum::<u64>(),
+        census.join(", ")
+    );
+    println!(
+        "{:<14} {:>7} {:>8} {:>7} {:>10}",
+        "alarm", "raised", "cleared", "active", "transitions"
+    );
+    for kind in AlarmKind::ALL {
+        let transitions = events
+            .iter()
+            .filter(|e| matches!(e, ClinicalEvent::Alarm { transition, .. } if transition.kind == kind))
+            .count();
+        println!(
+            "{:<14} {:>7} {:>8} {:>7} {:>10}",
+            kind.name(),
+            registry.alarm_raised_count(kind),
+            registry.alarm_cleared_count(kind),
+            registry.alarm_active_count(kind),
+            transitions
+        );
+    }
+    println!(
+        "suppressed evaluations  : {:>6}  (beats inside concealed windows)",
+        registry.alarm_suppressed_total()
+    );
+    let snap = registry.snapshot();
+    match (snap.qrs_sensitivity(), snap.qrs_ppv()) {
+        (Some(sens), Some(ppv)) => println!(
+            "QRS sens / PPV          : {:>6.1} % / {:.1} %  (±50 ms vs all annotations; beats lost to concealed windows count as misses)",
+            sens * 100.0,
+            ppv * 100.0
+        ),
+        _ => println!("QRS sens / PPV          :    n/a  (no annotated beats scored)"),
+    }
+    let rates: Vec<String> = (0..8)
+        .map_while(|p| engine.heart_rate_bpm(p).map(|hr| format!("p{p}={hr:.0}")))
+        .collect();
+    if !rates.is_empty() {
+        println!("final heart rate (bpm)  : {}", rates.join("  "));
+    }
 }
 
 /// The per-stage latency quantile table from a live registry snapshot.
@@ -355,10 +412,22 @@ fn main() {
         duration_s: settings.seconds,
         ..DatabaseConfig::default()
     });
+    let mut truths: Vec<Vec<usize>> = Vec::new();
     let patients: Vec<(Vec<i16>, Vec<i16>)> = (0..db.len())
         .map(|i| {
             let record = db.record(i);
-            (prepare(&record, 0), prepare(&record, 1))
+            let lead0 = prepare(&record, 0);
+            // Annotation positions land at 360 Hz; rescale to the wire
+            // rate so the clinical tap can score detections.
+            truths.push(
+                record
+                    .annotations()
+                    .iter()
+                    .map(|b| b.sample * 256 / 360)
+                    .filter(|&s| s < lead0.len())
+                    .collect(),
+            );
+            (lead0, prepare(&record, 1))
         })
         .collect();
 
@@ -593,6 +662,20 @@ fn main() {
             deliveries.into_iter().map(|d| d.bytes).collect()
         })
         .collect();
+    // The clinical tap rides the wire feed: every emitted window — decoded
+    // or concealed — streams through the per-patient analysis engine, so
+    // the alarm panel below reflects exactly what a monitoring station
+    // would have seen over this link.
+    let mut clinical = ClinicalEngine::new(
+        ClinicalConfig::at_256_hz(),
+        patients.len(),
+        2,
+        registry.clone(),
+    );
+    for (stream, truth) in truths.iter().enumerate() {
+        clinical.set_ground_truth(stream, truth.clone(), 13); // ±50 ms
+    }
+    let mut events = Vec::new();
     let wire_report = run_fleet_wire::<f32, _>(
         &config,
         Arc::clone(&codebook),
@@ -600,10 +683,12 @@ fn main() {
         SolverPolicy::default(),
         &FleetConfig { warm_start: true, ..fleet_cfg },
         &registry,
-        |_| {},
+        |p| clinical.on_packet(p, &mut events),
     )
     .expect("wire fleet run");
+    clinical.finish(&mut events);
     fault_panel("lossy wire: burst BER 1e-3, 5 % drop", &wire_report);
+    alarm_panel(&registry, &clinical, &events);
     slo_panel(&registry);
 
     let capacity = analyze_fleet(&CoordinatorSpec::iphone_3gs(), cold_report.workers, &solves);

@@ -1,0 +1,468 @@
+//! Per-patient alarm state machine with hysteresis, escalation and
+//! latching.
+//!
+//! Each [`AlarmKind`] carries its own severity state. Raising an alarm
+//! from `Normal` requires `onset_beats` *consecutive* abnormal
+//! evaluations (hysteresis against single mis-classified beats);
+//! escalation from `Warning` to `Critical` is immediate once the alarm
+//! is active. `Warning` clears after `clear_beats` consecutive normal
+//! evaluations; `Critical` alarms **latch** — they additionally require
+//! `latch_holdoff_s` of wall-signal quiet since the last abnormal
+//! evaluation before they release, and they release straight to
+//! `Normal` (a latched critical never "de-escalates" to a lingering
+//! warning a tired operator might dismiss).
+//!
+//! Asystole is the exception to onset hysteresis: silence longer than
+//! `asystole_timeout_s` raises `Critical` immediately. The timeout
+//! itself *is* the hysteresis, and a >4 s pause is never benign.
+
+use cs_telemetry::{AlarmKind, AlarmSeverity, BeatClass};
+
+use crate::classifier::ClassifiedBeat;
+
+/// Thresholds and hysteresis parameters of the alarm engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlarmConfig {
+    /// Sample rate of the analyzed lead, for rate/time conversions.
+    pub sample_rate_hz: f64,
+    /// Heart rate above which tachycardia reaches `Warning`.
+    pub tachy_warning_bpm: f64,
+    /// Heart rate above which tachycardia reaches `Critical`.
+    pub tachy_critical_bpm: f64,
+    /// Heart rate below which bradycardia reaches `Warning`.
+    pub brady_warning_bpm: f64,
+    /// Heart rate below which bradycardia reaches `Critical`.
+    pub brady_critical_bpm: f64,
+    /// PVC count within the trailing window that reaches `Warning`.
+    pub pvc_run_warning: usize,
+    /// PVC count within the trailing window that reaches `Critical`.
+    pub pvc_run_critical: usize,
+    /// Length of the trailing beat window used for PVC-run counting.
+    pub pvc_window_beats: usize,
+    /// Detection silence that raises an asystole `Critical`.
+    pub asystole_timeout_s: f64,
+    /// Consecutive abnormal evaluations required to raise from normal.
+    pub onset_beats: usize,
+    /// Consecutive normal evaluations required to clear a warning.
+    pub clear_beats: usize,
+    /// Additional quiet time a latched critical needs before release.
+    pub latch_holdoff_s: f64,
+    /// EWMA weight of a new RR interval in the heart-rate estimate.
+    pub hr_alpha: f64,
+}
+
+impl AlarmConfig {
+    /// Defaults for a lead resampled to the paper's 256 Hz wire rate.
+    pub fn at_256_hz() -> Self {
+        AlarmConfig::at_sample_rate(256.0)
+    }
+
+    /// Defaults at an arbitrary sample rate.
+    pub fn at_sample_rate(sample_rate_hz: f64) -> Self {
+        assert!(
+            sample_rate_hz.is_finite() && sample_rate_hz > 0.0,
+            "sample rate must be positive"
+        );
+        AlarmConfig {
+            sample_rate_hz,
+            tachy_warning_bpm: 110.0,
+            tachy_critical_bpm: 140.0,
+            brady_warning_bpm: 50.0,
+            brady_critical_bpm: 40.0,
+            pvc_run_warning: 3,
+            pvc_run_critical: 5,
+            pvc_window_beats: 10,
+            asystole_timeout_s: 4.0,
+            onset_beats: 3,
+            clear_beats: 8,
+            latch_holdoff_s: 6.0,
+            // Fast enough that bradycardia — the slowest rhythm to
+            // observe, at under one beat per 1.5 s — still crosses its
+            // threshold and clears onset hysteresis inside a 10 s alarm
+            // deadline; single aberrant intervals still cannot alarm.
+            hr_alpha: 0.35,
+        }
+    }
+}
+
+/// A severity change on one alarm kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlarmTransition {
+    /// Which alarm moved.
+    pub kind: AlarmKind,
+    /// Severity before the evaluation.
+    pub from: AlarmSeverity,
+    /// Severity after the evaluation.
+    pub to: AlarmSeverity,
+    /// Absolute sample index at which the transition was decided.
+    pub sample: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct KindState {
+    severity: AlarmSeverity,
+    onset_count: usize,
+    clear_count: usize,
+    last_abnormal_sample: usize,
+}
+
+impl Default for KindState {
+    fn default() -> Self {
+        KindState {
+            severity: AlarmSeverity::Normal,
+            onset_count: 0,
+            clear_count: 0,
+            last_abnormal_sample: 0,
+        }
+    }
+}
+
+/// The per-patient alarm engine. Feed it classified beats via
+/// [`AlarmEngine::on_beat`] and wall-clock progress via
+/// [`AlarmEngine::on_silence`]; every call appends any severity
+/// transitions to the caller's buffer (no internal allocation).
+#[derive(Debug, Clone)]
+pub struct AlarmEngine {
+    config: AlarmConfig,
+    states: [KindState; AlarmKind::COUNT],
+    /// EWMA heart rate in bpm, seeded by the first RR interval.
+    hr_bpm: Option<f64>,
+    /// Ring of the last `pvc_window_beats` beat classes.
+    recent: [BeatClass; AlarmEngine::MAX_PVC_WINDOW],
+    recent_len: usize,
+    recent_head: usize,
+    last_beat_sample: Option<usize>,
+}
+
+impl AlarmEngine {
+    const MAX_PVC_WINDOW: usize = 32;
+
+    /// Builds an engine with the given thresholds.
+    pub fn new(config: AlarmConfig) -> Self {
+        assert!(
+            config.pvc_window_beats <= Self::MAX_PVC_WINDOW,
+            "pvc window is capped at {} beats",
+            Self::MAX_PVC_WINDOW
+        );
+        assert!(config.onset_beats >= 1, "onset hysteresis needs >= 1 beat");
+        AlarmEngine {
+            config,
+            states: [KindState::default(); AlarmKind::COUNT],
+            hr_bpm: None,
+            recent: [BeatClass::Normal; Self::MAX_PVC_WINDOW],
+            recent_len: 0,
+            recent_head: 0,
+            last_beat_sample: None,
+        }
+    }
+
+    /// The current severity of one alarm kind.
+    pub fn severity(&self, kind: AlarmKind) -> AlarmSeverity {
+        self.states[kind.index()].severity
+    }
+
+    /// True while any alarm kind is above `Normal`.
+    pub fn any_active(&self) -> bool {
+        self.states.iter().any(|s| s.severity > AlarmSeverity::Normal)
+    }
+
+    /// The smoothed heart-rate estimate in bpm, once seeded.
+    pub fn heart_rate_bpm(&self) -> Option<f64> {
+        self.hr_bpm
+    }
+
+    /// Evaluates one classified beat.
+    pub fn on_beat(&mut self, beat: &ClassifiedBeat, out: &mut Vec<AlarmTransition>) {
+        let cfg = self.config;
+        self.last_beat_sample = Some(beat.sample);
+
+        // Heart-rate EWMA over *all* beats: ectopy genuinely moves rate.
+        if beat.rr_samples > 0.0 {
+            let bpm = 60.0 * cfg.sample_rate_hz / beat.rr_samples;
+            let hr = self.hr_bpm.get_or_insert(bpm);
+            *hr += cfg.hr_alpha * (bpm - *hr);
+        }
+        let hr = match self.hr_bpm {
+            Some(hr) => hr,
+            None => return,
+        };
+
+        // Trailing beat-class window for PVC-run counting.
+        self.recent[self.recent_head] = beat.class;
+        self.recent_head = (self.recent_head + 1) % cfg.pvc_window_beats.max(1);
+        self.recent_len = (self.recent_len + 1).min(cfg.pvc_window_beats);
+        let pvc_count = self.recent[..self.recent_len]
+            .iter()
+            .filter(|&&c| c == BeatClass::Pvc)
+            .count();
+
+        let tachy = Self::grade_high(hr, cfg.tachy_warning_bpm, cfg.tachy_critical_bpm);
+        let brady = Self::grade_low(hr, cfg.brady_warning_bpm, cfg.brady_critical_bpm);
+        let pvc = Self::grade_count(pvc_count, cfg.pvc_run_warning, cfg.pvc_run_critical);
+
+        self.step(AlarmKind::Tachycardia, tachy, beat.sample, out);
+        self.step(AlarmKind::Bradycardia, brady, beat.sample, out);
+        self.step(AlarmKind::PvcRun, pvc, beat.sample, out);
+        // A beat is proof of electrical activity: clear asystole via the
+        // normal latch path.
+        self.step(AlarmKind::Asystole, AlarmSeverity::Normal, beat.sample, out);
+    }
+
+    /// Evaluates detection silence up to `now_sample`. Call this as the
+    /// signal clock advances even when no beat fires; `silence_floor` is
+    /// the most recent sample known to carry a beat or to be untrusted
+    /// (e.g. the end of a concealed window).
+    pub fn on_silence(
+        &mut self,
+        now_sample: usize,
+        silence_floor: usize,
+        out: &mut Vec<AlarmTransition>,
+    ) {
+        let cfg = self.config;
+        let anchor = self.last_beat_sample.unwrap_or(0).max(silence_floor);
+        let silence_s = now_sample.saturating_sub(anchor) as f64 / cfg.sample_rate_hz;
+        if silence_s > cfg.asystole_timeout_s {
+            // The timeout is the hysteresis: raise critical immediately.
+            let state = &mut self.states[AlarmKind::Asystole.index()];
+            state.last_abnormal_sample = now_sample;
+            state.clear_count = 0;
+            if state.severity < AlarmSeverity::Critical {
+                out.push(AlarmTransition {
+                    kind: AlarmKind::Asystole,
+                    from: state.severity,
+                    to: AlarmSeverity::Critical,
+                    sample: now_sample,
+                });
+                state.severity = AlarmSeverity::Critical;
+            }
+        }
+    }
+
+    fn grade_high(value: f64, warning: f64, critical: f64) -> AlarmSeverity {
+        if value > critical {
+            AlarmSeverity::Critical
+        } else if value > warning {
+            AlarmSeverity::Warning
+        } else {
+            AlarmSeverity::Normal
+        }
+    }
+
+    fn grade_low(value: f64, warning: f64, critical: f64) -> AlarmSeverity {
+        if value < critical {
+            AlarmSeverity::Critical
+        } else if value < warning {
+            AlarmSeverity::Warning
+        } else {
+            AlarmSeverity::Normal
+        }
+    }
+
+    fn grade_count(count: usize, warning: usize, critical: usize) -> AlarmSeverity {
+        if count >= critical {
+            AlarmSeverity::Critical
+        } else if count >= warning {
+            AlarmSeverity::Warning
+        } else {
+            AlarmSeverity::Normal
+        }
+    }
+
+    /// One hysteresis step for one alarm kind given this evaluation's
+    /// instantaneous severity.
+    fn step(
+        &mut self,
+        kind: AlarmKind,
+        observed: AlarmSeverity,
+        sample: usize,
+        out: &mut Vec<AlarmTransition>,
+    ) {
+        let cfg = self.config;
+        let state = &mut self.states[kind.index()];
+        let from = state.severity;
+        if observed > AlarmSeverity::Normal {
+            state.last_abnormal_sample = sample;
+            state.clear_count = 0;
+            if from == AlarmSeverity::Normal {
+                state.onset_count += 1;
+                if state.onset_count < cfg.onset_beats {
+                    return;
+                }
+            }
+            // Active alarms escalate immediately but never de-escalate
+            // here; de-escalation goes through the clear path.
+            let to = from.max(observed);
+            if to != from {
+                out.push(AlarmTransition { kind, from, to, sample });
+                state.severity = to;
+            }
+        } else {
+            state.onset_count = 0;
+            if from == AlarmSeverity::Normal {
+                return;
+            }
+            state.clear_count += 1;
+            if state.clear_count < cfg.clear_beats {
+                return;
+            }
+            if from == AlarmSeverity::Critical {
+                let quiet_s = sample.saturating_sub(state.last_abnormal_sample) as f64
+                    / cfg.sample_rate_hz;
+                if quiet_s < cfg.latch_holdoff_s {
+                    return;
+                }
+            }
+            out.push(AlarmTransition { kind, from, to: AlarmSeverity::Normal, sample });
+            state.severity = AlarmSeverity::Normal;
+            state.clear_count = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Feeds `n` beats of a fixed RR (in samples) starting at `start`.
+    fn feed_rr(
+        engine: &mut AlarmEngine,
+        start: usize,
+        rr: usize,
+        n: usize,
+        class: BeatClass,
+        out: &mut Vec<AlarmTransition>,
+    ) -> usize {
+        let mut at = start;
+        for _ in 0..n {
+            at += rr;
+            engine.on_beat(
+                &ClassifiedBeat { sample: at, class, rr_samples: rr as f64 },
+                out,
+            );
+        }
+        at
+    }
+
+    #[test]
+    fn tachycardia_raises_after_onset_hysteresis() {
+        let mut e = AlarmEngine::new(AlarmConfig::at_256_hz());
+        let mut out = Vec::new();
+        // 60 bpm baseline, then 160 bpm (rr = 96 samples @ 256 Hz).
+        let at = feed_rr(&mut e, 0, 256, 6, BeatClass::Normal, &mut out);
+        assert!(out.is_empty());
+        feed_rr(&mut e, at, 96, 12, BeatClass::Normal, &mut out);
+        assert_eq!(e.severity(AlarmKind::Tachycardia), AlarmSeverity::Critical);
+        // First transition must be >= onset_beats beats after the rate
+        // first crossed the threshold, and escalation follows.
+        assert!(out.iter().any(|t| t.kind == AlarmKind::Tachycardia
+            && t.to == AlarmSeverity::Critical));
+    }
+
+    #[test]
+    fn single_fast_beat_does_not_alarm() {
+        let mut e = AlarmEngine::new(AlarmConfig::at_256_hz());
+        let mut out = Vec::new();
+        let at = feed_rr(&mut e, 0, 256, 8, BeatClass::Normal, &mut out);
+        // One premature beat, then back to sinus.
+        feed_rr(&mut e, at, 120, 1, BeatClass::Normal, &mut out);
+        feed_rr(&mut e, at + 120, 256, 8, BeatClass::Normal, &mut out);
+        assert!(out.is_empty(), "unexpected transitions: {out:?}");
+    }
+
+    #[test]
+    fn warning_clears_after_quiet_beats() {
+        let mut cfg = AlarmConfig::at_256_hz();
+        cfg.clear_beats = 4;
+        let mut e = AlarmEngine::new(cfg);
+        let mut out = Vec::new();
+        // ~120 bpm -> warning only.
+        let at = feed_rr(&mut e, 0, 128, 10, BeatClass::Normal, &mut out);
+        assert_eq!(e.severity(AlarmKind::Tachycardia), AlarmSeverity::Warning);
+        out.clear();
+        // Back to 60 bpm; EWMA needs a few beats to fall below 110, then
+        // clear_beats more to release.
+        feed_rr(&mut e, at, 256, 20, BeatClass::Normal, &mut out);
+        assert_eq!(e.severity(AlarmKind::Tachycardia), AlarmSeverity::Normal);
+        assert!(out
+            .iter()
+            .any(|t| t.kind == AlarmKind::Tachycardia && t.to == AlarmSeverity::Normal));
+    }
+
+    #[test]
+    fn critical_latches_until_holdoff() {
+        let mut cfg = AlarmConfig::at_256_hz();
+        cfg.clear_beats = 2;
+        cfg.latch_holdoff_s = 6.0;
+        let mut e = AlarmEngine::new(cfg);
+        let mut out = Vec::new();
+        let at = feed_rr(&mut e, 0, 96, 12, BeatClass::Normal, &mut out); // 160 bpm
+        assert_eq!(e.severity(AlarmKind::Tachycardia), AlarmSeverity::Critical);
+        out.clear();
+        // Two quiet beats satisfy clear_beats but not the 6 s holdoff
+        // (2 beats at 60 bpm = 2 s of quiet).
+        let at = feed_rr(&mut e, at, 256, 2, BeatClass::Normal, &mut out);
+        assert_eq!(e.severity(AlarmKind::Tachycardia), AlarmSeverity::Critical);
+        // Six more seconds of sinus releases the latch straight to Normal.
+        feed_rr(&mut e, at, 256, 8, BeatClass::Normal, &mut out);
+        assert_eq!(e.severity(AlarmKind::Tachycardia), AlarmSeverity::Normal);
+        let release = out
+            .iter()
+            .find(|t| t.kind == AlarmKind::Tachycardia)
+            .expect("release transition");
+        assert_eq!(release.from, AlarmSeverity::Critical);
+        assert_eq!(release.to, AlarmSeverity::Normal);
+    }
+
+    #[test]
+    fn pvc_run_grades_by_window_count() {
+        let mut e = AlarmEngine::new(AlarmConfig::at_256_hz());
+        let mut out = Vec::new();
+        let at = feed_rr(&mut e, 0, 256, 6, BeatClass::Normal, &mut out);
+        // Five PVCs in a row: crosses warning at 3, critical at 5 (after
+        // onset hysteresis).
+        feed_rr(&mut e, at, 200, 5, BeatClass::Pvc, &mut out);
+        assert_eq!(e.severity(AlarmKind::PvcRun), AlarmSeverity::Critical);
+    }
+
+    #[test]
+    fn asystole_fires_on_silence_and_clears_on_beats() {
+        let mut cfg = AlarmConfig::at_256_hz();
+        cfg.clear_beats = 3;
+        cfg.latch_holdoff_s = 2.0;
+        let mut e = AlarmEngine::new(cfg);
+        let mut out = Vec::new();
+        let at = feed_rr(&mut e, 0, 256, 4, BeatClass::Normal, &mut out);
+        // 5 s of silence at 256 Hz.
+        e.on_silence(at + 5 * 256, 0, &mut out);
+        assert_eq!(e.severity(AlarmKind::Asystole), AlarmSeverity::Critical);
+        assert!(out
+            .iter()
+            .any(|t| t.kind == AlarmKind::Asystole && t.to == AlarmSeverity::Critical));
+        out.clear();
+        // Rhythm returns; after clear_beats + holdoff the latch releases.
+        feed_rr(&mut e, at + 5 * 256, 256, 6, BeatClass::Normal, &mut out);
+        assert_eq!(e.severity(AlarmKind::Asystole), AlarmSeverity::Normal);
+    }
+
+    #[test]
+    fn concealed_floor_suppresses_asystole() {
+        let mut e = AlarmEngine::new(AlarmConfig::at_256_hz());
+        let mut out = Vec::new();
+        let at = feed_rr(&mut e, 0, 256, 4, BeatClass::Normal, &mut out);
+        // 6 s elapse but the last 5.5 s were concealed: the floor moves
+        // with the concealment and asystole must not fire.
+        let now = at + 6 * 256;
+        e.on_silence(now, now - 128, &mut out);
+        assert_eq!(e.severity(AlarmKind::Asystole), AlarmSeverity::Normal);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn bradycardia_grades_low_rates() {
+        let mut e = AlarmEngine::new(AlarmConfig::at_256_hz());
+        let mut out = Vec::new();
+        // 35 bpm: rr = 256 * 60/35 ≈ 439 samples.
+        feed_rr(&mut e, 0, 439, 10, BeatClass::Normal, &mut out);
+        assert_eq!(e.severity(AlarmKind::Bradycardia), AlarmSeverity::Critical);
+    }
+}

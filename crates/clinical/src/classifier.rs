@@ -1,0 +1,310 @@
+//! Beat classification from RR intervals and crest morphology.
+//!
+//! The synthesizer's ectopic beats (and their MIT-BIH archetypes) are
+//! separable on two axes the streaming detector already produces:
+//!
+//! * **Prematurity** — a PVC arrives at ~0.65× the running RR, an APC at
+//!   ~0.8×; sinus variability stays within a few percent.
+//! * **Morphology** — a PVC's wide, deep QRS integrates far more energy
+//!   under the Pan–Tompkins moving window than a narrow complex, so the
+//!   detection crest (already computed for thresholding) doubles as a
+//!   width/amplitude feature at zero extra cost.
+//!
+//! Both running references (RR and crest EWMAs) update **only on beats
+//! classified normal**, so a run of ectopy cannot drag the baseline
+//! toward itself and mask the run.
+
+use cs_telemetry::BeatClass;
+
+/// Thresholds of the RR/morphology classifier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeatClassifierConfig {
+    /// RR ratio below which a beat counts as premature at all.
+    pub premature_rr_ratio: f64,
+    /// Crest-energy ratio (vs the sinus EWMA) above which a premature
+    /// beat is classified ventricular. Morphology confirmation is
+    /// **mandatory** for the PVC call: prematurity alone also describes
+    /// every beat of a sudden sustained supraventricular tachycardia,
+    /// and labelling an SVT run "PVC run" would fire the wrong alarm.
+    /// The synthesizer's wide, tall ventricular complexes integrate
+    /// over an order of magnitude hotter than narrow beats, so this
+    /// threshold has enormous margin on both sides.
+    pub pvc_crest_ratio: f64,
+    /// RR ratio above which an interval is a pause (a missed or
+    /// concealed beat, a compensatory gap) rather than sinus timing.
+    /// Pause intervals never update the references: one dropout must
+    /// not poison the baseline every later beat is judged against.
+    pub pause_rr_ratio: f64,
+    /// EWMA weight of a new normal beat in the RR / crest references.
+    pub alpha: f64,
+    /// Consecutive *regular* off-baseline intervals after which the
+    /// references re-seed at the new rate. Freezing the baseline against
+    /// ectopy deadlocks on a sustained rate change (after a bradycardic
+    /// spell every sinus beat reads premature forever); a metronomic
+    /// streak this long is a new baseline, not ectopy — rate alarms own
+    /// sustained rate shifts. Irregular rhythms (bigeminy, mixed PVC
+    /// runs) break the streak and never resync.
+    pub resync_beats: usize,
+    /// Relative RR deviation tolerated within a resync streak.
+    pub resync_tolerance: f64,
+}
+
+impl Default for BeatClassifierConfig {
+    fn default() -> Self {
+        BeatClassifierConfig {
+            premature_rr_ratio: 0.875,
+            pvc_crest_ratio: 2.0,
+            pause_rr_ratio: 1.75,
+            alpha: 0.125,
+            resync_beats: 8,
+            resync_tolerance: 0.125,
+        }
+    }
+}
+
+/// A classified beat.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassifiedBeat {
+    /// Absolute sample index of the R peak.
+    pub sample: usize,
+    /// Assigned class.
+    pub class: BeatClass,
+    /// The RR interval that led to the classification, in samples.
+    pub rr_samples: f64,
+}
+
+/// The streaming beat classifier. Feed it detections in order; the
+/// first detection of a record establishes timing and emits no beat
+/// (there is no RR interval yet).
+#[derive(Debug, Clone)]
+pub struct BeatClassifier {
+    config: BeatClassifierConfig,
+    last_sample: Option<usize>,
+    /// Sinus RR reference in samples.
+    rr_ewma: Option<f64>,
+    /// Sinus crest-energy reference.
+    crest_ewma: Option<f64>,
+    /// Length of the current regular off-baseline streak.
+    streak: usize,
+    /// Running mean RR / crest of that streak.
+    streak_rr: f64,
+    streak_crest: f64,
+}
+
+impl BeatClassifier {
+    /// Builds a classifier with the given thresholds.
+    pub fn new(config: BeatClassifierConfig) -> Self {
+        BeatClassifier {
+            config,
+            last_sample: None,
+            rr_ewma: None,
+            crest_ewma: None,
+            streak: 0,
+            streak_rr: 0.0,
+            streak_crest: 0.0,
+        }
+    }
+
+    /// The sinus RR reference in samples, once established.
+    pub fn sinus_rr_samples(&self) -> Option<f64> {
+        self.rr_ewma
+    }
+
+    /// Classifies the next detection. Returns `None` for the very first
+    /// detection (no interval exists yet).
+    pub fn classify(&mut self, sample: usize, crest: f64) -> Option<ClassifiedBeat> {
+        let Some(last) = self.last_sample.replace(sample) else {
+            self.crest_ewma = Some(crest);
+            return None;
+        };
+        let rr = sample.saturating_sub(last) as f64;
+        let cfg = self.config;
+        let Some(rr_ref) = self.rr_ewma else {
+            // Second detection: the interval seeds the sinus reference.
+            self.rr_ewma = Some(rr);
+            return Some(ClassifiedBeat { sample, class: BeatClass::Normal, rr_samples: rr });
+        };
+        let rr_ratio = rr / rr_ref;
+        let crest_ratio = self.crest_ewma.map_or(1.0, |c| crest / c);
+        let class = if rr_ratio < cfg.premature_rr_ratio {
+            if crest_ratio > cfg.pvc_crest_ratio {
+                BeatClass::Pvc
+            } else {
+                BeatClass::Apc
+            }
+        } else {
+            BeatClass::Normal
+        };
+        if class == BeatClass::Normal && rr_ratio <= cfg.pause_rr_ratio {
+            self.rr_ewma = Some(rr_ref + cfg.alpha * (rr - rr_ref));
+            let c = self.crest_ewma.get_or_insert(crest);
+            *c += cfg.alpha * (crest - *c);
+            self.streak = 0;
+        } else {
+            // Off-baseline interval: premature, or held out by the pause
+            // guard. A long metronomic streak of these is a sustained
+            // rate change, and the frozen references would otherwise
+            // misread the new rhythm forever.
+            let regular = self.streak > 0
+                && (rr - self.streak_rr).abs() <= cfg.resync_tolerance * self.streak_rr;
+            if regular {
+                let k = self.streak as f64;
+                self.streak_rr += (rr - self.streak_rr) / (k + 1.0);
+                self.streak_crest += (crest - self.streak_crest) / (k + 1.0);
+                self.streak += 1;
+            } else {
+                self.streak = 1;
+                self.streak_rr = rr;
+                self.streak_crest = crest;
+            }
+            if self.streak >= cfg.resync_beats.max(2) {
+                self.rr_ewma = Some(self.streak_rr);
+                self.crest_ewma = Some(self.streak_crest);
+                self.streak = 0;
+            }
+        }
+        Some(ClassifiedBeat { sample, class, rr_samples: rr })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(classifier: &mut BeatClassifier, beats: &[(usize, f64)]) -> Vec<BeatClass> {
+        beats
+            .iter()
+            .filter_map(|&(s, c)| classifier.classify(s, c))
+            .map(|b| b.class)
+            .collect()
+    }
+
+    #[test]
+    fn steady_sinus_is_normal() {
+        let mut c = BeatClassifier::new(BeatClassifierConfig::default());
+        let beats: Vec<(usize, f64)> = (1..10).map(|i| (i * 200, 1.0)).collect();
+        let classes = feed(&mut c, &beats);
+        assert!(classes.iter().all(|&b| b == BeatClass::Normal));
+        assert!((c.sinus_rr_samples().unwrap() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn premature_wide_beat_is_pvc() {
+        let mut c = BeatClassifier::new(BeatClassifierConfig::default());
+        feed(&mut c, &[(200, 1.0), (400, 1.0), (600, 1.0), (800, 1.0)]);
+        // 0.65× the established RR, triple the crest.
+        let b = c.classify(930, 3.0).unwrap();
+        assert_eq!(b.class, BeatClass::Pvc);
+    }
+
+    #[test]
+    fn premature_narrow_beat_is_apc() {
+        let mut c = BeatClassifier::new(BeatClassifierConfig::default());
+        feed(&mut c, &[(200, 1.0), (400, 1.0), (600, 1.0), (800, 1.0)]);
+        // 0.8× the established RR, sinus morphology.
+        let b = c.classify(960, 1.0).unwrap();
+        assert_eq!(b.class, BeatClass::Apc);
+    }
+
+    #[test]
+    fn border_zone_prematurity_with_hot_crest_is_pvc() {
+        let mut c = BeatClassifier::new(BeatClassifierConfig::default());
+        feed(&mut c, &[(200, 1.0), (400, 1.0), (600, 1.0), (800, 1.0)]);
+        let b = c.classify(960, 2.5).unwrap();
+        assert_eq!(b.class, BeatClass::Pvc);
+    }
+
+    #[test]
+    fn sustained_rate_jump_is_not_a_pvc_run() {
+        // A sudden SVT: every beat premature vs the frozen sinus
+        // reference, but narrow — must read as APC, never PVC, and after
+        // `resync_beats` metronomic intervals the new rate becomes the
+        // baseline (rate alarms own sustained tachycardia).
+        let mut c = BeatClassifier::new(BeatClassifierConfig::default());
+        feed(&mut c, &[(200, 1.0), (400, 1.0), (600, 1.0), (800, 1.0)]);
+        for k in 0..12 {
+            let b = c.classify(900 + k * 100, 1.0).unwrap();
+            if k < 8 {
+                assert_eq!(b.class, BeatClass::Apc, "beat {k}");
+            } else {
+                assert_eq!(b.class, BeatClass::Normal, "beat {k} after resync");
+            }
+        }
+        assert!((c.sinus_rr_samples().unwrap() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bradycardia_recovery_resyncs_the_reference() {
+        // 32 s at a slow rate drags the reference to RR 400; when sinus
+        // resumes at RR 200 every beat reads premature against it. The
+        // resync streak must recover the baseline instead of labelling
+        // normal rhythm ectopic forever.
+        let mut c = BeatClassifier::new(BeatClassifierConfig::default());
+        let mut t = 0;
+        for _ in 0..4 {
+            t += 200;
+            c.classify(t, 1.0);
+        }
+        for _ in 0..40 {
+            t += 400; // pause-guarded at first, then resynced to RR 400
+            c.classify(t, 1.0);
+        }
+        let mut classes = Vec::new();
+        for _ in 0..12 {
+            t += 200;
+            classes.push(c.classify(t, 1.0).unwrap().class);
+        }
+        assert!(
+            classes[8..].iter().all(|&cl| cl == BeatClass::Normal),
+            "post-brady sinus still misread: {classes:?}"
+        );
+        assert!((c.sinus_rr_samples().unwrap() - 200.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn bigeminy_never_resyncs() {
+        // Alternating normal/PVC: the off-baseline streak is broken every
+        // other beat, so the sinus reference must survive untouched.
+        let mut c = BeatClassifier::new(BeatClassifierConfig::default());
+        feed(&mut c, &[(200, 1.0), (400, 1.0), (600, 1.0), (800, 1.0)]);
+        let mut t = 800;
+        for _ in 0..10 {
+            t += 130; // premature, wide
+            assert_eq!(c.classify(t, 5.0).unwrap().class, BeatClass::Pvc);
+            t += 270; // compensatory interval back on baseline
+            c.classify(t, 1.0).unwrap();
+        }
+        // The compensatory intervals drift the EWMA upward a little
+        // (they pass the pause guard), but the reference must never
+        // resync down to the premature RR.
+        assert!(c.sinus_rr_samples().unwrap() > 180.0);
+    }
+
+    #[test]
+    fn ectopy_does_not_drag_the_reference() {
+        let mut c = BeatClassifier::new(BeatClassifierConfig::default());
+        feed(&mut c, &[(200, 1.0), (400, 1.0), (600, 1.0), (800, 1.0)]);
+        let rr_before = c.sinus_rr_samples().unwrap();
+        c.classify(930, 3.0).unwrap(); // PVC
+        assert_eq!(c.sinus_rr_samples().unwrap(), rr_before);
+    }
+
+    #[test]
+    fn pause_interval_does_not_poison_the_reference() {
+        let mut c = BeatClassifier::new(BeatClassifierConfig::default());
+        feed(&mut c, &[(200, 1.0), (400, 1.0), (600, 1.0), (800, 1.0)]);
+        // A 1600-sample dropout gap, then sinus resumes at RR 200.
+        let gap = c.classify(2400, 1.0).unwrap();
+        assert_eq!(gap.class, BeatClass::Normal);
+        assert!((c.sinus_rr_samples().unwrap() - 200.0).abs() < 1e-9);
+        let resumed = c.classify(2600, 1.0).unwrap();
+        assert_eq!(resumed.class, BeatClass::Normal);
+    }
+
+    #[test]
+    fn first_detection_emits_nothing() {
+        let mut c = BeatClassifier::new(BeatClassifierConfig::default());
+        assert!(c.classify(100, 1.0).is_none());
+        assert!(c.classify(300, 1.0).is_some());
+    }
+}

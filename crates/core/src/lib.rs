@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod adaptive;
 mod baseline;
 mod batch;
 mod codebook;
@@ -64,6 +65,10 @@ mod packet;
 mod pipeline;
 mod stream;
 
+pub use adaptive::{
+    AdaptiveDecoder, AdaptiveEncoder, ClinicalFeedback, FidelitySchedule, FidelityTier,
+    TierController,
+};
 pub use baseline::{BaselinePacket, DwtThresholdCodec};
 pub use batch::{BatchDecodeWorkspace, BatchScheduler};
 pub use codebook::{train_codebook, uniform_codebook};

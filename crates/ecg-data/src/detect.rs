@@ -126,8 +126,31 @@ pub fn detect_r_peaks(signal: &[f64], config: &QrsDetectorConfig) -> Vec<usize> 
     let mut spki = 0.5 * init_peak;
     let mut npki = 0.05 * init_peak;
     let frac = config.threshold_fraction;
+    // Pan–Tompkins searchback state: the running RR average and the best
+    // sub-threshold crest seen since the last accepted beat. When no beat
+    // arrives for 1.66× the expected RR, the detector has almost
+    // certainly *missed* one (a run of tall ectopics ratchets SPKI up
+    // faster than normal beats can pull it down), so the strongest
+    // rejected crest in the gap is accepted at half threshold and SPKI is
+    // yanked toward it — without this the miss is self-reinforcing: only
+    // ectopics keep crossing the inflated threshold, and each one feeds
+    // SPKI again.
+    let mut rr_avg: Option<f64> = None;
+    let mut candidate: Option<(usize, f64)> = None;
     let mut detections: Vec<usize> = Vec::new();
     for i in 1..integrated.len().saturating_sub(1) {
+        if let (Some(&last), Some(rr), Some((cand, cv))) =
+            (detections.last(), rr_avg, candidate)
+        {
+            if i.saturating_sub(last) as f64 > SEARCHBACK_RR_FACTOR * rr
+                && cand.saturating_sub(last) > refractory
+            {
+                detections.push(cand);
+                spki = 0.25 * cv.min(2.0 * spki) + 0.75 * spki;
+                rr_avg = Some(rr + 0.125 * ((cand - last) as f64 - rr));
+                candidate = None;
+            }
+        }
         let v = integrated[i];
         // Local maxima of the integrated energy only.
         if !(v >= integrated[i - 1] && v >= integrated[i + 1] && v > 0.0) {
@@ -139,35 +162,59 @@ pub fn detect_r_peaks(signal: &[f64], config: &QrsDetectorConfig) -> Vec<usize> 
             .is_some_and(|&last| i.saturating_sub(last) <= refractory);
         if v > threshold && !in_refractory {
             // Refine to the band-passed extremum near the crest.
-            let start = i.saturating_sub(w);
-            let end = (i + w / 2).min(band.len() - 1);
-            let refined = (start..=end)
-                .max_by(|&a, &b| {
-                    band[a]
-                        .abs()
-                        .partial_cmp(&band[b].abs())
-                        .expect("finite band values")
-                })
-                .unwrap_or(i);
+            let refined = refine_crest(&band, i, w);
             if detections
                 .last()
                 .is_none_or(|&last| refined.saturating_sub(last) > refractory)
             {
+                if let Some(&last) = detections.last() {
+                    let rr = (refined - last) as f64;
+                    rr_avg = Some(match rr_avg {
+                        Some(avg) => avg + 0.125 * (rr - avg),
+                        None => rr,
+                    });
+                }
                 detections.push(refined);
+                candidate = None;
                 // Cap the contribution of one crest so a single giant
                 // ectopic beat cannot launch SPKI out of reach of the
                 // following normal beats.
-                spki = 0.125 * v.min(4.0 * spki) + 0.875 * spki;
+                spki = 0.125 * v.min(2.0 * spki) + 0.875 * spki;
                 continue;
             }
         }
         if !in_refractory {
+            if v > 0.5 * threshold {
+                let refined = refine_crest(&band, i, w);
+                if candidate.is_none_or(|(_, cv)| v > cv) {
+                    candidate = Some((refined, v));
+                }
+            }
             npki = 0.125 * v.min(spki) + 0.875 * npki;
             // Noise estimate may never swallow the signal estimate.
             npki = npki.min(0.8 * spki);
         }
     }
     detections
+}
+
+/// Gap length, as a multiple of the running RR average, after which the
+/// searchback accepts the best half-threshold crest (Pan–Tompkins 1985).
+pub const SEARCHBACK_RR_FACTOR: f64 = 1.66;
+
+/// Refines an integrated-energy crest at `i` to the band-passed extremum
+/// in the window `[i − w, i + w/2]`.
+fn refine_crest(band: &[f64], i: usize, w: usize) -> usize {
+    let start = i.saturating_sub(w);
+    let end = (i + w / 2).min(band.len() - 1);
+    (start..=end)
+        .max_by(|&a, &b| {
+            band[a]
+                .abs()
+                .partial_cmp(&band[b].abs())
+                .expect("finite band values")
+        })
+        .unwrap_or(i)
 }
 
 /// Sensitivity and positive predictivity of detections against annotated

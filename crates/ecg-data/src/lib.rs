@@ -51,7 +51,7 @@ pub mod wfdb;
 
 pub use adc::AdcModel;
 pub use database::{DatabaseConfig, SyntheticDatabase};
-pub use detect::{detect_r_peaks, score_detections, QrsDetectorConfig};
+pub use detect::{detect_r_peaks, score_detections, QrsDetectorConfig, SEARCHBACK_RR_FACTOR};
 pub use model::{BeatAnnotation, BeatType, EcgModel, EcgModelConfig, RhythmConfig};
 pub use noise::{contaminate, noise_trace, NoiseConfig};
 pub use record::Record;

@@ -11,17 +11,26 @@
 //! cargo run --release -p cs-ingest --bin cs-ingestd -- \
 //!     [--listen 127.0.0.1:7411] [--metrics 127.0.0.1:9464] \
 //!     [--workers 0] [--feed-capacity 256] [--max-sessions 1024] \
-//!     [--shed-backlog 256] [--handshake-ms 2000] [--idle-ms 30000]
+//!     [--shed-backlog 256] [--handshake-ms 2000] [--idle-ms 30000] \
+//!     [--archive DIR]
 //! ```
+//!
+//! With `--archive DIR` every accepted wire frame is also appended to a
+//! durable [`ArchiveSink`] under `DIR` before decode, so an operator can
+//! replay the exact ingested traffic later (`archive_replay`). The sink
+//! is flushed and sealed during drain; a sink failure fails the daemon
+//! rather than silently dropping history.
 
+use cs_archive::{ArchiveConfig, ArchiveSink};
 use cs_core::{
-    run_fleet_wire_stream, uniform_codebook, FleetConfig, SolverPolicy, SystemConfig, WireFrame,
+    run_fleet_wire_stream, run_fleet_wire_stream_archived, uniform_codebook, FleetConfig,
+    SolverPolicy, SystemConfig, WireFrame,
 };
 use cs_ingest::{IngestConfig, IngestServer};
 use cs_telemetry::{MetricsServer, TelemetryRegistry};
 use std::io::BufRead;
 use std::process::ExitCode;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 struct Settings {
@@ -29,6 +38,7 @@ struct Settings {
     metrics: String,
     workers: usize,
     feed_capacity: usize,
+    archive: Option<std::path::PathBuf>,
     ingest: IngestConfig,
 }
 
@@ -39,6 +49,7 @@ impl Settings {
             metrics: "127.0.0.1:9464".to_string(),
             workers: 0,
             feed_capacity: 256,
+            archive: None,
             ingest: IngestConfig::default(),
         };
         let mut args = std::env::args().skip(1);
@@ -53,6 +64,7 @@ impl Settings {
                 "--feed-capacity" => {
                     s.feed_capacity = value("--feed-capacity").parse().expect("--feed-capacity")
                 }
+                "--archive" => s.archive = Some(value("--archive").into()),
                 "--max-sessions" => {
                     s.ingest.max_sessions = value("--max-sessions").parse().expect("--max-sessions")
                 }
@@ -87,13 +99,37 @@ fn main() -> ExitCode {
     let telemetry = TelemetryRegistry::new();
     let (feed, source) = crossbeam::channel::bounded::<WireFrame>(settings.feed_capacity);
 
+    // The archive tap, when requested, sits between deframe and decode:
+    // every accepted frame is persisted before any solver touches it.
+    let sink = match &settings.archive {
+        Some(root) => match ArchiveSink::create(root, ArchiveConfig::default()) {
+            Ok(sink) => Some(Arc::new(Mutex::new(sink))),
+            Err(e) => {
+                eprintln!("cs-ingestd: archive sink {} failed: {e}", root.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
     let engine = {
         let config = config.clone();
         let codebook = Arc::clone(&codebook);
         let telemetry = telemetry.clone();
         let fleet = FleetConfig { workers: settings.workers, ..FleetConfig::default() };
-        std::thread::spawn(move || {
-            run_fleet_wire_stream::<f32, _>(
+        let sink = sink.clone();
+        std::thread::spawn(move || match &sink {
+            Some(sink) => run_fleet_wire_stream_archived::<f32, _>(
+                &config,
+                codebook,
+                source,
+                SolverPolicy::default(),
+                &fleet,
+                &telemetry,
+                &**sink,
+                |_packet| {},
+            ),
+            None => run_fleet_wire_stream::<f32, _>(
                 &config,
                 codebook,
                 source,
@@ -101,7 +137,7 @@ fn main() -> ExitCode {
                 &fleet,
                 &telemetry,
                 |_packet| {},
-            )
+            ),
         })
     };
 
@@ -129,6 +165,9 @@ fn main() -> ExitCode {
         server.local_addr(),
         metrics.local_addr()
     );
+    if let Some(root) = &settings.archive {
+        eprintln!("cs-ingestd: archiving accepted frames under {}", root.display());
+    }
 
     // Block on stdin: EOF or a "drain" line starts the graceful drain.
     let stdin = std::io::stdin();
@@ -152,6 +191,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Seal the archive only after the engine has returned: the engine
+    // owns the last writes, and a seal failure means lost history.
+    if let Some(sink) = sink {
+        let sink = Arc::into_inner(sink)
+            .expect("engine joined, so the archive sink has one owner")
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Err(e) = sink.finish() {
+            eprintln!("cs-ingestd: archive seal failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let faults = &report.faults;
     println!(
         "{{\"sessions\":{},\"patients\":{},\"frames\":{},\"bytes\":{},\"sheds\":{},\

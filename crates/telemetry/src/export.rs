@@ -181,6 +181,73 @@ pub fn prometheus(snap: &TelemetrySnapshot) -> String {
     for (op, count) in &snap.archive_ops {
         let _ = writeln!(out, "cs_archive_total{{op=\"{}\"}} {count}", op.name());
     }
+    // ── Clinical analysis families (only once the clinical layer has
+    // classified a beat, scored a detection, or touched an alarm —
+    // fleets without a clinical tap export nothing). ──
+    let clinical_active = snap.beats.iter().any(|(_, c)| *c > 0)
+        || snap.alarms.iter().any(|(_, c)| c.raised > 0)
+        || snap.alarms_suppressed > 0
+        || snap.qrs_true_positive + snap.qrs_false_positive + snap.qrs_false_negative > 0;
+    if clinical_active {
+        out.push_str("# HELP cs_beat_total Classified beats by class\n");
+        out.push_str("# TYPE cs_beat_total counter\n");
+        // Every class explicit, zero or not: a dashboard watching PVC
+        // rates must see 0, not a missing series.
+        for (class, count) in &snap.beats {
+            let _ = writeln!(out, "cs_beat_total{{class=\"{}\"}} {count}", class.name());
+        }
+        out.push_str("# HELP cs_alarm_raised_total Alarm activations by kind\n");
+        out.push_str("# TYPE cs_alarm_raised_total counter\n");
+        for (kind, counts) in &snap.alarms {
+            let _ = writeln!(
+                out,
+                "cs_alarm_raised_total{{kind=\"{}\"}} {}",
+                kind.name(),
+                counts.raised
+            );
+        }
+        out.push_str("# HELP cs_alarm_cleared_total Alarm clearances by kind\n");
+        out.push_str("# TYPE cs_alarm_cleared_total counter\n");
+        for (kind, counts) in &snap.alarms {
+            let _ = writeln!(
+                out,
+                "cs_alarm_cleared_total{{kind=\"{}\"}} {}",
+                kind.name(),
+                counts.cleared
+            );
+        }
+        out.push_str("# HELP cs_alarm_active Currently active alarms by kind\n");
+        out.push_str("# TYPE cs_alarm_active gauge\n");
+        for (kind, counts) in &snap.alarms {
+            let _ = writeln!(
+                out,
+                "cs_alarm_active{{kind=\"{}\"}} {}",
+                kind.name(),
+                counts.active
+            );
+        }
+        out.push_str(
+            "# HELP cs_alarm_suppressed_total Alarm evaluations suppressed over concealed windows\n",
+        );
+        out.push_str("# TYPE cs_alarm_suppressed_total counter\n");
+        let _ = writeln!(out, "cs_alarm_suppressed_total {}", snap.alarms_suppressed);
+        // QRS score gauges appear only once their denominators are
+        // non-zero — a ratio over nothing is a lie, not a zero.
+        if let Some(sens) = snap.qrs_sensitivity() {
+            out.push_str(
+                "# HELP cs_qrs_sensitivity Streaming QRS detection sensitivity vs annotations\n",
+            );
+            out.push_str("# TYPE cs_qrs_sensitivity gauge\n");
+            let _ = writeln!(out, "cs_qrs_sensitivity {sens}");
+        }
+        if let Some(ppv) = snap.qrs_ppv() {
+            out.push_str(
+                "# HELP cs_qrs_ppv Streaming QRS detection positive predictive value vs annotations\n",
+            );
+            out.push_str("# TYPE cs_qrs_ppv gauge\n");
+            let _ = writeln!(out, "cs_qrs_ppv {ppv}");
+        }
+    }
     out.push_str("# HELP cs_journal_traces Event-journal accounting\n");
     out.push_str("# TYPE cs_journal_traces gauge\n");
     let _ = writeln!(out, "cs_journal_traces{{state=\"buffered\"}} {}", snap.journal_len);
@@ -341,8 +408,11 @@ fn stage_json(name: &str, hist: &HistogramSnapshot, out: &mut String) {
 /// `solver_iterations` (per-mode iteration stats), `e2e` (per-patient
 /// end-to-end latency), `slo` (per-patient health, freshness, burn
 /// rates, lane watermarks), optional `ingest` (socket-session lifecycle,
-/// present once a session was admitted or shed), `scrapes` (zero counts
-/// elided), optional `render` (exporter self-observation), `journal`.
+/// present once a session was admitted or shed), optional `clinical`
+/// (beat classes, alarm counters, concealment suppressions, QRS score —
+/// present once the clinical layer has recorded anything), `scrapes`
+/// (zero counts elided), optional `render` (exporter self-observation),
+/// `journal`.
 pub fn json_line(snap: &TelemetrySnapshot) -> String {
     let mut out = String::new();
     let _ = write!(
@@ -504,6 +574,56 @@ pub fn json_line(snap: &TelemetrySnapshot) -> String {
             }
             first = false;
             let _ = write!(out, "\"{}\":{count}", reason.name());
+        }
+        out.push_str("}}");
+    }
+    let clinical_active = snap.beats.iter().any(|(_, c)| *c > 0)
+        || snap.alarms.iter().any(|(_, c)| c.raised > 0)
+        || snap.alarms_suppressed > 0
+        || snap.qrs_true_positive + snap.qrs_false_positive + snap.qrs_false_negative > 0;
+    if clinical_active {
+        out.push_str(",\"clinical\":{\"beats\":{");
+        let mut first = true;
+        for (class, count) in &snap.beats {
+            if *count == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{count}", class.name());
+        }
+        out.push_str("},\"alarms\":{");
+        let mut first = true;
+        for (kind, counts) in &snap.alarms {
+            if counts.raised == 0 && counts.active == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\"{}\":{{\"raised\":{},\"cleared\":{},\"active\":{}}}",
+                kind.name(),
+                counts.raised,
+                counts.cleared,
+                counts.active
+            );
+        }
+        let _ = write!(out, "}},\"suppressed\":{}", snap.alarms_suppressed);
+        let _ = write!(
+            out,
+            ",\"qrs\":{{\"tp\":{},\"fp\":{},\"fn\":{}",
+            snap.qrs_true_positive, snap.qrs_false_positive, snap.qrs_false_negative
+        );
+        if let Some(sens) = snap.qrs_sensitivity() {
+            let _ = write!(out, ",\"sensitivity\":{sens:.4}");
+        }
+        if let Some(ppv) = snap.qrs_ppv() {
+            let _ = write!(out, ",\"ppv\":{ppv:.4}");
         }
         out.push_str("}}");
     }
@@ -772,6 +892,65 @@ mod tests {
         // The gauge saturates instead of wrapping on an unpaired exit.
         reg.ingest_session_exit(IngestState::Draining);
         assert_eq!(reg.ingest_sessions(IngestState::Draining), 0);
+    }
+
+    #[test]
+    fn clinical_families_exported_in_both_formats() {
+        let reg = sample_registry();
+        // Without clinical activity, neither format mentions the layer.
+        assert!(!reg.prometheus().contains("cs_beat_total"));
+        assert!(!reg.prometheus().contains("cs_alarm_"));
+        assert!(!reg.json_line().contains("\"clinical\""));
+
+        use crate::{AlarmKind, BeatClass};
+        reg.record_beat(BeatClass::Normal);
+        reg.record_beat(BeatClass::Normal);
+        reg.record_beat(BeatClass::Pvc);
+        reg.record_alarm_raised(AlarmKind::PvcRun);
+        reg.record_alarm_raised(AlarmKind::Tachycardia);
+        reg.record_alarm_cleared(AlarmKind::Tachycardia);
+        reg.record_alarm_suppressed();
+        reg.record_qrs_score(19, 1, 1);
+
+        let text = reg.prometheus();
+        assert!(text.contains("# TYPE cs_beat_total counter"));
+        assert!(text.contains("cs_beat_total{class=\"normal\"} 2"));
+        assert!(text.contains("cs_beat_total{class=\"pvc\"} 1"));
+        // Zero-count classes stay present as explicit zeroes.
+        assert!(text.contains("cs_beat_total{class=\"apc\"} 0"));
+        assert!(text.contains("cs_alarm_raised_total{kind=\"pvc_run\"} 1"));
+        assert!(text.contains("cs_alarm_raised_total{kind=\"asystole\"} 0"));
+        assert!(text.contains("cs_alarm_cleared_total{kind=\"tachycardia\"} 1"));
+        assert!(text.contains("cs_alarm_active{kind=\"pvc_run\"} 1"));
+        assert!(text.contains("cs_alarm_active{kind=\"tachycardia\"} 0"));
+        assert!(text.contains("cs_alarm_suppressed_total 1"));
+        assert!(text.contains("cs_qrs_sensitivity 0.95"));
+        assert!(text.contains("cs_qrs_ppv 0.95"));
+
+        let line = reg.json_line();
+        assert!(line.contains("\"clinical\":{\"beats\":{\"normal\":2,\"pvc\":1}"));
+        assert!(line.contains(
+            "\"alarms\":{\"pvc_run\":{\"raised\":1,\"cleared\":0,\"active\":1},\
+             \"tachycardia\":{\"raised\":1,\"cleared\":1,\"active\":0}}"
+        ));
+        assert!(line.contains("\"suppressed\":1"));
+        assert!(line.contains(
+            "\"qrs\":{\"tp\":19,\"fp\":1,\"fn\":1,\"sensitivity\":0.9500,\"ppv\":0.9500}"
+        ));
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+    }
+
+    #[test]
+    fn qrs_gauges_absent_until_denominators_exist() {
+        let reg = sample_registry();
+        // Only false positives: PPV has a denominator, sensitivity not.
+        reg.record_qrs_score(0, 3, 0);
+        let text = reg.prometheus();
+        assert!(!text.contains("cs_qrs_sensitivity"));
+        assert!(text.contains("cs_qrs_ppv 0"));
+        let line = reg.json_line();
+        assert!(line.contains("\"qrs\":{\"tp\":0,\"fp\":3,\"fn\":0,\"ppv\":0.0000}"));
+        assert!(!line.contains("sensitivity"));
     }
 
     #[test]

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod archive;
+pub mod clinical;
 pub mod export;
 pub mod fault;
 pub mod histogram;
@@ -42,6 +43,7 @@ pub mod stage;
 pub mod trace;
 
 pub use archive::ArchiveOp;
+pub use clinical::{AlarmKind, AlarmSeverity, BeatClass};
 pub use export::{escape_label, json_line, prometheus, Every, REPORT_QUANTILES};
 pub use fault::FaultKind;
 pub use histogram::{bucket_upper, Histogram, HistogramSnapshot, BUCKETS};
@@ -49,7 +51,8 @@ pub use ingest::{IngestDisconnect, IngestState};
 pub use journal::{Journal, SolveTrace};
 pub use mode::SolverMode;
 pub use registry::{
-    Span, TelemetryRegistry, TelemetrySnapshot, DEFAULT_JOURNAL_CAPACITY, MAX_WORKERS,
+    AlarmCounts, Span, TelemetryRegistry, TelemetrySnapshot, DEFAULT_JOURNAL_CAPACITY,
+    MAX_WORKERS,
 };
 pub use serve::{MetricsServer, ScrapeEndpoint};
 pub use slo::{

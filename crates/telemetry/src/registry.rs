@@ -11,6 +11,7 @@
 //! `telemetry_overhead` bench even when *enabled*).
 
 use crate::archive::ArchiveOp;
+use crate::clinical::{AlarmKind, BeatClass};
 use crate::fault::FaultKind;
 use crate::ingest::{IngestDisconnect, IngestState};
 use crate::histogram::{Histogram, HistogramSnapshot};
@@ -66,6 +67,19 @@ struct Inner {
     ingest_disconnects: [AtomicU64; IngestDisconnect::COUNT],
     ingest_frames: AtomicU64,
     ingest_bytes: AtomicU64,
+    /// Clinical analysis layer: alarms raised/cleared per kind (totals),
+    /// currently-active alarm gauges per kind, alarm evaluations
+    /// suppressed on concealed windows, classified beats per class, and
+    /// the QRS-detection confusion counts the sensitivity/PPV panels are
+    /// derived from.
+    alarms_raised: [AtomicU64; AlarmKind::COUNT],
+    alarms_cleared: [AtomicU64; AlarmKind::COUNT],
+    alarms_active: [AtomicU64; AlarmKind::COUNT],
+    alarms_suppressed: AtomicU64,
+    beats: [AtomicU64; BeatClass::COUNT],
+    qrs_true_positive: AtomicU64,
+    qrs_false_positive: AtomicU64,
+    qrs_false_negative: AtomicU64,
 }
 
 /// Shared handle to the telemetry recording state.
@@ -149,6 +163,14 @@ impl TelemetryRegistry {
                 ingest_disconnects: std::array::from_fn(|_| AtomicU64::new(0)),
                 ingest_frames: AtomicU64::new(0),
                 ingest_bytes: AtomicU64::new(0),
+                alarms_raised: std::array::from_fn(|_| AtomicU64::new(0)),
+                alarms_cleared: std::array::from_fn(|_| AtomicU64::new(0)),
+                alarms_active: std::array::from_fn(|_| AtomicU64::new(0)),
+                alarms_suppressed: AtomicU64::new(0),
+                beats: std::array::from_fn(|_| AtomicU64::new(0)),
+                qrs_true_positive: AtomicU64::new(0),
+                qrs_false_positive: AtomicU64::new(0),
+                qrs_false_negative: AtomicU64::new(0),
             }),
         }
     }
@@ -436,9 +458,97 @@ impl TelemetryRegistry {
         self.inner.ingest_bytes.load(Ordering::Relaxed)
     }
 
+    /// Marks one alarm condition entering `Warning`-or-worse: bumps the
+    /// raised total and the active gauge for `kind` (no-op when
+    /// disabled). Pair with [`TelemetryRegistry::record_alarm_cleared`].
+    pub fn record_alarm_raised(&self, kind: AlarmKind) {
+        if self.is_enabled() {
+            self.inner.alarms_raised[kind.index()].fetch_add(1, Ordering::Relaxed);
+            self.inner.alarms_active[kind.index()].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Marks one alarm condition returning to `Normal`: bumps the cleared
+    /// total and decrements the active gauge. Saturating: an unpaired
+    /// clear (telemetry toggled mid-episode) clamps the gauge at zero.
+    pub fn record_alarm_cleared(&self, kind: AlarmKind) {
+        if self.is_enabled() {
+            self.inner.alarms_cleared[kind.index()].fetch_add(1, Ordering::Relaxed);
+            let _ = self.inner.alarms_active[kind.index()].fetch_update(
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+                |v| v.checked_sub(1),
+            );
+        }
+    }
+
+    /// Alarms ever raised for one kind.
+    pub fn alarm_raised_count(&self, kind: AlarmKind) -> u64 {
+        self.inner.alarms_raised[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Alarms ever cleared for one kind.
+    pub fn alarm_cleared_count(&self, kind: AlarmKind) -> u64 {
+        self.inner.alarms_cleared[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Patients currently in `Warning`-or-worse for one kind.
+    pub fn alarm_active_count(&self, kind: AlarmKind) -> u64 {
+        self.inner.alarms_active[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Counts one alarm evaluation suppressed because the window was
+    /// concealed — concealed samples are the concealment heuristic's
+    /// output, not the patient's rhythm (no-op when disabled).
+    pub fn record_alarm_suppressed(&self) {
+        if self.is_enabled() {
+            self.inner.alarms_suppressed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Alarm evaluations suppressed on concealed windows.
+    pub fn alarm_suppressed_total(&self) -> u64 {
+        self.inner.alarms_suppressed.load(Ordering::Relaxed)
+    }
+
+    /// Counts one classified beat (no-op when disabled).
+    pub fn record_beat(&self, class: BeatClass) {
+        if self.is_enabled() {
+            self.inner.beats[class.index()].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Beats ever classified into one class.
+    pub fn beat_count(&self, class: BeatClass) -> u64 {
+        self.inner.beats[class.index()].load(Ordering::Relaxed)
+    }
+
+    /// Accumulates a QRS-detection scoring outcome against annotated
+    /// ground truth (no-op when disabled). The exporters derive the
+    /// sensitivity (`tp / (tp + fn)`) and positive predictivity
+    /// (`tp / (tp + fp)`) panels from these totals.
+    pub fn record_qrs_score(&self, true_pos: u64, false_pos: u64, false_neg: u64) {
+        if self.is_enabled() {
+            self.inner.qrs_true_positive.fetch_add(true_pos, Ordering::Relaxed);
+            self.inner.qrs_false_positive.fetch_add(false_pos, Ordering::Relaxed);
+            self.inner.qrs_false_negative.fetch_add(false_neg, Ordering::Relaxed);
+        }
+    }
+
+    /// Accumulated `(true positives, false positives, false negatives)`
+    /// from [`TelemetryRegistry::record_qrs_score`].
+    pub fn qrs_confusion(&self) -> (u64, u64, u64) {
+        (
+            self.inner.qrs_true_positive.load(Ordering::Relaxed),
+            self.inner.qrs_false_positive.load(Ordering::Relaxed),
+            self.inner.qrs_false_negative.load(Ordering::Relaxed),
+        )
+    }
+
     /// A point-in-time copy of every aggregate the registry holds — what
     /// the exporters render.
     pub fn snapshot(&self) -> TelemetrySnapshot {
+        let (qrs_tp, qrs_fp, qrs_fn) = self.qrs_confusion();
         TelemetrySnapshot {
             uptime: self.uptime(),
             unix_time_s: SystemTime::now()
@@ -472,6 +582,21 @@ impl TelemetryRegistry {
                 .map(|r| (r, self.ingest_disconnect_count(r))),
             ingest_frames: self.ingest_frames_total(),
             ingest_bytes: self.ingest_bytes_total(),
+            alarms: AlarmKind::ALL.map(|k| {
+                (
+                    k,
+                    AlarmCounts {
+                        raised: self.alarm_raised_count(k),
+                        cleared: self.alarm_cleared_count(k),
+                        active: self.alarm_active_count(k),
+                    },
+                )
+            }),
+            alarms_suppressed: self.alarm_suppressed_total(),
+            beats: BeatClass::ALL.map(|c| (c, self.beat_count(c))),
+            qrs_true_positive: qrs_tp,
+            qrs_false_positive: qrs_fp,
+            qrs_false_negative: qrs_fn,
         }
     }
 }
@@ -526,6 +651,29 @@ pub struct TelemetrySnapshot {
     pub ingest_frames: u64,
     /// Wire bytes accepted off ingest sockets.
     pub ingest_bytes: u64,
+    /// Per-kind alarm accounting, in [`AlarmKind::ALL`] order.
+    pub alarms: [(AlarmKind, AlarmCounts); AlarmKind::COUNT],
+    /// Alarm evaluations suppressed on concealed windows.
+    pub alarms_suppressed: u64,
+    /// Classified beats per class, in [`BeatClass::ALL`] order.
+    pub beats: [(BeatClass, u64); BeatClass::COUNT],
+    /// QRS detections matching an annotated beat.
+    pub qrs_true_positive: u64,
+    /// QRS detections matching no annotated beat.
+    pub qrs_false_positive: u64,
+    /// Annotated beats no detection matched.
+    pub qrs_false_negative: u64,
+}
+
+/// Alarm totals and the live gauge for one [`AlarmKind`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlarmCounts {
+    /// Episodes ever entering `Warning`-or-worse.
+    pub raised: u64,
+    /// Episodes ever returning to `Normal`.
+    pub cleared: u64,
+    /// Patients currently in `Warning`-or-worse.
+    pub active: u64,
 }
 
 impl TelemetrySnapshot {
@@ -542,6 +690,30 @@ impl TelemetrySnapshot {
     /// The snapshot count for one archive operation.
     pub fn archive(&self, op: ArchiveOp) -> u64 {
         self.archive_ops[op.index()].1
+    }
+
+    /// The snapshot alarm accounting for one kind.
+    pub fn alarm(&self, kind: AlarmKind) -> AlarmCounts {
+        self.alarms[kind.index()].1
+    }
+
+    /// The snapshot beat count for one class.
+    pub fn beat(&self, class: BeatClass) -> u64 {
+        self.beats[class.index()].1
+    }
+
+    /// QRS sensitivity `tp / (tp + fn)`, or `None` before any annotated
+    /// beat has been scored.
+    pub fn qrs_sensitivity(&self) -> Option<f64> {
+        let denom = self.qrs_true_positive + self.qrs_false_negative;
+        (denom > 0).then(|| self.qrs_true_positive as f64 / denom as f64)
+    }
+
+    /// QRS positive predictivity `tp / (tp + fp)`, or `None` before any
+    /// detection has been scored.
+    pub fn qrs_ppv(&self) -> Option<f64> {
+        let denom = self.qrs_true_positive + self.qrs_false_positive;
+        (denom > 0).then(|| self.qrs_true_positive as f64 / denom as f64)
     }
 }
 
@@ -720,6 +892,44 @@ mod tests {
         let rec = reg.record_emit(&ctx).unwrap();
         assert!(rec.deadline_missed, "a zero budget makes every emit late");
         assert_eq!(reg.slo_config().deadline, Duration::ZERO);
+    }
+
+    #[test]
+    fn alarm_counters_pair_and_gauge() {
+        let reg = TelemetryRegistry::new();
+        reg.record_alarm_raised(AlarmKind::Tachycardia);
+        reg.record_alarm_raised(AlarmKind::Tachycardia);
+        reg.record_alarm_cleared(AlarmKind::Tachycardia);
+        reg.record_alarm_suppressed();
+        reg.record_beat(BeatClass::Pvc);
+        reg.record_beat(BeatClass::Normal);
+        reg.record_qrs_score(19, 1, 1);
+        let snap = reg.snapshot();
+        let tachy = snap.alarm(AlarmKind::Tachycardia);
+        assert_eq!(tachy.raised, 2);
+        assert_eq!(tachy.cleared, 1);
+        assert_eq!(tachy.active, 1);
+        assert_eq!(snap.alarm(AlarmKind::Asystole), AlarmCounts::default());
+        assert_eq!(snap.alarms_suppressed, 1);
+        assert_eq!(snap.beat(BeatClass::Pvc), 1);
+        assert_eq!(snap.beat(BeatClass::Apc), 0);
+        assert!((snap.qrs_sensitivity().unwrap() - 0.95).abs() < 1e-12);
+        assert!((snap.qrs_ppv().unwrap() - 0.95).abs() < 1e-12);
+
+        // An unpaired clear clamps the gauge instead of wrapping it.
+        reg.record_alarm_cleared(AlarmKind::Tachycardia);
+        reg.record_alarm_cleared(AlarmKind::Tachycardia);
+        assert_eq!(reg.alarm_active_count(AlarmKind::Tachycardia), 0);
+
+        let off = TelemetryRegistry::new();
+        off.set_enabled(false);
+        off.record_alarm_raised(AlarmKind::Asystole);
+        off.record_beat(BeatClass::Apc);
+        off.record_qrs_score(1, 0, 0);
+        assert_eq!(off.alarm_raised_count(AlarmKind::Asystole), 0);
+        assert_eq!(off.beat_count(BeatClass::Apc), 0);
+        assert!(off.snapshot().qrs_sensitivity().is_none());
+        assert!(off.snapshot().qrs_ppv().is_none());
     }
 
     #[test]

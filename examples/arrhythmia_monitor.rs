@@ -1,17 +1,28 @@
-//! Diagnostic-quality check on an arrhythmic record: does compression
+//! Diagnostic-quality gate on an arrhythmic record: does compression
 //! preserve the beats a downstream detector needs?
 //!
-//! A PVC-heavy record is compressed at several CRs; a simple R-peak
-//! detector runs on the *reconstructed* signal and its detections are
-//! scored against the synthesizer's ground-truth annotations. This is the
-//! clinical-relevance angle of the paper's intro: compression is only
-//! useful if the diagnosis survives.
+//! A PVC-heavy record is compressed at several CRs; the *streaming* QRS
+//! detector ([`StreamingQrsDetector`]) consumes each reconstructed
+//! window as it comes off the decoder — exactly the deployment shape of
+//! the clinical subsystem, no whole-record buffering — and its
+//! detections are scored against the synthesizer's ground-truth
+//! annotations. This is the clinical-relevance angle of the paper's
+//! intro: compression is only useful if the diagnosis survives.
+//!
+//! The example doubles as a regression gate: at the diagnostic CRs
+//! (≤ 75 %) it exits non-zero if sensitivity or precision falls below
+//! 95 %, so CI catches a detector or solver regression the moment it
+//! lands.
 //!
 //! ```text
 //! cargo run --release --example arrhythmia_monitor
 //! ```
 
 use cs_ecg_monitor::prelude::*;
+
+/// Accuracy floor enforced at the diagnostic CRs (≤ `GATED_CR_MAX`).
+const FLOOR: f64 = 0.95;
+const GATED_CR_MAX: f64 = 75.0;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A record with forced heavy ectopy.
@@ -44,14 +55,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\n{:>5} {:>8} {:>8} {:>12} {:>12} {:>12}",
         "CR %", "PRD %", "SNR dB", "detected", "sensitivity", "precision"
     );
+    let mut regressions = Vec::new();
     for cr in [30.0, 50.0, 70.0, 85.0] {
         let config = SystemConfig::builder().compression_ratio(cr).build()?;
         let report = train_and_evaluate::<f64>(&config, &samples, 3, SolverPolicy::default())?;
 
-        // Reconstruct the whole stream and run the library's
-        // Pan–Tompkins-style detector on it.
-        let recon = reconstruct_stream(&config, &samples)?;
-        let detected = detect_r_peaks(&recon, &QrsDetectorConfig::at_256_hz());
+        // Stream the decode: each reconstructed window is pushed into
+        // the incremental detector the moment it exists.
+        let detected = stream_and_detect(&config, &samples)?;
         let (sens, prec) = score_detections(&truth, &detected, 13); // ±50 ms
 
         println!(
@@ -63,26 +74,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             sens * 100.0,
             prec * 100.0
         );
+        if cr <= GATED_CR_MAX {
+            if sens < FLOOR {
+                regressions.push(format!("CR {cr:.0} %: sensitivity {:.1} %", sens * 100.0));
+            }
+            if prec < FLOOR {
+                regressions.push(format!("CR {cr:.0} %: precision {:.1} %", prec * 100.0));
+            }
+        }
     }
     println!("\n(sensitivity/precision vs ground-truth R peaks, ±50 ms window)");
+    if !regressions.is_empty() {
+        eprintln!("REGRESSION: detection fell below {:.0} %:", FLOOR * 100.0);
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
+    println!("gate: all CRs ≤ {GATED_CR_MAX:.0} % held ≥ {:.0} % sensitivity and precision", FLOOR * 100.0);
     Ok(())
 }
 
-/// Round-trips the stream and concatenates the reconstructed packets.
-fn reconstruct_stream(
+/// Round-trips the stream window by window, feeding each reconstructed
+/// packet straight into the streaming detector. Returns absolute-sample
+/// detection positions.
+fn stream_and_detect(
     config: &SystemConfig,
     samples: &[i16],
-) -> Result<Vec<f64>, Box<dyn std::error::Error>> {
+) -> Result<Vec<usize>, Box<dyn std::error::Error>> {
     use std::sync::Arc;
     let training = packetize(samples, config.packet_len()).take(3).map(|p| p.to_vec());
     let codebook = Arc::new(train_codebook(config, training)?);
     let mut encoder = Encoder::new(config, Arc::clone(&codebook))?;
     let mut decoder: Decoder<f64> = Decoder::new(config, codebook, SolverPolicy::default())?;
-    let mut out = Vec::with_capacity(samples.len());
+    let mut detector = StreamingQrsDetector::new(QrsDetectorConfig::at_256_hz());
+    let mut detections = Vec::new();
     for packet in packetize(samples, config.packet_len()) {
         let wire = encoder.encode_packet(packet)?;
         let decoded = decoder.decode_packet(&wire)?;
-        out.extend(decoded.samples);
+        detector.push_window(&decoded.samples, &mut detections);
     }
-    Ok(out)
+    detector.flush(&mut detections);
+    Ok(detections.into_iter().map(|d| d.sample).collect())
 }

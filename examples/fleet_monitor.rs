@@ -25,7 +25,13 @@
 //!   freshness watermarks;
 //! * `faults`, `workers`, `journal`, `scrapes`, `render` — fault
 //!   counters, per-worker load, trace-journal and exporter
-//!   self-observation.
+//!   self-observation;
+//! * `clinical` — present once a clinical engine has recorded into the
+//!   registry: `beats` (classified-beat census by class), `alarms`
+//!   (per-kind `{raised, cleared, active}` counters), `suppressed`
+//!   (alarm evaluations skipped inside concealed windows) and `qrs`
+//!   (`{tp, fp, fn}` plus `sensitivity`/`ppv` once annotated beats have
+//!   been scored). Zero-count classes and kinds are elided.
 //!
 //! The repo-level `jsonl_schema` test parses these lines back; extend
 //! it when adding fields.

@@ -104,3 +104,9 @@ CRASH_ROUNDS="${CRASH_ROUNDS:-2}" scripts/archive_crash.sh
 # behind the chaos proxy, with every lifecycle invariant checked (the
 # 1000-mote profile runs out of band; see scripts/ingest_soak.sh).
 SWARM_MOTES="${SWARM_MOTES:-200}" scripts/ingest_soak.sh
+
+# Clinical smoke: the short-profile arrhythmia soak — detection accuracy
+# on reconstructed signals, alarm latency, adaptive-CR escalation and
+# the false-alarm controls (the full profile runs out of band; see
+# scripts/arrhythmia_soak.sh).
+SOAK_SHORT=1 scripts/arrhythmia_soak.sh

@@ -23,6 +23,9 @@
 //!   Prometheus / JSON-Lines exporters ([`cs_telemetry`])
 //! * [`archive`] — durable segmented packet store with crash recovery
 //!   and decode-on-read fleet replay ([`cs_archive`])
+//! * [`clinical`] — streaming QRS detection, beat classification,
+//!   per-patient alarms and closed-loop adaptive compression
+//!   ([`cs_clinical`])
 //!
 //! ## Quickstart
 //!
@@ -54,6 +57,7 @@
 #![forbid(unsafe_code)]
 
 pub use cs_archive as archive;
+pub use cs_clinical as clinical;
 pub use cs_codec as codec;
 pub use cs_core as system;
 pub use cs_dsp as dsp;
@@ -67,12 +71,17 @@ pub use cs_telemetry as telemetry;
 /// The most common imports for applications built on this system.
 pub mod prelude {
     pub use cs_archive::{Archive, ArchiveConfig, ArchiveSink, ArchiveWriter, FsyncPolicy};
+    pub use cs_clinical::{
+        AlarmConfig, AlarmEngine, BeatClassifier, ClinicalConfig, ClinicalEngine, ClinicalEvent,
+        StreamingQrsDetector, TruthScorer,
+    };
     pub use cs_codec::Codebook;
     pub use cs_core::{
         evaluate_stream, packetize, run_fleet, run_fleet_observed, run_fleet_wire,
         run_fleet_wire_archived, run_streaming, run_streaming_observed, train_and_evaluate,
-        train_codebook, uniform_codebook, Decoder, Encoder, FleetConfig, FleetStream,
-        PacketOutcome, SolverPolicy, SystemConfig,
+        train_codebook, uniform_codebook, AdaptiveDecoder, AdaptiveEncoder, ClinicalFeedback,
+        Decoder, Encoder, FidelitySchedule, FidelityTier, FleetConfig, FleetStream, PacketOutcome,
+        SolverPolicy, SystemConfig, TierController,
     };
     pub use cs_dsp::wavelet::{Dwt, Wavelet, WaveletFamily};
     pub use cs_ecg_data::{

@@ -11,7 +11,10 @@
 //! * `e2e` per-patient latency and `slo` health/freshness/burn/lanes
 //!   (populated by the traced fleet path);
 //! * `journal` accounting and `scrapes` with zero counts elided;
-//! * `render` self-observation appears from the second render onward.
+//! * `render` self-observation appears from the second render onward;
+//! * `clinical` appears only once the clinical layer has recorded, with
+//!   beat census, per-kind alarm counters, suppression accounting and
+//!   the QRS confusion/accuracy figures.
 //!
 //! Extend this test whenever `examples/fleet_monitor.rs`'s schema note
 //! gains a field.
@@ -335,4 +338,59 @@ fn json_line_round_trips_the_documented_schema() {
     // The second line's clocks moved forward, never backward.
     assert!(second.get("uptime_s").num() >= uptime);
     assert!(second.get("ts_unix_s").num() >= ts);
+
+    // No clinical engine touched this registry: the block is elided
+    // entirely rather than rendered full of zeros.
+    assert!(root.opt("clinical").is_none(), "clinical block absent without a clinical tap");
+}
+
+#[test]
+fn clinical_block_round_trips_alarm_and_accuracy_fields() {
+    use cs_ecg_monitor::telemetry::{AlarmKind, BeatClass};
+
+    let registry = TelemetryRegistry::new();
+
+    // The exact counter sequence a clinical engine would emit over a
+    // short monitored stretch: mostly sinus beats, one PVC, a transient
+    // tachycardia (raised then cleared), a PVC run still active at
+    // snapshot time, one evaluation suppressed inside a concealed
+    // window, and a scored detection stream at 95 % sens / 95 % PPV.
+    for _ in 0..3 {
+        registry.record_beat(BeatClass::Normal);
+    }
+    registry.record_beat(BeatClass::Pvc);
+    registry.record_alarm_raised(AlarmKind::Tachycardia);
+    registry.record_alarm_cleared(AlarmKind::Tachycardia);
+    registry.record_alarm_raised(AlarmKind::PvcRun);
+    registry.record_alarm_suppressed();
+    registry.record_qrs_score(19, 1, 1);
+
+    let root = Parser::parse(&registry.json_line());
+    let clinical = root.get("clinical");
+
+    let beats = clinical.get("beats");
+    assert_eq!(beats.get("normal").num(), 3.0);
+    assert_eq!(beats.get("pvc").num(), 1.0);
+    assert!(beats.opt("apc").is_none(), "zero-count beat classes elided");
+
+    let alarms = clinical.get("alarms");
+    let tachy = alarms.get("tachycardia");
+    assert_eq!(tachy.get("raised").num(), 1.0);
+    assert_eq!(tachy.get("cleared").num(), 1.0);
+    assert_eq!(tachy.get("active").num(), 0.0);
+    let pvc_run = alarms.get("pvc_run");
+    assert_eq!(pvc_run.get("raised").num(), 1.0);
+    assert_eq!(pvc_run.get("cleared").num(), 0.0);
+    assert_eq!(pvc_run.get("active").num(), 1.0);
+    assert!(alarms.opt("bradycardia").is_none(), "untouched alarm kinds elided");
+    assert!(alarms.opt("asystole").is_none());
+
+    assert_eq!(clinical.get("suppressed").num(), 1.0);
+
+    let qrs = clinical.get("qrs");
+    assert_eq!(qrs.get("tp").num(), 19.0);
+    assert_eq!(qrs.get("fp").num(), 1.0);
+    assert_eq!(qrs.get("fn").num(), 1.0);
+    assert!((qrs.get("sensitivity").num() - 0.95).abs() < 1e-9);
+    assert!((qrs.get("ppv").num() - 0.95).abs() < 1e-9);
 }
